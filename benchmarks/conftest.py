@@ -1,0 +1,41 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+Scaling series are computed once per session and cached; each benchmark
+asserts the paper's qualitative claims against the cached series and
+times one representative cell with pytest-benchmark.  Rendered tables are
+written to ``benchmarks/_generated/`` (EXPERIMENTS.md quotes them).
+"""
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.bench import render_series, scaling_series
+
+GENERATED = pathlib.Path(__file__).parent / "_generated"
+
+#: the node counts every figure uses (16 cores per node -> 16..128 cores)
+FIGURE_NODES = (1, 2, 4, 8)
+
+
+@pytest.fixture(scope="session")
+def series_cache():
+    cache: dict[str, dict] = {}
+
+    def get(app: str):
+        if app not in cache:
+            cache[app] = scaling_series(app, node_counts=FIGURE_NODES)
+            GENERATED.mkdir(exist_ok=True)
+            out = GENERATED / f"{app}_scaling.txt"
+            out.write_text(render_series(app, cache[app]) + "\n")
+        return cache[app]
+
+    return get
+
+
+def at_cores(series: dict, framework: str, cores: int):
+    for pt in series[framework]:
+        if pt.cores == cores:
+            return pt
+    raise KeyError(f"no point at {cores} cores for {framework}")

@@ -1,0 +1,74 @@
+"""Figure 4: mri-q scalability (speedup over sequential C vs. cores).
+
+Paper claims encoded:
+
+* Triolet is "nearly on par with manually written MPI and OpenMP" across
+  the range;
+* both scale near-linearly to 128 cores (the compute-dominated app);
+* Eden "loses performance across the entire range" (sequential sinf/cosf
+  penalty) and its effective scalability is reduced by delayed tasks.
+"""
+import pytest
+
+from conftest import FIGURE_NODES, at_cores
+from repro.bench import run_point, make_problem, sequential_seconds
+
+
+@pytest.fixture(scope="module")
+def series(series_cache):
+    return series_cache("mriq")
+
+
+def test_fig4_all_runs_numerically_correct(benchmark, series):
+    def checks():
+        for fw, pts in series.items():
+            for pt in pts:
+                assert pt.correct, (fw, pt.nodes)
+
+
+    benchmark(checks)
+
+def test_fig4_triolet_near_cmpi_everywhere(benchmark, series):
+    def checks():
+        for tri_pt, c_pt in zip(series["triolet"], series["cmpi"]):
+            assert tri_pt.speedup >= 0.85 * c_pt.speedup
+
+
+    benchmark(checks)
+
+def test_fig4_near_linear_scaling_at_128(benchmark, series):
+    def checks():
+        assert at_cores(series, "cmpi", 128).speedup >= 0.85 * 128
+        assert at_cores(series, "triolet", 128).speedup >= 0.80 * 128
+
+
+    benchmark(checks)
+
+def test_fig4_eden_below_across_entire_range(benchmark, series):
+    def checks():
+        for e_pt, t_pt in zip(series["eden"], series["triolet"]):
+            assert e_pt.speedup < t_pt.speedup
+
+
+    benchmark(checks)
+
+def test_fig4_eden_scales_but_sublinearly(benchmark, series):
+    def checks():
+        e16 = at_cores(series, "eden", 16).speedup
+        e128 = at_cores(series, "eden", 128).speedup
+        assert e128 > 2.5 * e16  # it does scale...
+        assert e128 < 0.75 * 128  # ...but well below linear
+
+
+    benchmark(checks)
+
+def test_fig4_benchmark_triolet_128(benchmark):
+    """Time regenerating the headline cell (8 nodes, Triolet)."""
+    p = make_problem("mriq")
+    ref = sequential_seconds("mriq", p)
+    pt = benchmark.pedantic(
+        lambda: run_point("mriq", "triolet", 8, problem=p, reference=ref),
+        rounds=1,
+        iterations=1,
+    )
+    assert pt.correct

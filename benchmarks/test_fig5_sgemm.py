@@ -1,0 +1,94 @@
+"""Figure 5: sgemm scalability.
+
+Paper claims encoded:
+
+* "All versions of the code exhibit limited scalability due to
+  transposition time and communication time" -- sublinear at 128 cores;
+* "C+MPI+OpenMP and Triolet spend similar amounts of time in
+  communication and in parallel computation, resulting in similar
+  performance.  Triolet's performance stops rising toward 8 nodes";
+* "The Eden code fails at 2 nodes because the array data is too large
+  for Eden's message-passing runtime to buffer" (it runs at 1 node);
+* at 8 nodes a large share of Triolet's overhead vs C+MPI is GC
+  (quantified in test_ablations.py).
+"""
+import pytest
+
+from conftest import at_cores
+from repro.bench import make_problem, run_point, sequential_seconds
+
+
+@pytest.fixture(scope="module")
+def series(series_cache):
+    return series_cache("sgemm")
+
+
+def test_fig5_successful_runs_correct(benchmark, series):
+    def checks():
+        for fw, pts in series.items():
+            for pt in pts:
+                if not pt.failed:
+                    assert pt.correct, (fw, pt.nodes)
+
+
+    benchmark(checks)
+
+def test_fig5_limited_scalability(benchmark, series):
+    def checks():
+        assert at_cores(series, "cmpi", 128).speedup < 0.75 * 128
+        assert at_cores(series, "triolet", 128).speedup < 0.75 * 128
+
+
+    benchmark(checks)
+
+def test_fig5_triolet_similar_to_cmpi_at_low_counts(benchmark, series):
+    def checks():
+        for cores in (16, 32):
+            t = at_cores(series, "triolet", cores).speedup
+            c = at_cores(series, "cmpi", cores).speedup
+            assert t >= 0.75 * c
+
+
+    benchmark(checks)
+
+def test_fig5_triolet_flattens_toward_8_nodes(benchmark, series):
+    def checks():
+        """Speedup-per-core falls as message construction grows."""
+        eff = [
+            at_cores(series, "triolet", cores).speedup / cores
+            for cores in (16, 32, 64, 128)
+        ]
+        assert eff == sorted(eff, reverse=True)
+        assert eff[-1] < 0.6 * eff[0]
+
+
+    benchmark(checks)
+
+def test_fig5_eden_runs_at_one_node(benchmark, series):
+    def checks():
+        pt = at_cores(series, "eden", 16)
+        assert not pt.failed and pt.correct
+        assert pt.speedup > 5
+
+
+    benchmark(checks)
+
+def test_fig5_eden_fails_from_two_nodes_on(benchmark, series):
+    def checks():
+        for cores in (32, 64, 128):
+            pt = at_cores(series, "eden", cores)
+            assert pt.failed is not None
+            assert "buffer" in pt.failed
+
+
+    benchmark(checks)
+
+def test_fig5_benchmark_triolet_128(benchmark):
+    p = make_problem("sgemm")
+    ref = sequential_seconds("sgemm", p)
+    pt = benchmark.pedantic(
+        lambda: run_point("sgemm", "triolet", 8, problem=p, reference=ref),
+        rounds=1,
+        iterations=1,
+    )
+    assert pt.correct

@@ -1,0 +1,77 @@
+"""Figure 7: tpacf scalability.
+
+Paper claims encoded:
+
+* "Triolet and C+MPI+OpenMP scale similarly.  Triolet is slightly faster
+  due to a more even distribution of computation time across nodes";
+* "Eden has somewhat worse sequential performance and a higher
+  communication overhead" -- below both across the range;
+* tpacf is the paper's best-scaling app for Triolet (it reaches ~100x at
+  128 cores in Fig. 7).
+"""
+import pytest
+
+from conftest import at_cores
+from repro.bench import make_problem, run_point, sequential_seconds
+
+
+@pytest.fixture(scope="module")
+def series(series_cache):
+    return series_cache("tpacf")
+
+
+def test_fig7_all_runs_numerically_correct(benchmark, series):
+    def checks():
+        for fw, pts in series.items():
+            for pt in pts:
+                assert pt.correct, (fw, pt.nodes)
+
+
+    benchmark(checks)
+
+def test_fig7_triolet_slightly_faster_than_cmpi_at_scale(benchmark, series):
+    def checks():
+        for cores in (64, 128):
+            t = at_cores(series, "triolet", cores).speedup
+            c = at_cores(series, "cmpi", cores).speedup
+            assert t > c
+            assert t < 1.5 * c  # "slightly", not dramatically
+
+
+    benchmark(checks)
+
+def test_fig7_triolet_reaches_high_speedup(benchmark, series):
+    def checks():
+        assert at_cores(series, "triolet", 128).speedup >= 85
+
+
+    benchmark(checks)
+
+def test_fig7_eden_below_both_at_scale(benchmark, series):
+    def checks():
+        for cores in (64, 128):
+            e = at_cores(series, "eden", cores).speedup
+            assert e < at_cores(series, "triolet", cores).speedup
+            assert e < at_cores(series, "cmpi", cores).speedup
+
+
+    benchmark(checks)
+
+def test_fig7_everyone_scales_with_nodes(benchmark, series):
+    def checks():
+        for fw in ("triolet", "cmpi", "eden"):
+            speeds = [pt.speedup for pt in series[fw]]
+            assert speeds[-1] > 2.5 * speeds[0]
+
+
+    benchmark(checks)
+
+def test_fig7_benchmark_triolet_128(benchmark):
+    p = make_problem("tpacf")
+    ref = sequential_seconds("tpacf", p)
+    pt = benchmark.pedantic(
+        lambda: run_point("tpacf", "triolet", 8, problem=p, reference=ref),
+        rounds=1,
+        iterations=1,
+    )
+    assert pt.correct

@@ -1,0 +1,79 @@
+"""Figure 8: cutcp scalability.
+
+Paper claims encoded:
+
+* "Performance of Triolet and C+MPI+OpenMP saturates quickly, as the
+  overhead of summing the large output arrays dominates execution time";
+* "As in sgemm, Triolet has significant garbage collection overhead" --
+  Triolet sits clearly below C+MPI at scale (the ~60% allocation share is
+  quantified in test_ablations.py);
+* this is the paper's worst Triolet-vs-C+MPI ratio (the 23% end of the
+  headline range comes from saturating apps).
+"""
+import pytest
+
+from conftest import at_cores
+from repro.bench import make_problem, run_point, sequential_seconds
+
+
+@pytest.fixture(scope="module")
+def series(series_cache):
+    return series_cache("cutcp")
+
+
+def test_fig8_all_runs_numerically_correct(benchmark, series):
+    def checks():
+        for fw, pts in series.items():
+            for pt in pts:
+                assert pt.correct, (fw, pt.nodes)
+
+
+    benchmark(checks)
+
+def test_fig8_saturation(benchmark, series):
+    def checks():
+        """Efficiency collapses with scale for both Triolet and C+MPI."""
+        for fw in ("triolet", "cmpi"):
+            eff16 = at_cores(series, fw, 16).speedup / 16
+            eff128 = at_cores(series, fw, 128).speedup / 128
+            assert eff128 < 0.65 * eff16, fw
+
+
+    benchmark(checks)
+
+def test_fig8_triolet_clearly_below_cmpi(benchmark, series):
+    def checks():
+        for cores in (32, 64, 128):
+            t = at_cores(series, "triolet", cores).speedup
+            c = at_cores(series, "cmpi", cores).speedup
+            assert t < 0.85 * c
+
+
+    benchmark(checks)
+
+def test_fig8_triolet_gc_share_substantial(benchmark, series):
+    def checks():
+        """§4.5: '~60% of Triolet's execution time at 8 nodes arises from
+        allocation overhead' -- checked via the runtime's GC ledger."""
+        from repro.apps.cutcp import run_triolet
+        from repro.bench.calibrate import costs_for
+        from repro.cluster.machine import PAPER_MACHINE
+
+        p = make_problem("cutcp")
+        run = run_triolet(p, PAPER_MACHINE, costs_for("cutcp", "triolet", p))
+        per_node_gc = run.detail["gc_time"] / PAPER_MACHINE.nodes
+        share = per_node_gc / run.elapsed
+        assert 0.3 <= share <= 0.8
+
+
+    benchmark(checks)
+
+def test_fig8_benchmark_triolet_128(benchmark):
+    p = make_problem("cutcp")
+    ref = sequential_seconds("cutcp", p)
+    pt = benchmark.pedantic(
+        lambda: run_point("cutcp", "triolet", 8, problem=p, reference=ref),
+        rounds=1,
+        iterations=1,
+    )
+    assert pt.correct

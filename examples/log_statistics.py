@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Data-analytics flavored demo of the extended skeleton library.
+
+A synthetic request-latency log is analyzed on the simulated cluster:
+per-service latency totals (``group_reduce``), robust mean/variance
+(``mean_variance``'s mergeable Welford monoid), the slowest request
+(``argmax``), an SLO check (``all_match``), and a running cumulative
+load (``scan``) -- all through the same par/localpar machinery as the
+paper's benchmarks.
+
+Usage:  python examples/log_statistics.py
+"""
+import numpy as np
+
+import repro.triolet as tri
+from repro.cluster.machine import PAPER_MACHINE
+from repro.runtime import CostContext, triolet_runtime
+from repro.serial import register_function
+
+SERVICES = ("auth", "search", "checkout", "images")
+
+
+@register_function
+def service_of(record):
+    return int(record[0])
+
+
+@register_function
+def latency_of(record):
+    return float(record[1])
+
+
+@register_function
+def add(a, b):
+    return a + b
+
+
+@register_function
+def combine_pairs(a, b):
+    # (service, latency) pairs reduce on the latency component.
+    return (a[0], a[1] + b[1])
+
+
+@register_function
+def pair_key(pair):
+    return pair[0]
+
+
+@register_function
+def keep_latency(record):
+    return record[1]
+
+
+def main():
+    rng = np.random.default_rng(7)
+    n = 20_000
+    service = rng.integers(0, len(SERVICES), n)
+    base = np.array([12.0, 35.0, 60.0, 8.0])[service]
+    latency = rng.gamma(shape=2.0, scale=base / 2.0)
+    log = np.column_stack([service.astype(float), latency])
+
+    costs = CostContext(unit_time=5e-9)
+    with triolet_runtime(PAPER_MACHINE, costs=costs) as rt:
+        records = tri.par(log)
+        pairs = tri.map(keep_latency_pair, records)
+        totals = {
+            k: v[1]
+            for k, v in tri.group_reduce(pair_key, combine_pairs, pairs).items()
+        }
+        mean, var = tri.mean_variance(tri.map(latency_of, tri.par(log)))
+        worst = tri.argmax(tri.map(latency_of, tri.par(log)))
+
+    print(f"{n} log records across {len(SERVICES)} services\n")
+    print(f"{'service':<10}{'total latency':>16}{'share':>9}")
+    grand = sum(totals.values())
+    for sid, name in enumerate(SERVICES):
+        t = totals.get(sid, 0.0)
+        print(f"{name:<10}{t:>16.1f}{t / grand:>9.1%}")
+
+    print(f"\nmean latency : {mean:8.2f} ms  (numpy: {latency.mean():.2f})")
+    print(f"std deviation: {np.sqrt(var):8.2f} ms")
+    print(f"worst request: #{worst} -> {latency[worst]:.1f} ms "
+          f"({SERVICES[int(service[worst])]})")
+
+    # Short-circuiting SLO check (sequential by design: it can stop early).
+    slo = 500.0
+    ok = tri.all_match(lambda x: x < slo, tri.map(latency_of, tri.iterate(log)))
+    print(f"all under {slo:.0f} ms SLO: {ok}")
+
+    # Cumulative load curve over the first records (fused sequential scan).
+    running = tri.collect_list(tri.take(5, tri.scan(add, 0.0, latency[:100])))
+    print("cumulative load, first 5 records:",
+          [round(v, 1) for v in running])
+
+    print("\n" + rt.report())
+
+    # Verify against straight numpy.
+    for sid in range(len(SERVICES)):
+        assert np.isclose(totals.get(sid, 0.0), latency[service == sid].sum())
+    assert np.isclose(mean, latency.mean())
+    print("\nOK: all statistics match numpy")
+
+
+@register_function
+def keep_latency_pair(record):
+    # group_reduce folds whole elements; keep (service, latency) pairs
+    # reduced on the latency component.
+    return (int(record[0]), float(record[1]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""tpacf-style angular correlation: the paper's Fig. 6 listing, live.
+
+Computes the two-point angular correlation estimator
+
+    w(theta) = (DD - 2*DR + RR) / RR
+
+from one "observed" catalog and a family of random catalogs, using the
+nested par/localpar structure of Fig. 6: ``par`` across random data sets,
+``localpar`` across the triangular pair loops within each set, private
+histograms summed up the reduction tree.
+
+Usage:  python examples/sky_correlation.py
+"""
+import numpy as np
+
+from repro.apps.tpacf import make_problem
+from repro.apps.tpacf.triolet import (
+    _corr1_cross,
+    _corr1_self,
+    _self_pairs_row,
+    correlation,
+    random_sets_correlation,
+)
+from repro.cluster.machine import PAPER_MACHINE
+from repro.runtime import CostContext, triolet_runtime
+from repro.serial import closure
+import repro.triolet as tri
+
+
+def main():
+    p = make_problem(m=96, nr=16, nbins=16, seed=11)
+    costs = CostContext(unit_time=5e-8)
+
+    with triolet_runtime(PAPER_MACHINE, costs=costs) as rt:
+        indexed_obs = tri.zip(tri.indices(tri.domain(p.obs)), tri.iterate(p.obs))
+        dd = correlation(
+            p.nbins,
+            tri.map(closure(_self_pairs_row, p.nbins, p.obs), tri.par(indexed_obs)),
+        )
+        dr = random_sets_correlation(
+            p.nbins, closure(_corr1_cross, p.nbins, p.obs), p.rands
+        )
+        rr = random_sets_correlation(p.nbins, closure(_corr1_self, p.nbins), p.rands)
+
+    # Landy-Szalay-style estimator (normalized pair counts).
+    m, nr = p.m, p.nr
+    dd_n = dd / (m * (m - 1) / 2)
+    dr_n = dr / (nr * m * m)
+    rr_n = rr / (nr * m * (m - 1) / 2)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        w = (dd_n - 2 * dr_n + rr_n) / rr_n
+
+    print(f"{p.nr} random catalogs of {p.m} objects, {p.nbins} angular bins")
+    print(f"{'bin':>4} {'DD':>8} {'DR':>8} {'RR':>8} {'w(theta)':>10}")
+    for b in range(p.nbins):
+        wtxt = f"{w[b]:10.4f}" if np.isfinite(w[b]) else "       n/a"
+        print(f"{b:>4} {dd[b]:>8.0f} {dr[b]:>8.0f} {rr[b]:>8.0f} {wtxt}")
+
+    print(f"\nparallel sections: {len(rt.sections)}, "
+          f"total virtual time {rt.elapsed:.4f} s, "
+          f"bytes shipped {rt.total_bytes_shipped():,}")
+    # Uniform random sky: the correlation should hover around zero.
+    finite = w[np.isfinite(w)]
+    print(f"mean |w| over finite bins: {np.abs(finite).mean():.4f} "
+          "(uniform sky -> near 0)")
+
+
+if __name__ == "__main__":
+    main()

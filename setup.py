@@ -1,0 +1,9 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The canonical metadata lives in pyproject.toml; this file only enables
+``pip install -e . --no-use-pep517`` (legacy ``setup.py develop``) on
+offline machines where PEP 660 editable installs are unavailable.
+"""
+from setuptools import setup
+
+setup()

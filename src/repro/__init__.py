@@ -1,0 +1,22 @@
+"""Reproduction of "Triolet: A Programming System that Unifies Algorithmic
+Skeleton Interfaces for High-Performance Cluster Computing" (PPoPP 2014).
+
+Layout:
+
+* :mod:`repro.triolet` -- the user-facing skeleton API (start here).
+* :mod:`repro.core` -- hybrid iterators, encodings, domains, sources.
+* :mod:`repro.runtime` -- the two-level parallel runtime (executor).
+* :mod:`repro.cluster` -- the simulated distributed machine.
+* :mod:`repro.serial` -- serialization (closures, ADTs, arrays, globals).
+* :mod:`repro.partition` -- block work/data decompositions.
+* :mod:`repro.baselines` -- sequential-C, Eden-like and C+MPI+OpenMP-like
+  reference implementations.
+* :mod:`repro.apps` -- the four Parboil benchmarks (mri-q, sgemm, tpacf,
+  cutcp) in all frameworks.
+* :mod:`repro.bench` -- the harness regenerating every figure in §4.
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for
+paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,13 @@
+"""The four Parboil benchmarks of the paper's evaluation (§4).
+
+Each app package contains:
+
+* ``data.py`` -- seeded synthetic problem generator with paper-scale work
+  and byte accounting (the Parboil datasets are not redistributable; the
+  generators preserve shapes and statistics, DESIGN.md §2);
+* ``kernel.py`` -- the numerical kernel shared by every framework;
+* ``ref.py`` -- the sequential reference ("sequential C" numerics);
+* ``triolet.py`` -- the Triolet version (mirrors the paper's listings);
+* ``eden.py`` -- the Eden version (chunked arrays, farm skeletons);
+* ``cmpi.py`` -- the C+MPI+OpenMP version (explicit partitioning).
+"""

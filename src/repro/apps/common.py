@@ -1,0 +1,76 @@
+"""Shared plumbing for app implementations."""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class AppRun:
+    """Outcome of running one app under one framework."""
+
+    framework: str
+    value: Any  # the real numerical result
+    elapsed: float  # virtual seconds for the whole program
+    bytes_shipped: int = 0
+    failed: str | None = None  # failure description (e.g. buffer overflow)
+    detail: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.failed is None
+
+
+def failure(framework: str, reason: str) -> AppRun:
+    return AppRun(framework=framework, value=None, elapsed=float("inf"), failed=reason)
+
+
+def app_main(app: str, argv: list[str] | None = None) -> int:
+    """Shared CLI for ``python -m repro.apps.<app>``.
+
+    Runs the app under every framework on the requested machine, checks
+    the results against the sequential reference, and prints speedups.
+    """
+    import argparse
+
+    from repro.bench import APPS, run_point, sequential_seconds, make_problem
+
+    parser = argparse.ArgumentParser(
+        prog=f"python -m repro.apps.{app}",
+        description=f"Run the {app} benchmark on the simulated cluster.",
+    )
+    parser.add_argument("--nodes", type=int, default=8)
+    parser.add_argument("--cores", type=int, default=16, help="cores per node")
+    parser.add_argument(
+        "--frameworks", default="cmpi,triolet,eden", help="comma-separated list"
+    )
+    args = parser.parse_args(argv)
+    if args.nodes < 1 or args.cores < 1:
+        parser.error("--nodes and --cores must be positive")
+    frameworks = [f.strip() for f in args.frameworks.split(",") if f.strip()]
+    unknown = set(frameworks) - set(APPS[app].runners)
+    if unknown:
+        parser.error(f"unknown frameworks: {sorted(unknown)}")
+
+    problem = make_problem(app)
+    seq_s, seq_value = sequential_seconds(app, problem)
+    print(f"{app}: sequential C reference = {seq_s:.1f} virtual s")
+    print(f"machine: {args.nodes} nodes x {args.cores} cores\n")
+    print(f"{'framework':<10}{'speedup':>10}{'elapsed (s)':>14}{'correct':>9}")
+    for fw in frameworks:
+        pt = run_point(
+            app,
+            fw,
+            args.nodes,
+            problem=problem,
+            reference=(seq_s, seq_value),
+            cores_per_node=args.cores,
+        )
+        if pt.failed:
+            print(f"{fw:<10}{'FAIL':>10}{'-':>14}{'-':>9}  ({pt.failed[:48]})")
+        else:
+            print(
+                f"{fw:<10}{pt.speedup:>9.1f}x{pt.elapsed:>14.4f}"
+                f"{str(pt.correct):>9}"
+            )
+    return 0

@@ -1,0 +1,22 @@
+"""cutcp: cutoff Coulombic potential on a 3-D grid (paper §4.5).
+
+"It computes the electrostatic potential induced by a collection of
+charged atoms at all points on a grid ...  The body of the computation is
+essentially a floating-point histogram: it loops over atoms, loops over
+nearby grid points, skips points that are not within distance c, and
+updates the grid at the remaining points."
+"""
+from repro.apps.cutcp.data import CutcpProblem, make_problem
+from repro.apps.cutcp.ref import solve_ref
+from repro.apps.cutcp.triolet import run_triolet
+from repro.apps.cutcp.eden import run_eden
+from repro.apps.cutcp.cmpi import run_cmpi_app
+
+__all__ = [
+    "CutcpProblem",
+    "make_problem",
+    "solve_ref",
+    "run_triolet",
+    "run_eden",
+    "run_cmpi_app",
+]

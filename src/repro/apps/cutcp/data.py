@@ -1,0 +1,95 @@
+"""cutcp problem generator.
+
+Atoms with charges in a periodic box, a regular potential grid, and a
+cutoff radius.  The grid-to-cutoff ratio matches Parboil's watbox
+configurations (cutoff ~ 12 A at 0.5 A grid spacing, i.e. each atom
+touches a few thousand grid points), so both the per-atom work and the
+output-array-dominated communication shape carry over.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: paper-scale instance: watbox-like, ~100k atoms, 208^3 grid points.
+NOMINAL_ATOMS = 100_000
+NOMINAL_GRID = (208, 208, 208)
+#: grid points *examined* per atom: the cutoff sphere's bounding box
+#: (the loop trip count of the C code; points outside the sphere are the
+#: "skips" the paper's irregular loop makes).
+NOMINAL_PTS_PER_ATOM = (2 * 12.0 / 0.5) ** 3  # ~110k
+
+
+@dataclass(frozen=True)
+class CutcpProblem:
+    atoms: np.ndarray  # (na, 4): x, y, z, q
+    grid_dim: tuple[int, int, int]  # (nz, ny, nx)
+    spacing: float  # grid spacing h
+    cutoff: float  # cutoff radius c
+    nominal_atoms: int = NOMINAL_ATOMS
+    nominal_grid: tuple[int, int, int] = NOMINAL_GRID
+
+    @property
+    def na(self) -> int:
+        return len(self.atoms)
+
+    @property
+    def grid_size(self) -> int:
+        nz, ny, nx = self.grid_dim
+        return nz * ny * nx
+
+    @property
+    def pts_per_atom(self) -> float:
+        """Grid points examined per atom (the cutoff sphere's bounding
+        box -- the inner loop's trip count)."""
+        return (2 * self.cutoff / self.spacing) ** 3
+
+    @property
+    def visits(self) -> float:
+        return self.na * self.pts_per_atom
+
+    @property
+    def nominal_visits(self) -> float:
+        return self.nominal_atoms * NOMINAL_PTS_PER_ATOM
+
+    @property
+    def compute_scale(self) -> float:
+        return self.nominal_visits / self.visits
+
+    @property
+    def wire_scale(self) -> float:
+        # Communication is dominated by the output grid (float32 in the
+        # paper's C code) plus the atom array.
+        nz, ny, nx = self.nominal_grid
+        nominal = nz * ny * nx * 4 + self.nominal_atoms * 16
+        sandbox = self.grid_size * 8 + self.na * 32
+        return nominal / sandbox
+
+
+def make_problem(
+    na: int = 300,
+    grid: tuple[int, int, int] = (24, 24, 24),
+    spacing: float = 1.0,
+    cutoff: float = 4.0,
+    seed: int = 0,
+) -> CutcpProblem:
+    """A seeded sandbox instance: uniform atoms in the grid's box."""
+    if na < 1:
+        raise ValueError("need at least one atom")
+    nz, ny, nx = grid
+    if min(grid) < 2:
+        raise ValueError("grid must be at least 2 points per axis")
+    rng = np.random.default_rng(seed)
+    pos = rng.uniform(
+        [0, 0, 0],
+        [(nz - 1) * spacing, (ny - 1) * spacing, (nx - 1) * spacing],
+        size=(na, 3),
+    )
+    q = rng.uniform(-1.0, 1.0, size=(na, 1))
+    return CutcpProblem(
+        atoms=np.hstack([pos, q]),
+        grid_dim=grid,
+        spacing=spacing,
+        cutoff=cutoff,
+    )

@@ -1,0 +1,18 @@
+"""Sequential reference for cutcp."""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.cutcp.data import CutcpProblem
+from repro.apps.cutcp.kernel import atom_contribution
+from repro.core import meter
+
+
+def solve_ref(p: CutcpProblem) -> np.ndarray:
+    """Potential grid: loop atoms, scatter each one's contributions."""
+    grid = np.zeros(p.grid_size)
+    for atom in p.atoms:
+        flat, s = atom_contribution(atom, p.grid_dim, p.spacing, p.cutoff)
+        np.add.at(grid, flat, s)
+        meter.tally_visits(1)  # the per-atom outer iteration
+    return grid.reshape(p.grid_dim)

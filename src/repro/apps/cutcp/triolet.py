@@ -1,0 +1,54 @@
+"""cutcp in Triolet (paper §1, §4.5).
+
+The §1 Haskell sketch::
+
+    floatHist [f a r | a <- atoms, r <- gridPts a]
+
+i.e. a floating-point histogram over a nested, variable-length traversal:
+atoms in parallel, each expanding to a dynamically determined set of
+nearby grid points.  Here the program is::
+
+    histogram(grid_size, map(contrib, par(atoms)))
+
+where ``contrib`` yields one atom's (grid indices, potentials) -- the
+hybrid-iterator machinery keeps the outer atom loop partitionable while
+the irregular inner loop stays fused into the histogram consumer.
+Per-task private grids are summed within nodes and then across the tree
+reduction; the cost of moving those large output arrays is what saturates
+the figure, and the per-task grid allocations are what the §4.5 GC
+observation is about.
+"""
+from __future__ import annotations
+
+from repro.apps.common import AppRun
+from repro.apps.cutcp.data import CutcpProblem
+from repro.apps.cutcp.kernel import atom_contribution
+from repro.cluster.machine import MachineSpec
+from repro.runtime import BOEHM_GC, AllocatorModel, CostContext, triolet_runtime
+from repro.serial import closure, register_function
+import repro.triolet as tri
+
+
+@register_function
+def _contrib(grid_dim, spacing, cutoff, atom):
+    return atom_contribution(atom, tuple(grid_dim), spacing, cutoff)
+
+
+def run_triolet(
+    p: CutcpProblem,
+    machine: MachineSpec,
+    costs: CostContext,
+    alloc: AllocatorModel = BOEHM_GC,
+) -> AppRun:
+    with triolet_runtime(machine, costs=costs, alloc=alloc) as rt:
+        contrib = closure(_contrib, list(p.grid_dim), p.spacing, p.cutoff)
+        grid = tri.histogram(
+            p.grid_size, tri.map(contrib, tri.par(p.atoms))
+        ).reshape(p.grid_dim)
+    return AppRun(
+        framework="triolet",
+        value=grid,
+        elapsed=rt.elapsed,
+        bytes_shipped=rt.total_bytes_shipped(),
+        detail={"gc_time": rt.total_gc_time()},
+    )

@@ -1,0 +1,20 @@
+"""mri-q: non-uniform 3-D inverse Fourier transform (paper §4.2).
+
+"The main loop of mri-q computes a non-uniform 3D inverse Fourier
+transform to create a 3D image ...  This consists of a parallel map over
+image pixels, summing contributions from all frequency-domain samples."
+"""
+from repro.apps.mriq.data import MriqProblem, make_problem
+from repro.apps.mriq.ref import solve_ref
+from repro.apps.mriq.triolet import run_triolet
+from repro.apps.mriq.eden import run_eden
+from repro.apps.mriq.cmpi import run_cmpi_app
+
+__all__ = [
+    "MriqProblem",
+    "make_problem",
+    "solve_ref",
+    "run_triolet",
+    "run_eden",
+    "run_cmpi_app",
+]

@@ -1,0 +1,78 @@
+"""mri-q problem generator.
+
+The Parboil datasets carry real k-space trajectories; we generate seeded
+random trajectories and pixel coordinates with the same shapes.  The
+compute shape (``npix x nk`` multiply-accumulate with sin/cos) and the
+communication shape (pixel coordinates partitioned, k-space samples
+replicated, complex image gathered) are what the figures depend on.
+
+``nominal_*`` give the paper-scale instance (sequential C in the 20-200 s
+window on one 2012 Xeon core); ``compute_scale``/``wire_scale`` map the
+sandbox-sized run onto it (DESIGN.md §5).
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: paper-scale instance: 64^3 image, 3072 k-space samples
+NOMINAL_NPIX = 64**3
+NOMINAL_NK = 3072
+
+
+@dataclass(frozen=True)
+class MriqProblem:
+    x: np.ndarray  # pixel coordinates, length npix
+    y: np.ndarray
+    z: np.ndarray
+    kx: np.ndarray  # k-space trajectory, length nk
+    ky: np.ndarray
+    kz: np.ndarray
+    mag: np.ndarray  # |phi_k|^2, length nk
+    nominal_npix: int = NOMINAL_NPIX
+    nominal_nk: int = NOMINAL_NK
+
+    @property
+    def npix(self) -> int:
+        return len(self.x)
+
+    @property
+    def nk(self) -> int:
+        return len(self.kx)
+
+    @property
+    def visits(self) -> int:
+        """Sandbox work: one visit per (pixel, sample) pair."""
+        return self.npix * self.nk
+
+    @property
+    def nominal_visits(self) -> int:
+        return self.nominal_npix * self.nominal_nk
+
+    @property
+    def compute_scale(self) -> float:
+        return self.nominal_visits / self.visits
+
+    @property
+    def wire_scale(self) -> float:
+        sandbox = (3 * self.npix + 4 * self.nk) * 8 + 16 * self.npix
+        nominal = (3 * self.nominal_npix + 4 * self.nominal_nk) * 8 + (
+            16 * self.nominal_npix
+        )
+        return nominal / sandbox
+
+
+def make_problem(
+    npix: int = 4096, nk: int = 256, seed: int = 0
+) -> MriqProblem:
+    """A seeded sandbox instance with realistic value distributions."""
+    if npix < 1 or nk < 1:
+        raise ValueError("npix and nk must be positive")
+    rng = np.random.default_rng(seed)
+    # Pixel coordinates span a normalized FOV, as in Parboil's datasets.
+    x, y, z = (rng.uniform(-0.5, 0.5, npix) for _ in range(3))
+    # k-space trajectory: radial-ish shells.
+    kx, ky, kz = (rng.uniform(-64.0, 64.0, nk) for _ in range(3))
+    mag = rng.uniform(0.0, 1.0, nk) ** 2
+    return MriqProblem(x=x, y=y, z=z, kx=kx, ky=ky, kz=kz, mag=mag)

@@ -1,0 +1,60 @@
+"""mri-q in Eden (paper §4.2).
+
+"In Eden, we build arrays in chunked form, as lists of 1k-element
+vectors, so that the runtime can distribute subarrays to processors while
+still benefiting from efficient array traversal."  Work items are pixel
+chunks; the k-space arrays are the farm payload, replicated to every
+*process* (not node -- Eden has no shared memory).  The straggler model
+reproduces "tasks occasionally run significantly slower than normal".
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.common import AppRun
+from repro.apps.mriq.data import MriqProblem
+from repro.apps.mriq.kernel import q_for_pixels
+from repro.baselines.eden import EdenRuntime, StragglerModel, chunk_array
+from repro.cluster.machine import MachineSpec
+from repro.core import meter
+from repro.runtime.costs import CostContext
+
+#: §4.2 observation: "tasks occasionally run significantly slower than
+#: normal.  With more nodes, it is more likely that a task will be
+#: delayed, reducing the observed scalability."
+MRIQ_STRAGGLER = StragglerModel(probability=0.04, min_factor=1.5, max_factor=3.0)
+
+
+def _work(item, payload):
+    idx, xc, yc, zc = item
+    kx, ky, kz, mag = payload
+    q = q_for_pixels(xc, yc, zc, kx, ky, kz, mag)
+    meter.tally_visits(len(xc))  # the per-pixel outer iterations
+    return (idx, q)
+
+
+def run_eden(
+    p: MriqProblem,
+    machine: MachineSpec,
+    costs: CostContext,
+    straggler: StragglerModel = MRIQ_STRAGGLER,
+) -> AppRun:
+    rt = EdenRuntime(machine, costs=costs, straggler=straggler)
+    # ~4 chunks per process so an occasional delayed task averages out
+    # instead of stretching a whole process's assignment.
+    chunk = max(1, min(1024, p.npix // max(1, 4 * rt.nprocs)))
+    xs = chunk_array(p.x, chunk)
+    ys = chunk_array(p.y, chunk)
+    zs = chunk_array(p.z, chunk)
+    items = [(i, xc, yc, zc) for i, (xc, yc, zc) in enumerate(zip(xs, ys, zs))]
+    payload = (p.kx, p.ky, p.kz, p.mag)
+    results = rt.map_collect(items, _work, payload, label="mriq")
+    results.sort(key=lambda t: t[0])
+    Q = np.concatenate([q for _, q in results])
+    return AppRun(
+        framework="eden",
+        value=Q,
+        elapsed=rt.elapsed,
+        bytes_shipped=sum(r.bytes_shipped for r in rt.runs),
+        detail={"chunks": len(items), "procs": rt.nprocs},
+    )

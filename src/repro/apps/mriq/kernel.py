@@ -1,0 +1,52 @@
+"""The mri-q numerical kernel, shared by every framework.
+
+``ftcoeff`` is the paper's per-(sample, pixel) contribution; the chunk
+form evaluates a block of pixels against all samples with numpy, which is
+how every framework's inner task runs (the paper's inner loops are tight
+native code in all three languages; the comparison lives in distribution
+and overhead, not in the arithmetic).
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import meter
+
+TWO_PI = 2.0 * np.pi
+
+
+def ftcoeff(kx, ky, kz, mag, x, y, z) -> complex:
+    """One sample's contribution to one pixel (scalar form)."""
+    phase = TWO_PI * (kx * x + ky * y + kz * z)
+    return complex(mag * np.cos(phase), mag * np.sin(phase))
+
+
+def q_for_pixels(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    zs: np.ndarray,
+    kx: np.ndarray,
+    ky: np.ndarray,
+    kz: np.ndarray,
+    mag: np.ndarray,
+) -> np.ndarray:
+    """Q values for a block of pixels: sum over all k-space samples.
+
+    Tallies ``len(xs) * len(kx)`` visits minus the ones the caller's
+    library already counted per pixel.
+    """
+    phase = TWO_PI * (
+        np.outer(xs, kx) + np.outer(ys, ky) + np.outer(zs, kz)
+    )
+    re = np.cos(phase) @ mag
+    im = np.sin(phase) @ mag
+    n = len(xs) * len(kx)
+    meter.tally_visits(max(0, n - len(xs)))
+    return re + 1j * im
+
+
+def q_for_one_pixel(x, y, z, kx, ky, kz, mag) -> complex:
+    """Q value of a single pixel (the Triolet element function)."""
+    phase = TWO_PI * (kx * x + ky * y + kz * z)
+    meter.tally_inner(len(kx))
+    return complex(np.cos(phase) @ mag, np.sin(phase) @ mag)

@@ -1,0 +1,23 @@
+"""Sequential reference for mri-q (the "sequential C" numerics)."""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.mriq.data import MriqProblem
+from repro.apps.mriq.kernel import q_for_pixels
+from repro.core import meter
+
+_CHUNK = 2048  # bound the npix x nk temporary
+
+
+def solve_ref(p: MriqProblem) -> np.ndarray:
+    """Q for every pixel; tallies exactly ``npix * nk`` visits."""
+    out = np.empty(p.npix, dtype=np.complex128)
+    for lo in range(0, p.npix, _CHUNK):
+        hi = min(lo + _CHUNK, p.npix)
+        out[lo:hi] = q_for_pixels(
+            p.x[lo:hi], p.y[lo:hi], p.z[lo:hi], p.kx, p.ky, p.kz, p.mag
+        )
+        # q_for_pixels leaves one visit per pixel to the caller's loop.
+        meter.tally_visits(hi - lo)
+    return out

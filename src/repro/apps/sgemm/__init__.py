@@ -1,0 +1,22 @@
+"""sgemm: scaled dense matrix multiply (paper §4.3).
+
+"The scaled product alpha*A*B of two 4k by 4k-element matrices is
+computed in sgemm.  We parallelize the multiplication after transposing
+matrices so that the innermost loop accesses contiguous matrix elements."
+All versions use the 2-D block decomposition that sends each worker only
+the input matrix rows it needs.
+"""
+from repro.apps.sgemm.data import SgemmProblem, make_problem
+from repro.apps.sgemm.ref import solve_ref
+from repro.apps.sgemm.triolet import run_triolet
+from repro.apps.sgemm.eden import run_eden
+from repro.apps.sgemm.cmpi import run_cmpi_app
+
+__all__ = [
+    "SgemmProblem",
+    "make_problem",
+    "solve_ref",
+    "run_triolet",
+    "run_eden",
+    "run_cmpi_app",
+]

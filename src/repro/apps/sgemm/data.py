@@ -1,0 +1,64 @@
+"""sgemm problem generator.
+
+The paper multiplies two 4096 x 4096 single-precision matrices.  The
+sandbox instance is a smaller square product with the same structure;
+``compute_scale`` maps the n*m*k multiply-accumulate count and
+``wire_scale`` the matrix-row byte volumes onto the 4k x 4k instance.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+NOMINAL_N = 4096  # paper: 4k x 4k matrices
+
+
+@dataclass(frozen=True)
+class SgemmProblem:
+    A: np.ndarray  # n x k
+    B: np.ndarray  # k x m
+    alpha: float
+    nominal_n: int = NOMINAL_N
+
+    @property
+    def n(self) -> int:
+        return self.A.shape[0]
+
+    @property
+    def k(self) -> int:
+        return self.A.shape[1]
+
+    @property
+    def m(self) -> int:
+        return self.B.shape[1]
+
+    @property
+    def visits(self) -> int:
+        """Multiply-accumulates plus the transpose's element moves."""
+        return self.n * self.m * self.k + self.k * self.m
+
+    @property
+    def nominal_visits(self) -> int:
+        return self.nominal_n**3 + self.nominal_n**2
+
+    @property
+    def compute_scale(self) -> float:
+        return self.nominal_visits / self.visits
+
+    @property
+    def wire_scale(self) -> float:
+        # Matrices are float32 in the paper; bytes scale with n^2.
+        sandbox = (self.n * self.k + self.k * self.m + self.n * self.m) * self.A.dtype.itemsize
+        nominal = 3 * self.nominal_n**2 * 4
+        return nominal / sandbox
+
+
+def make_problem(n: int = 96, alpha: float = 1.5, seed: int = 0) -> SgemmProblem:
+    """A seeded square sandbox instance (``n x n`` times ``n x n``)."""
+    if n < 1:
+        raise ValueError("matrix extent must be positive")
+    rng = np.random.default_rng(seed)
+    A = rng.standard_normal((n, n))
+    B = rng.standard_normal((n, n))
+    return SgemmProblem(A=A, B=B, alpha=alpha)

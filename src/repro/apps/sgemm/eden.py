@@ -1,0 +1,67 @@
+"""sgemm in Eden (paper §4.3).
+
+Two observations from the paper, both reproduced here:
+
+* "Transposition is a sequential bottleneck in Eden since it does too
+  little work to parallelize profitably on distributed memory ...  At 128
+  cores, transposition takes 35% of Eden's execution time."  The
+  transpose runs at the main process.
+* "The Eden code fails at 2 nodes because the array data is too large for
+  Eden's message-passing runtime to buffer."  Work items embody their
+  A-rows and BT-rows (Eden cannot slice lazily); the per-node bundles the
+  two-level skeleton sends exceed the runtime's message buffer once they
+  cross the network, raising :class:`BufferOverflowError`.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.common import AppRun, failure
+from repro.apps.sgemm.data import SgemmProblem
+from repro.apps.sgemm.kernel import block_product, transpose_elements
+from repro.baselines.eden import EdenRuntime
+from repro.cluster.limits import BufferOverflowError
+from repro.cluster.machine import MachineSpec
+from repro.partition import block2d_bounds, grid_shape
+from repro.runtime.costs import CostContext
+
+
+def _work(item, _payload):
+    block_id, a_rows, bt_rows, alpha = item
+    return (block_id, block_product(a_rows, bt_rows, alpha))
+
+
+def run_eden(
+    p: SgemmProblem, machine: MachineSpec, costs: CostContext
+) -> AppRun:
+    rt = EdenRuntime(machine, costs=costs)
+
+    # Sequential transposition at the main process (the §4.3 bottleneck).
+    BT = rt.run_sequential(lambda: transpose_elements(p.B), label="transpose")
+    transpose_time = rt.elapsed
+
+    # 2-D block decomposition with the data embodied in each work item.
+    py, px = grid_shape(rt.nprocs, p.n, p.m)
+    blocks = block2d_bounds(p.n, p.m, py, px)
+    items = [
+        (bid, p.A[ylo:yhi], BT[xlo:xhi], p.alpha)
+        for bid, ((ylo, yhi), (xlo, xhi)) in enumerate(blocks)
+    ]
+    try:
+        results = rt.map_collect(items, _work, payload=None, label="sgemm")
+    except BufferOverflowError as e:
+        return failure("eden", f"message buffer overflow: {e}")
+    results.sort(key=lambda t: t[0])
+    AB = np.block(
+        [
+            [results[r * px + c][1] for c in range(px)]
+            for r in range(py)
+        ]
+    )
+    return AppRun(
+        framework="eden",
+        value=AB,
+        elapsed=rt.elapsed,
+        bytes_shipped=sum(r.bytes_shipped for r in rt.runs),
+        detail={"transpose_time": transpose_time, "grid": (py, px)},
+    )

@@ -1,0 +1,13 @@
+"""Sequential reference for sgemm."""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.sgemm.data import SgemmProblem
+from repro.apps.sgemm.kernel import block_product, transpose_elements
+
+
+def solve_ref(p: SgemmProblem) -> np.ndarray:
+    """alpha*A*B via the transposed inner kernel; tallies n*m*k + k*m."""
+    BT = transpose_elements(p.B)
+    return block_product(p.A, BT, p.alpha)

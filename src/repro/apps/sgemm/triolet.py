@@ -1,0 +1,67 @@
+"""sgemm in Triolet (paper §2, §4.3).
+
+The decomposition is the paper's two-liner::
+
+    zipped_AB = outerproduct(rows(A), rows(BT))
+    AB = [dot(u, v) for (u, v) in par(zipped_AB)]
+
+plus the transposition, "parallelize[d] over shared memory on a single
+node" with ``localpar``.  The 2-D block distribution and per-block row
+shipping fall out of the outer-product source's slice method -- no
+explicit partitioning code.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.common import AppRun
+from repro.apps.sgemm.data import SgemmProblem
+from repro.apps.sgemm.kernel import row_dot
+from repro.cluster.machine import MachineSpec
+from repro.runtime import BOEHM_GC, AllocatorModel, CostContext, triolet_runtime
+from repro.serial import closure, register_function
+import repro.triolet as tri
+
+
+@register_function
+def _transpose_elem(B, yx):
+    y, x = yx
+    return B[x, y]
+
+
+@register_function
+def _dot_elem(alpha, uv):
+    u, v = uv
+    return row_dot(u, v, alpha)
+
+
+def run_triolet(
+    p: SgemmProblem,
+    machine: MachineSpec,
+    costs: CostContext,
+    alloc: AllocatorModel = BOEHM_GC,
+) -> AppRun:
+    with triolet_runtime(machine, costs=costs, alloc=alloc) as rt:
+        # Transposition does too little work per byte for distributed
+        # memory; localpar uses one node's cores over shared memory.
+        BT = tri.build(
+            tri.map(
+                closure(_transpose_elem, p.B),
+                tri.localpar(tri.arrayRange((p.m, p.k))),
+            )
+        )
+        transpose_time = rt.elapsed
+
+        zipped_AB = tri.outerproduct(tri.rows(p.A), tri.rows(BT))
+        AB = tri.build(tri.map(closure(_dot_elem, p.alpha), tri.par(zipped_AB)))
+    return AppRun(
+        framework="triolet",
+        value=np.asarray(AB),
+        elapsed=rt.elapsed,
+        bytes_shipped=rt.total_bytes_shipped(),
+        detail={
+            "transpose_time": transpose_time,
+            "partition": rt.last_section.partition,
+            "gc_time": rt.total_gc_time(),
+        },
+    )

@@ -1,0 +1,24 @@
+"""tpacf: two-point angular correlation function (paper §4.4).
+
+"The tpacf application analyzes the angular distribution of observed
+astronomical objects.  It uses histogramming and nested traversals ...
+Three histograms are computed using different inputs.  One loop compares
+an observed data set with itself [DD]; one compares it with several
+random data sets [DR]; and one compares each random data set with itself
+[RR].  We parallelize across data sets and across elements of a data
+set."
+"""
+from repro.apps.tpacf.data import TpacfProblem, make_problem
+from repro.apps.tpacf.ref import solve_ref
+from repro.apps.tpacf.triolet import run_triolet
+from repro.apps.tpacf.eden import run_eden
+from repro.apps.tpacf.cmpi import run_cmpi_app
+
+__all__ = [
+    "TpacfProblem",
+    "make_problem",
+    "solve_ref",
+    "run_triolet",
+    "run_eden",
+    "run_cmpi_app",
+]

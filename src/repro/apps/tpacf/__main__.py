@@ -1,0 +1,7 @@
+"""CLI: ``python -m repro.apps.tpacf`` -- run this benchmark."""
+import sys
+
+from repro.apps.common import app_main
+
+if __name__ == "__main__":
+    sys.exit(app_main("tpacf"))

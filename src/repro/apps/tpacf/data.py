@@ -1,0 +1,78 @@
+"""tpacf problem generator.
+
+Sky catalogs as unit vectors on the sphere: one observed set and ``nr``
+random sets of ``m`` points each.  Parboil's large input uses ~100 random
+sets of a few thousand points; the sandbox instance shrinks ``m`` (work
+is quadratic in it) and ``nr`` proportionally.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+NOMINAL_M = 4096
+NOMINAL_NR = 100
+DEFAULT_NBINS = 20
+
+
+@dataclass(frozen=True)
+class TpacfProblem:
+    obs: np.ndarray  # (m, 3) unit vectors
+    rands: np.ndarray  # (nr, m, 3) unit vectors
+    nbins: int
+    nominal_m: int = NOMINAL_M
+    nominal_nr: int = NOMINAL_NR
+
+    @property
+    def m(self) -> int:
+        return self.obs.shape[0]
+
+    @property
+    def nr(self) -> int:
+        return self.rands.shape[0]
+
+    @staticmethod
+    def _work(m: int, nr: int) -> int:
+        dd = m * (m - 1) // 2
+        rr = nr * (m * (m - 1) // 2)
+        dr = nr * m * m
+        return dd + rr + dr
+
+    @property
+    def visits(self) -> int:
+        return self._work(self.m, self.nr)
+
+    @property
+    def nominal_visits(self) -> int:
+        return self._work(self.nominal_m, self.nominal_nr)
+
+    @property
+    def compute_scale(self) -> float:
+        return self.nominal_visits / self.visits
+
+    @property
+    def wire_scale(self) -> float:
+        sandbox = (1 + self.nr) * self.m * 3 * 8
+        nominal = (1 + self.nominal_nr) * self.nominal_m * 3 * 8
+        return nominal / sandbox
+
+
+def _unit_vectors(rng: np.random.Generator, m: int) -> np.ndarray:
+    v = rng.standard_normal((m, 3))
+    return v / np.linalg.norm(v, axis=1, keepdims=True)
+
+
+def make_problem(
+    m: int = 96, nr: int = 12, nbins: int = DEFAULT_NBINS, seed: int = 0
+) -> TpacfProblem:
+    """A seeded sandbox instance (uniform sky; clustering is irrelevant to
+    the performance shape)."""
+    if m < 2 or nr < 1:
+        raise ValueError("need m >= 2 points and nr >= 1 random sets")
+    rng = np.random.default_rng(seed)
+    return TpacfProblem(
+        obs=_unit_vectors(rng, m),
+        rands=np.stack([_unit_vectors(rng, m) for _ in range(nr)]),
+        nbins=nbins,
+    )

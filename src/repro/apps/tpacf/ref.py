@@ -1,0 +1,18 @@
+"""Sequential reference for tpacf: the three histograms DD, DR, RR."""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.tpacf.data import TpacfProblem
+from repro.apps.tpacf.kernel import correlate_cross, correlate_self
+
+
+def solve_ref(p: TpacfProblem) -> dict[str, np.ndarray]:
+    """The three correlation histograms of §4.4."""
+    dd = correlate_self(p.nbins, p.obs)
+    dr = np.zeros(p.nbins)
+    rr = np.zeros(p.nbins)
+    for r in range(p.nr):
+        dr += correlate_cross(p.nbins, p.rands[r], p.obs)
+        rr += correlate_self(p.nbins, p.rands[r])
+    return {"dd": dd, "dr": dr, "rr": rr}

@@ -1,0 +1,118 @@
+"""tpacf in Triolet, mirroring the paper's Fig. 6 listing.
+
+::
+
+    def correlation(size, pairs):
+        values = (score(size, u, v) for (u, v) in pairs)
+        return histogram(size, values)
+
+    def randomSetsCorrelation(size, corr1, rands):
+        ...
+        return reduce(add, empty, par(corr1(r) for r in rands))
+
+    def selfCorrelations(size, obs, rands):
+        def corr1(rand):
+            indexed_rand = zip(indices(domain(rand)), rand)
+            pairs = localpar((u, v) for (i, u) in indexed_rand
+                                    for v in rand[i+1:])
+            return correlation(size, pairs)
+        return randomSetsCorrelation(size, corr1, rands)
+
+The structure is identical here: ``par`` over the random data sets (whose
+rows the sliced array source distributes), ``localpar`` over the
+triangular pair loop inside each set, and per-thread private histograms
+summed up the reduction tree.  The inner pair loop scores one row against
+the remaining rows vectorized (the role the paper's compiler plays in
+turning the fused comprehension into tight code).
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.common import AppRun
+from repro.apps.tpacf.data import TpacfProblem
+from repro.apps.tpacf.kernel import row_bins
+from repro.cluster.machine import MachineSpec
+from repro.runtime import BOEHM_GC, AllocatorModel, CostContext, triolet_runtime
+from repro.serial import closure, register_function
+import repro.triolet as tri
+
+
+@register_function
+def _self_pairs_row(nbins, rand, iu):
+    """Score row *i* of ``rand`` against rows ``i+1:`` (triangular loop).
+
+    The library's reduction loop tallies the row visit; ``row_bins``
+    tallies the vectorized inner pairs.
+    """
+    i, u = iu
+    return row_bins(nbins, u, rand[i + 1 :])
+
+
+@register_function
+def _cross_pairs_row(nbins, other, iu):
+    """Score one row against every row of the *other* set."""
+    _i, u = iu
+    return row_bins(nbins, u, other)
+
+
+def correlation(size: int, pair_bins_iter) -> np.ndarray:
+    """Fig. 6 lines 1-4: histogram the scored pairs."""
+    return tri.histogram(size, pair_bins_iter)
+
+
+def self_correlation(size: int, rand: np.ndarray) -> np.ndarray:
+    """Fig. 6's corr1: the localpar triangular pair loop of one set."""
+    indexed_rand = tri.zip(tri.indices(tri.domain(rand)), tri.iterate(rand))
+    pairs = tri.map(closure(_self_pairs_row, size, rand), tri.localpar(indexed_rand))
+    return correlation(size, pairs)
+
+
+def cross_correlation(size: int, rand: np.ndarray, obs: np.ndarray) -> np.ndarray:
+    indexed_rand = tri.zip(tri.indices(tri.domain(rand)), tri.iterate(rand))
+    pairs = tri.map(closure(_cross_pairs_row, size, obs), tri.localpar(indexed_rand))
+    return correlation(size, pairs)
+
+
+@register_function
+def _corr1_self(nbins, rand):
+    return self_correlation(nbins, rand)
+
+
+@register_function
+def _corr1_cross(nbins, obs, rand):
+    return cross_correlation(nbins, rand, obs)
+
+
+def random_sets_correlation(size: int, corr1, rands: np.ndarray) -> np.ndarray:
+    """Fig. 6 lines 6-11: parallel reduction of per-set histograms."""
+    hists = tri.map(corr1, tri.par(rands))
+    return tri.sum(hists, zero=np.zeros(size))
+
+
+def run_triolet(
+    p: TpacfProblem,
+    machine: MachineSpec,
+    costs: CostContext,
+    alloc: AllocatorModel = BOEHM_GC,
+) -> AppRun:
+    with triolet_runtime(machine, costs=costs, alloc=alloc) as rt:
+        # DD: the observed set against itself, parallel over its rows.
+        indexed_obs = tri.zip(tri.indices(tri.domain(p.obs)), tri.iterate(p.obs))
+        dd = correlation(
+            p.nbins,
+            tri.map(closure(_self_pairs_row, p.nbins, p.obs), tri.par(indexed_obs)),
+        )
+        # DR: each random set against the observed set.
+        dr = random_sets_correlation(
+            p.nbins, closure(_corr1_cross, p.nbins, p.obs), p.rands
+        )
+        # RR: each random set against itself.
+        rr = random_sets_correlation(p.nbins, closure(_corr1_self, p.nbins), p.rands)
+    return AppRun(
+        framework="triolet",
+        value={"dd": dd, "dr": dr, "rr": rr},
+        elapsed=rt.elapsed,
+        bytes_shipped=rt.total_bytes_shipped(),
+        detail={"gc_time": rt.total_gc_time()},
+    )

@@ -1,0 +1,12 @@
+"""Reference implementations the paper compares against.
+
+* :mod:`repro.baselines.seqc` -- "sequential C": straight numpy kernels
+  plus the work accounting that anchors every speedup figure.
+* :mod:`repro.baselines.eden` -- an Eden-like distributed functional
+  skeleton framework: flat process-per-core model, no shared memory,
+  whole-data closure shipping, chunked-list arrays, GHC-style GC, a
+  bounded message buffer, and occasional straggler tasks (§4.1).
+* :mod:`repro.baselines.cmpi` -- C+MPI+OpenMP-like rank programs with
+  explicit partitioning and static intra-node scheduling; the
+  low-overhead reference point (§4).
+"""

@@ -1,0 +1,16 @@
+"""C+MPI+OpenMP-like reference implementations.
+
+"As a highly efficient implementation layer, the C+MPI+OpenMP serves as a
+useful reference point against which to evaluate the scalability and
+parallel overhead of the high-level languages."  (paper §4)
+
+Rank programs are written directly against the simulated communicator
+(one MPI rank per node), move arrays over the buffer-protocol fast path,
+partition data with explicit index arithmetic -- the verbosity the paper
+remarks on -- and model OpenMP as a static ``parallel for`` within the
+node (:mod:`repro.baselines.cmpi.openmp`).
+"""
+from repro.baselines.cmpi.runtime import CmpiResult, run_cmpi
+from repro.baselines.cmpi.openmp import omp_parallel_for
+
+__all__ = ["CmpiResult", "run_cmpi", "omp_parallel_for"]

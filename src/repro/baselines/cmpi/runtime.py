@@ -1,0 +1,51 @@
+"""Launcher for C+MPI+OpenMP-style rank programs."""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.cluster.machine import MachineSpec
+from repro.cluster.metrics import RunMetrics
+from repro.cluster.process import run_spmd
+from repro.runtime.costs import CostContext
+from repro.runtime.gc_model import LIBC_MALLOC
+
+
+@dataclass
+class CmpiResult:
+    """Outcome of one C+MPI+OpenMP run."""
+
+    value: Any
+    makespan: float
+    metrics: RunMetrics
+    bytes_shipped: int
+
+
+def run_cmpi(
+    machine: MachineSpec,
+    rank_fn: Callable[..., Any],
+    costs: CostContext,
+    args: Sequence[Any] = (),
+    nodes: int | None = None,
+) -> CmpiResult:
+    """Run ``rank_fn(comm, costs, *args)`` with one MPI rank per node.
+
+    C code allocates with libc malloc (near-free in the model, per the
+    paper's GC comparison) and has no message-size limits.
+    """
+    nranks = machine.nodes if nodes is None else nodes
+    res = run_spmd(
+        machine,
+        rank_fn,
+        nranks=nranks,
+        args=(costs, *args),
+        ranks_per_node=1,
+        alloc_cost=LIBC_MALLOC,
+        wire_scale=costs.wire_scale,
+    )
+    return CmpiResult(
+        value=res.root_result,
+        makespan=res.makespan,
+        metrics=res.metrics,
+        bytes_shipped=res.metrics.bytes_sent,
+    )

@@ -1,0 +1,27 @@
+"""An Eden-like distributed functional skeleton framework (paper §4.1).
+
+Eden is a distributed extension of GHC Haskell: processes do not share
+memory, closures ship with *all* data they reference, arrays are boxed
+unless manually chunked, and the message-passing runtime buffers whole
+messages.  This baseline reproduces those mechanisms on the simulated
+cluster so the paper's Eden curves can be regenerated:
+
+* flat process-per-core model (every core is equally remote);
+* the §4.1 two-level distribution workaround (main -> node leader ->
+  node-local workers) to avoid the main-process star bottleneck;
+* whole-payload replication to every process (no slicing, no sharing);
+* chunked-list arrays (:mod:`repro.baselines.eden.chunked`);
+* GHC-style GC cost model and a bounded inter-node message buffer;
+* a seeded straggler model ("tasks occasionally run significantly slower
+  than normal").
+"""
+from repro.baselines.eden.runtime import EdenRuntime, StragglerModel
+from repro.baselines.eden.chunked import chunk_array, unchunk, chunked_nbytes
+
+__all__ = [
+    "EdenRuntime",
+    "StragglerModel",
+    "chunk_array",
+    "unchunk",
+    "chunked_nbytes",
+]

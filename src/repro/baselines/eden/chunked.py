@@ -1,0 +1,40 @@
+"""Chunked arrays: the §4.2 Eden idiom.
+
+"In Eden, we build arrays in chunked form, as lists of 1k-element
+vectors, so that the runtime can distribute subarrays to processors while
+still benefiting from efficient array traversal."
+
+A chunked array is a plain Python list of contiguous numpy vectors.  The
+list spine is boxed (it costs per-cell overhead on the wire and in GC),
+but the payload stays unboxed -- the compromise the paper's Eden code
+makes.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.serial.sizeof import BOXED_CELL_BYTES
+
+DEFAULT_CHUNK = 1024
+
+
+def chunk_array(arr: np.ndarray, chunk: int = DEFAULT_CHUNK) -> list[np.ndarray]:
+    """Split *arr* along axis 0 into vectors of at most *chunk* elements."""
+    if chunk < 1:
+        raise ValueError(f"chunk must be positive, got {chunk}")
+    n = len(arr)
+    return [arr[lo : min(lo + chunk, n)] for lo in range(0, n, chunk)] or [arr[:0]]
+
+
+def unchunk(chunks: list[np.ndarray]) -> np.ndarray:
+    """Reassemble a chunked array."""
+    if not chunks:
+        raise ValueError("cannot unchunk an empty list")
+    return np.concatenate(chunks, axis=0)
+
+
+def chunked_nbytes(chunks: list[np.ndarray]) -> int:
+    """Wire bytes of a chunked array: payload plus boxed list spine."""
+    return sum(c.size * c.dtype.itemsize for c in chunks) + BOXED_CELL_BYTES * len(
+        chunks
+    )

@@ -1,0 +1,271 @@
+"""The Eden-like runtime: flat processes, whole-data shipping, stragglers.
+
+Work distribution follows the paper's §4.1 workaround: "The main process
+distributes work to one process in each node, which further distributes
+work to other processes in the same node.  This avoids the communication
+bottleneck with the main process in Eden's skeleton library, where the
+main process directly communicates with all other processes."
+
+Key differences from the Triolet runtime, all of which show up in the
+virtual clocks:
+
+* one process per **core** (``ranks_per_node = cores_per_node``): no
+  shared memory, so common payloads are serialized once per *process*
+  rather than once per node;
+* work items ship with their data embodied (no source slicing): the app
+  code must chunk manually, and anything it forgets to chunk replicates;
+* the inter-node message buffer is bounded (``EDEN_LIMITS``), failing
+  exactly the way sgemm fails at >=2 nodes in §4.3;
+* a seeded straggler model occasionally multiplies a task's duration
+  (§4.2: "tasks occasionally run significantly slower than normal.  With
+  more nodes, it is more likely that a task will be delayed").
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.cluster.comm import Comm
+from repro.cluster.limits import EDEN_LIMITS, RuntimeLimits
+from repro.cluster.machine import MachineSpec
+from repro.cluster.metrics import RunMetrics
+from repro.cluster.process import run_spmd
+from repro.cluster.simclock import VirtualClock
+from repro.core import meter
+from repro.partition import block_bounds
+from repro.runtime.costs import CostContext
+from repro.runtime.gc_model import GHC_GC, AllocatorModel
+
+def _result_nbytes(result: Any) -> int:
+    if isinstance(result, np.ndarray):
+        return result.size * result.dtype.itemsize
+    if isinstance(result, tuple):
+        return sum(_result_nbytes(r) for r in result)
+    from repro.serial.sizeof import transitive_size
+
+    return transitive_size(result)
+
+
+_WORK_TAG = 301
+_FWD_TAG = 302
+_RESULT_TAG = 303
+_UP_TAG = 304
+
+
+@dataclass(frozen=True)
+class StragglerModel:
+    """Occasional task delays, seeded and deterministic per run."""
+
+    probability: float = 0.0
+    min_factor: float = 2.0
+    max_factor: float = 6.0
+    seed: int = 0
+
+    def factor(self, rng: np.random.Generator) -> float:
+        if self.probability <= 0.0:
+            return 1.0
+        if rng.random() < self.probability:
+            return float(rng.uniform(self.min_factor, self.max_factor))
+        return 1.0
+
+
+@dataclass
+class EdenRunRecord:
+    label: str
+    makespan: float
+    metrics: RunMetrics | None
+    bytes_shipped: int = 0
+
+
+class EdenRuntime:
+    """Eden-style skeleton execution on the simulated cluster."""
+
+    def __init__(
+        self,
+        machine: MachineSpec,
+        costs: CostContext | None = None,
+        alloc: AllocatorModel = GHC_GC,
+        limits: RuntimeLimits = EDEN_LIMITS,
+        straggler: StragglerModel | None = None,
+    ):
+        self.machine = machine
+        self.costs = costs if costs is not None else CostContext()
+        self.alloc = alloc
+        self.limits = limits
+        self.straggler = straggler if straggler is not None else StragglerModel()
+        self.clock = VirtualClock()
+        self.runs: list[EdenRunRecord] = []
+
+    @property
+    def elapsed(self) -> float:
+        return self.clock.now
+
+    @property
+    def nprocs(self) -> int:
+        return self.machine.nodes * self.machine.cores_per_node
+
+    # -- sequential main-process work (e.g. sgemm's transpose, §4.3) ------
+
+    def run_sequential(self, fn: Callable[[], Any], label: str = "seq") -> Any:
+        with meter.metered() as m:
+            out = fn()
+        dt = self.costs.task_seconds(m)
+        self.clock.advance(dt)
+        self.runs.append(EdenRunRecord(label=label, makespan=dt, metrics=None))
+        return out
+
+    # -- the map/reduce farm skeleton -----------------------------------------
+
+    def map_reduce(
+        self,
+        items: Sequence[Any],
+        workfn: Callable[[Any, Any], Any],
+        combine: Callable[[Any, Any], Any],
+        payload: Any = None,
+        label: str = "map_reduce",
+    ) -> Any:
+        """Two-level farm: distribute *items*, reduce results with *combine*.
+
+        Every process receives its block of items **and a full copy of
+        payload** -- whole-data semantics.  Returns the combined result at
+        the main process (items must be non-empty).
+        """
+        outs = self._farm(items, workfn, payload, combine=combine, label=label)
+        return outs
+
+    def map_collect(
+        self,
+        items: Sequence[Any],
+        workfn: Callable[[Any, Any], Any],
+        payload: Any = None,
+        label: str = "map_collect",
+    ) -> list:
+        """Two-level farm preserving per-item results in item order."""
+        return self._farm(items, workfn, payload, combine=None, label=label)
+
+    # -- implementation ---------------------------------------------------------
+
+    def _farm(
+        self,
+        items: Sequence[Any],
+        workfn: Callable,
+        payload: Any,
+        combine: Callable | None,
+        label: str,
+    ) -> Any:
+        if not items:
+            raise ValueError("Eden farm needs at least one work item")
+        items = list(items)
+        cores = self.machine.cores_per_node
+        nprocs = min(self.nprocs, len(items))
+        nodes_used = (nprocs + cores - 1) // cores
+        proc_blocks = block_bounds(len(items), nprocs)
+        costs = self.costs
+        straggler = self.straggler
+        run_seed = self.straggler.seed + len(self.runs)
+
+        def is_leader(rank: int) -> bool:
+            return rank % cores == 0
+
+        def leader_of(rank: int) -> int:
+            return (rank // cores) * cores
+
+        def rank_fn(comm: Comm):
+            rank = comm.rank
+            # ---- downward distribution (main -> leaders -> workers) ----
+            if rank == 0:
+                for node in range(nodes_used):
+                    lo_rank = node * cores
+                    hi_rank = min(lo_rank + cores, nprocs)
+                    bundle = [
+                        (r, items[proc_blocks[r][0] : proc_blocks[r][1]], payload)
+                        for r in range(lo_rank, hi_rank)
+                    ]
+                    if node == 0:
+                        my_bundle = bundle
+                    else:
+                        comm.send(bundle, lo_rank, _WORK_TAG)
+                bundle = my_bundle
+            elif is_leader(rank):
+                bundle = comm.recv(0, _WORK_TAG)
+            else:
+                bundle = None
+            if is_leader(rank):
+                my_items, my_payload = None, None
+                for r, its, pl in bundle:
+                    if r == rank:
+                        my_items, my_payload = its, pl
+                    else:
+                        comm.send((its, pl), r, _FWD_TAG)
+            else:
+                my_items, my_payload = comm.recv(leader_of(rank), _FWD_TAG)
+
+            # ---- local work, with straggler noise -----------------------
+            rng = np.random.default_rng((run_seed * 1009 + rank) & 0x7FFFFFFF)
+            results = []
+            for item in my_items:
+                with meter.metered() as m:
+                    results.append(workfn(item, my_payload))
+                dt = costs.task_seconds(m) * straggler.factor(rng)
+                comm.compute(dt)
+                # GHC heap allocation of the task's result (paper-scaled).
+                comm.alloc(
+                    int(_result_nbytes(results[-1]) * costs.wire_scale)
+                )
+
+            # ---- upward collection (workers -> leader -> main) ----------
+            if combine is not None:
+                acc = results[0] if results else None
+                for r in results[1:]:
+                    acc = combine(acc, r)
+                if not is_leader(rank):
+                    comm.send(acc, leader_of(rank), _RESULT_TAG)
+                    return None
+                for r in range(rank + 1, min(rank + cores, nprocs)):
+                    sub = comm.recv(r, _RESULT_TAG)
+                    if sub is not None:
+                        acc = sub if acc is None else combine(acc, sub)
+                if rank != 0:
+                    comm.send(acc, 0, _UP_TAG)
+                    return None
+                for node in range(1, nodes_used):
+                    sub = comm.recv(node * cores, _UP_TAG)
+                    if sub is not None:
+                        acc = sub if acc is None else combine(acc, sub)
+                return acc
+            # collect variant: preserve order
+            if not is_leader(rank):
+                comm.send(results, leader_of(rank), _RESULT_TAG)
+                return None
+            node_results = list(results)
+            for r in range(rank + 1, min(rank + cores, nprocs)):
+                node_results.extend(comm.recv(r, _RESULT_TAG))
+            if rank != 0:
+                comm.send(node_results, 0, _UP_TAG)
+                return None
+            all_results = list(node_results)
+            for node in range(1, nodes_used):
+                all_results.extend(comm.recv(node * cores, _UP_TAG))
+            return all_results
+
+        res = run_spmd(
+            self.machine,
+            rank_fn,
+            nranks=nprocs,
+            ranks_per_node=cores,
+            limits=self.limits,
+            alloc_cost=self.alloc,
+            wire_scale=self.costs.wire_scale,
+        )
+        self.clock.advance(res.makespan)
+        self.runs.append(
+            EdenRunRecord(
+                label=label,
+                makespan=res.makespan,
+                metrics=res.metrics,
+                bytes_shipped=res.metrics.bytes_sent,
+            )
+        )
+        return res.root_result

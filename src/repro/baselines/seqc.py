@@ -1,0 +1,40 @@
+"""The "sequential C" reference point.
+
+Every figure in §4 normalizes performance as *speedup over sequential C*.
+Numerically, sequential C is each app's straight numpy kernel
+(``apps/<app>/ref.py``); temporally, it is the app's total element-visit
+count times the calibrated per-visit time of C code for that kernel
+(:mod:`repro.bench.calibrate` documents the constants against Fig. 3).
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.core import meter
+from repro.runtime.costs import CostContext
+
+
+@dataclass(frozen=True)
+class SeqCResult:
+    """One sequential-C run: the real value and its modelled time."""
+
+    value: Any
+    visits: int
+    seconds: float
+
+
+def run_seqc(kernel: Callable[[], Any], costs: CostContext) -> SeqCResult:
+    """Execute *kernel* (a numpy reference), metering its element visits.
+
+    Kernels tally their inner-loop work on the ambient meter (vectorized
+    code calls :func:`repro.core.meter.tally_visits` with array sizes), so
+    the modelled time reflects the work actually done.
+    """
+    with meter.metered() as m:
+        value = kernel()
+    return SeqCResult(
+        value=value,
+        visits=m.visits,
+        seconds=costs.task_seconds(m),
+    )

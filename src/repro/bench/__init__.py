@@ -1,0 +1,33 @@
+"""Benchmark harness regenerating the paper's evaluation (§4).
+
+* :mod:`repro.bench.calibrate` -- the calibrated constants (documented
+  against Fig. 3 and the testbed) converting measured loop statistics to
+  virtual seconds per framework and app.
+* :mod:`repro.bench.harness` -- runs (app x framework x node count),
+  checks numerical correctness against the sequential reference, and
+  produces the speedup series of Figs. 4/5/7/8 and the sequential-time
+  table of Fig. 3.
+"""
+from repro.bench.harness import (
+    APPS,
+    AppSpec,
+    SpeedupPoint,
+    figure3_rows,
+    make_problem,
+    run_point,
+    scaling_series,
+    sequential_seconds,
+    render_series,
+)
+
+__all__ = [
+    "APPS",
+    "AppSpec",
+    "SpeedupPoint",
+    "figure3_rows",
+    "make_problem",
+    "run_point",
+    "scaling_series",
+    "sequential_seconds",
+    "render_series",
+]

@@ -1,0 +1,69 @@
+"""Calibrated model constants, documented against the paper.
+
+What is measured vs. modelled (DESIGN.md §5): element-visit counts,
+message bytes, partition shapes and schedules are *measured* from real
+execution; this module holds the few *calibrated constants* that convert
+them into seconds on the paper's testbed.
+
+``SEQ_SECONDS`` approximates Fig. 3 ("Sequential execution time of
+benchmarks", a bar chart; the paper prints no exact numbers, so values
+are read off the bars and kept inside the stated 20-200 s dataset-
+selection window).  The per-framework ratios encode the paper's explicit
+statements:
+
+* mri-q: "Eden's backend misses a floating-point optimization on sinf and
+  cosf calls, resulting in about 50% longer run time on a single thread";
+  Triolet "nearly on par" with C.
+* sgemm: all three run the same BLAS-like kernel; small constant gaps.
+* tpacf: "Eden has somewhat worse sequential performance".
+* cutcp: Eden's nested traversals were rewritten to imperative loops but
+  remain well above C (Fig. 3 shows the largest Eden bar); Triolet pays
+  modest overhead for the nested-iterator loop structure.
+
+``STEPPER_SLOWDOWN`` reproduces §3.1's "using steppers was roughly a
+factor of two to five slower than imperative loop nests" for the
+stepper-only ablation.
+"""
+from __future__ import annotations
+
+from repro.runtime.costs import CostContext
+
+#: Fig. 3 sequential seconds (approximate bar heights), per app/framework.
+SEQ_SECONDS: dict[str, dict[str, float]] = {
+    "mriq": {"c": 140.0, "triolet": 148.0, "eden": 210.0},
+    "sgemm": {"c": 82.0, "triolet": 88.0, "eden": 104.0},
+    "tpacf": {"c": 152.0, "triolet": 168.0, "eden": 216.0},
+    "cutcp": {"c": 98.0, "triolet": 118.0, "eden": 232.0},
+}
+
+FRAMEWORKS = ("c", "triolet", "eden", "cmpi")
+
+#: §3.1: stepper-encoded nested traversals vs. imperative loop nests.
+STEPPER_SLOWDOWN = (2.0, 5.0)
+
+
+def unit_time(app: str, framework: str, nominal_visits: float) -> float:
+    """Virtual seconds per element visit for *framework* running *app*.
+
+    The C+MPI+OpenMP code shares sequential C's kernels, so ``cmpi`` uses
+    the ``c`` column.
+    """
+    col = "c" if framework in ("c", "cmpi") else framework
+    try:
+        seconds = SEQ_SECONDS[app][col]
+    except KeyError as e:
+        raise KeyError(f"no calibration for app={app!r} framework={framework!r}") from e
+    return seconds / nominal_visits
+
+
+def costs_for(app: str, framework: str, problem) -> CostContext:
+    """The :class:`CostContext` for one (app, framework) pair.
+
+    *problem* supplies ``nominal_visits`` (paper-scale work),
+    ``compute_scale`` and ``wire_scale`` (sandbox -> paper mapping).
+    """
+    return CostContext(
+        unit_time=unit_time(app, framework, problem.nominal_visits),
+        compute_scale=problem.compute_scale,
+        wire_scale=problem.wire_scale,
+    )

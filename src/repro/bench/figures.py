@@ -1,0 +1,66 @@
+"""ASCII renderings of the paper's scalability figures.
+
+The paper's Figs. 4/5/7/8 are speedup-vs-cores line charts with a linear
+reference.  ``plot_series`` renders the same chart in text so the CLI
+(and EXPERIMENTS.md) can show the *shape* -- crossings, saturation,
+failures -- not just the numbers.
+"""
+from __future__ import annotations
+
+from repro.bench.harness import SpeedupPoint
+
+#: plot glyphs per framework, in legend order
+GLYPHS = {"cmpi": "C", "triolet": "T", "eden": "E"}
+LINEAR_GLYPH = "."
+
+
+def plot_series(
+    app: str,
+    series: dict[str, list[SpeedupPoint]],
+    height: int = 16,
+    width: int = 64,
+) -> str:
+    """Render one figure: speedup (y) against cores (x), linear dotted."""
+    frameworks = [fw for fw in GLYPHS if fw in series] + [
+        fw for fw in series if fw not in GLYPHS
+    ]
+    points = [pt for fw in frameworks for pt in series[fw] if not pt.failed]
+    if not points:
+        return f"{app}: no successful runs to plot"
+    max_cores = max(pt.cores for fw in frameworks for pt in series[fw])
+    max_y = max(max(pt.speedup for pt in points), float(max_cores))
+
+    def col(cores: float) -> int:
+        return min(width - 1, int(cores / max_cores * (width - 1)))
+
+    def row(speedup: float) -> int:
+        return min(height - 1, int(speedup / max_y * (height - 1)))
+
+    grid = [[" "] * width for _ in range(height)]
+    # linear reference
+    for c in range(0, max_cores + 1, max(1, max_cores // width)):
+        grid[height - 1 - row(float(c))][col(c)] = LINEAR_GLYPH
+    # framework curves (drawn last so they overwrite the reference)
+    for fw in frameworks:
+        glyph = GLYPHS.get(fw, fw[0].upper())
+        for pt in series[fw]:
+            if pt.failed:
+                continue
+            grid[height - 1 - row(pt.speedup)][col(pt.cores)] = glyph
+
+    lines = [f"{app}: speedup over sequential C vs cores"]
+    for i, r in enumerate(grid):
+        y_label = f"{max_y * (height - 1 - i) / (height - 1):6.0f} |"
+        lines.append(y_label + "".join(r))
+    lines.append(" " * 7 + "+" + "-" * (width - 1))
+    lines.append(" " * 8 + f"0 cores {'':<{width - 24}}{max_cores} cores")
+    legend = "  ".join(
+        f"{GLYPHS.get(fw, fw[0].upper())}={fw}" for fw in frameworks
+    )
+    failures = [
+        f"{fw}@{pt.cores}c" for fw in frameworks for pt in series[fw] if pt.failed
+    ]
+    lines.append(f"        {legend}  {LINEAR_GLYPH}=linear")
+    if failures:
+        lines.append(f"        failed runs: {', '.join(failures)}")
+    return "\n".join(lines)

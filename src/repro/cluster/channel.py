@@ -1,0 +1,87 @@
+"""Point-to-point channels between simulated ranks.
+
+A channel is keyed by ``(src, dst, tag)`` and carries :class:`Envelope`
+objects: the serialized payload plus its virtual availability timestamp.
+One queue per key gives MPI's non-overtaking guarantee per (source, tag)
+and keeps message matching deterministic -- wildcard receives are
+deliberately unsupported.
+"""
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """One in-flight message."""
+
+    payload: Any  # bytes for serialized sends, ndarray for buffer sends
+    nbytes: int  # actual payload bytes (sandbox-sized problem)
+    cost_bytes: int  # bytes charged to the cost model (paper-scaled)
+    available_at: float  # virtual time the last byte reaches the receiver
+    raw: bool  # True if the payload is an unserialized buffer
+
+
+class ChannelTable:
+    """All channels of one SPMD run, plus the run's abort flag."""
+
+    def __init__(self) -> None:
+        self._channels: dict[tuple[int, int, int], queue.SimpleQueue] = {}
+        self._lock = threading.Lock()
+        self.abort = threading.Event()
+        self.abort_reason: BaseException | None = None
+
+    def channel(self, src: int, dst: int, tag: int) -> queue.SimpleQueue:
+        key = (src, dst, tag)
+        ch = self._channels.get(key)
+        if ch is None:
+            with self._lock:
+                ch = self._channels.setdefault(key, queue.SimpleQueue())
+        return ch
+
+    def post(self, src: int, dst: int, tag: int, env: Envelope) -> None:
+        if self.abort.is_set():
+            raise_abort(self)
+        self.channel(src, dst, tag).put(env)
+
+    def take(
+        self, src: int, dst: int, tag: int, real_timeout: float
+    ) -> Envelope:
+        """Blocking receive with abort polling and a real-time deadline."""
+        ch = self.channel(src, dst, tag)
+        waited = 0.0
+        poll = 0.05
+        while True:
+            if self.abort.is_set():
+                raise_abort(self)
+            try:
+                return ch.get(timeout=poll)
+            except queue.Empty:
+                waited += poll
+                if waited >= real_timeout:
+                    raise SimDeadlockError(
+                        f"rank {dst} waited {real_timeout:.0f}s (real) for a "
+                        f"message from rank {src} tag {tag}; deadlock?"
+                    )
+
+    def fail(self, exc: BaseException) -> None:
+        """Record a rank failure and wake all blocked receivers."""
+        if not self.abort.is_set():
+            self.abort_reason = exc
+            self.abort.set()
+
+
+class SimDeadlockError(RuntimeError):
+    """A simulated rank blocked on a receive that can never complete."""
+
+
+class SimAborted(RuntimeError):
+    """Another rank of this run failed; this rank was cancelled."""
+
+
+def raise_abort(table: ChannelTable) -> None:
+    reason = table.abort_reason
+    raise SimAborted(f"run aborted: {reason!r}") from reason

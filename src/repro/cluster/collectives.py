@@ -1,0 +1,202 @@
+"""Collective algorithms over point-to-point messages.
+
+Costs are *emergent*: a collective is literally a pattern of sends and
+receives, so tree depth, root injection bottlenecks and payload sizes show
+up in the virtual clocks without any collective-specific cost formulas.
+
+* ``bcast``/``reduce`` use binomial trees (O(log P) depth), matching what
+  OpenMPI does for the message sizes in the paper's benchmarks.
+* ``scatter``/``gather`` are linear at the root: for the multi-megabyte
+  payloads these apps move, the root's injection bandwidth is the real
+  bottleneck either way, and the linear form models it directly.
+* ``alltoall`` does P-1 pairwise exchange rounds.
+"""
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.cluster.comm import Comm
+
+
+def _vrank(rank: int, root: int, size: int) -> int:
+    return (rank - root) % size
+
+
+def _prank(vrank: int, root: int, size: int) -> int:
+    return (vrank + root) % size
+
+
+def bcast(comm: Comm, obj: Any, root: int = 0) -> Any:
+    """Binomial-tree broadcast; returns the object on every rank."""
+    size, rank = comm.size, comm.rank
+    tag = comm._next_coll_tag()
+    if size == 1:
+        return obj
+    vr = _vrank(rank, root, size)
+    # Receive from parent (non-root ranks only).
+    mask = 1
+    while mask < size:
+        if vr & mask:
+            parent = _prank(vr - mask, root, size)
+            obj = comm.recv(parent, tag)
+            break
+        mask <<= 1
+    else:
+        # vr == 0 (root): pretend we "received" at the top of the tree.
+        mask = 1 << (size - 1).bit_length()
+    # Forward to children: every bit below the bit we received on names a
+    # child (the receive loop broke at vr's lowest set bit, so vr + mask
+    # has vr's bits plus one lower bit -- exactly the binomial children).
+    mask >>= 1
+    while mask > 0:
+        if vr + mask < size:
+            child = _prank(vr + mask, root, size)
+            comm.send(obj, child, tag)
+        mask >>= 1
+    return obj
+
+
+def reduce(comm: Comm, obj: Any, op: Callable[[Any, Any], Any], root: int = 0) -> Any:
+    """Binomial-tree reduction with a commutative, associative *op*.
+
+    Returns the reduced value at *root*, ``None`` elsewhere.
+    """
+    size, rank = comm.size, comm.rank
+    tag = comm._next_coll_tag()
+    if size == 1:
+        return obj
+    vr = _vrank(rank, root, size)
+    acc = obj
+    mask = 1
+    while mask < size:
+        if vr & mask:
+            parent = _prank(vr - mask, root, size)
+            comm.send(acc, parent, tag)
+            return None
+        child_vr = vr + mask
+        if child_vr < size:
+            child = _prank(child_vr, root, size)
+            acc = op(acc, comm.recv(child, tag))
+        mask <<= 1
+    return acc
+
+
+def scatter(comm: Comm, chunks: list | None, root: int = 0) -> Any:
+    """Linear scatter: root sends chunk *i* to rank *i*."""
+    size, rank = comm.size, comm.rank
+    tag = comm._next_coll_tag()
+    if rank == root:
+        if chunks is None or len(chunks) != size:
+            raise ValueError(
+                f"scatter at root needs exactly {size} chunks, got "
+                f"{None if chunks is None else len(chunks)}"
+            )
+        for dst in range(size):
+            if dst != root:
+                comm.send(chunks[dst], dst, tag)
+        return chunks[root]
+    return comm.recv(root, tag)
+
+
+def gather(comm: Comm, obj: Any, root: int = 0) -> list | None:
+    """Linear gather: root receives from every rank in rank order."""
+    size, rank = comm.size, comm.rank
+    tag = comm._next_coll_tag()
+    if rank == root:
+        out: list[Any] = []
+        for src in range(size):
+            out.append(obj if src == root else comm.recv(src, tag))
+        return out
+    comm.send(obj, root, tag)
+    return None
+
+
+def allreduce(comm: Comm, obj: Any, op: Callable[[Any, Any], Any]) -> Any:
+    """Reduce to rank 0 then broadcast the result."""
+    return bcast(comm, reduce(comm, obj, op, root=0), root=0)
+
+
+def allgather(comm: Comm, obj: Any) -> list:
+    """Gather at rank 0 then broadcast the list."""
+    return bcast(comm, gather(comm, obj, root=0), root=0)
+
+
+def alltoall(comm: Comm, chunks: list) -> list:
+    """Pairwise-exchange all-to-all: chunk *i* goes to rank *i*."""
+    size, rank = comm.size, comm.rank
+    if len(chunks) != size:
+        raise ValueError(f"alltoall needs exactly {size} chunks, got {len(chunks)}")
+    tag = comm._next_coll_tag()
+    out: list[Any] = [None] * size
+    out[rank] = chunks[rank]
+    for shift in range(1, size):
+        dst = (rank + shift) % size
+        src = (rank - shift) % size
+        comm.send(chunks[dst], dst, tag)
+        out[src] = comm.recv(src, tag)
+    return out
+
+
+def barrier(comm: Comm) -> None:
+    """Empty reduce + broadcast; synchronizes all virtual clocks."""
+    allreduce(comm, None, lambda a, b: None)
+
+
+def scatterv(comm: Comm, arr, counts: list[int] | None, root: int = 0):
+    """Scatter contiguous variable-length slices of an array (Scatterv).
+
+    At *root*, ``arr`` is split along axis 0 into ``counts[i]``-row
+    slices; rank *i* receives slice *i* over the buffer fast path.
+    """
+    import numpy as np
+
+    size, rank = comm.size, comm.rank
+    tag = comm._next_coll_tag()
+    if rank == root:
+        if counts is None or len(counts) != size:
+            raise ValueError(f"scatterv needs exactly {size} counts")
+        if sum(counts) != len(arr):
+            raise ValueError(
+                f"counts sum to {sum(counts)} but array has {len(arr)} rows"
+            )
+        offsets = [0]
+        for c in counts[:-1]:
+            offsets.append(offsets[-1] + c)
+        for dst in range(size):
+            if dst != root:
+                comm.Send(
+                    np.ascontiguousarray(arr[offsets[dst] : offsets[dst] + counts[dst]]),
+                    dst,
+                    tag,
+                )
+        return arr[offsets[root] : offsets[root] + counts[root]]
+    return comm.Recv(root, tag)
+
+
+def gatherv(comm: Comm, local, root: int = 0):
+    """Gather variable-length array slices back, concatenated in rank
+    order (Gatherv); returns the assembled array at *root*."""
+    import numpy as np
+
+    size, rank = comm.size, comm.rank
+    tag = comm._next_coll_tag()
+    if rank == root:
+        parts = []
+        for src in range(size):
+            parts.append(local if src == root else comm.Recv(src, tag))
+        return np.concatenate(parts, axis=0)
+    comm.Send(np.ascontiguousarray(local), root, tag)
+    return None
+
+
+def reduce_scatter(comm: Comm, chunks: list, op: Callable[[Any, Any], Any]):
+    """Reduce chunk *i* across all ranks, leaving the result at rank *i*.
+
+    Implemented as alltoall + local reduction -- the bandwidth-optimal
+    pattern large allreduces decompose into.
+    """
+    received = alltoall(comm, chunks)
+    acc = received[0]
+    for other in received[1:]:
+        acc = op(acc, other)
+    return acc

@@ -1,0 +1,273 @@
+"""MPI-like communicator over the simulated cluster.
+
+The API mirrors mpi4py: lowercase methods (``send``/``recv``/``bcast``/
+``scatter``/``gather``/``reduce``) communicate generic Python objects
+through :mod:`repro.serial`; uppercase ``Send``/``Recv`` move numpy
+buffers with a single block copy and lower per-message cost, matching
+mpi4py's buffer-protocol fast path.
+
+Every operation really moves real data (results are exact) and charges the
+LogGP cost model (timing is virtual).  Collective algorithms live in
+:mod:`repro.cluster.collectives`.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.cluster.channel import ChannelTable, Envelope
+from repro.cluster.limits import RuntimeLimits, UNLIMITED
+from repro.cluster.trace import CommEvent, TraceLog
+from repro.cluster.machine import MachineSpec
+from repro.cluster.metrics import RankMetrics
+from repro.cluster.simclock import VirtualClock
+from repro.serial import deserialize, serialize
+from repro.serial.arrays import array_payload_bytes
+
+#: Tag space reserved for collectives (user tags must stay below this).
+COLL_TAG_BASE = 1 << 20
+
+
+@dataclass
+class Request:
+    """Handle for a nonblocking operation (mpi4py-style)."""
+
+    _value: Any = None
+    _ready: bool = False
+    _recv: Callable[[], Any] | None = None
+
+    def test(self) -> bool:
+        """True once the operation has completed."""
+        return self._ready or self._recv is None
+
+    def wait(self) -> Any:
+        """Block until complete; returns the received object (recv only)."""
+        if not self._ready and self._recv is not None:
+            self._value = self._recv()
+            self._ready = True
+        return self._value
+
+
+@dataclass
+class SimContext:
+    """State shared by all ranks of one SPMD run."""
+
+    machine: MachineSpec
+    nranks: int
+    ranks_per_node: int = 1
+    limits: RuntimeLimits = UNLIMITED
+    real_timeout: float = 60.0
+    channels: ChannelTable = field(default_factory=ChannelTable)
+    #: optional allocation cost hook: nbytes -> virtual seconds of GC work
+    alloc_cost: Callable[[int], float] | None = None
+    #: multiplier from sandbox payload bytes to paper-scale bytes, applied
+    #: when charging link time, allocator time and buffer limits
+    wire_scale: float = 1.0
+    #: optional communication event log (run_spmd(..., trace=True))
+    trace: TraceLog | None = None
+
+    def node_of(self, rank: int) -> int:
+        return rank // self.ranks_per_node
+
+    def validate(self) -> None:
+        capacity = self.machine.nodes * self.ranks_per_node
+        if self.nranks > capacity:
+            raise ValueError(
+                f"{self.nranks} ranks do not fit on {self.machine.nodes} nodes "
+                f"at {self.ranks_per_node} ranks/node"
+            )
+
+
+class Comm:
+    """One rank's endpoint: point-to-point ops, collectives, cost charging."""
+
+    def __init__(self, ctx: SimContext, rank: int):
+        if not 0 <= rank < ctx.nranks:
+            raise ValueError(f"rank {rank} outside communicator of size {ctx.nranks}")
+        self.ctx = ctx
+        self.rank = rank
+        self.size = ctx.nranks
+        self.clock = VirtualClock()
+        self.metrics = RankMetrics(rank=rank)
+        self._coll_seq = 0
+
+    # -- topology ----------------------------------------------------------
+
+    @property
+    def node(self) -> int:
+        return self.ctx.node_of(self.rank)
+
+    def _link(self, other_rank: int):
+        return self.ctx.machine.link(self.node, self.ctx.node_of(other_rank))
+
+    # -- local cost charging -------------------------------------------------
+
+    def compute(self, dt: float) -> None:
+        """Advance the local clock by *dt* virtual seconds of computation."""
+        self.clock.advance(dt)
+        self.metrics.charge_compute(dt)
+
+    def alloc(self, nbytes: int) -> None:
+        """Charge a heap allocation of *nbytes* (GC/allocator cost model)."""
+        gc_dt = 0.0
+        if self.ctx.alloc_cost is not None:
+            gc_dt = self.ctx.alloc_cost(nbytes)
+            if gc_dt:
+                self.clock.advance(gc_dt)
+        self.metrics.charge_alloc(nbytes, gc_dt)
+
+    # -- point to point ------------------------------------------------------
+
+    def _post(self, payload: Any, nbytes: int, dest: int, tag: int, raw: bool) -> None:
+        if not 0 <= dest < self.size:
+            raise ValueError(f"destination rank {dest} out of range")
+        cost_bytes = int(nbytes * self.ctx.wire_scale)
+        inter_node = self.node != self.ctx.node_of(dest)
+        self.ctx.limits.check_message(cost_bytes, self.rank, dest, inter_node)
+        link = self._link(dest)
+        busy = link.injection_time(cost_bytes)
+        self.clock.advance(busy)
+        self.metrics.charge_send(nbytes, busy)
+        env = Envelope(
+            payload=payload,
+            nbytes=nbytes,
+            cost_bytes=cost_bytes,
+            available_at=self.clock.now + link.availability_delay(),
+            raw=raw,
+        )
+        if self.ctx.trace is not None:
+            self.ctx.trace.record(
+                CommEvent("send", self.clock.now, self.rank, dest, tag, nbytes)
+            )
+        self.ctx.channels.post(self.rank, dest, tag, env)
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Send a generic object (serialized; bytes counted for real)."""
+        data = serialize(obj)
+        self._post(data, len(data), dest, tag, raw=False)
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        """Blocking receive of a generic object from an explicit *source*."""
+        if not 0 <= source < self.size:
+            raise ValueError(f"source rank {source} out of range")
+        env = self.ctx.channels.take(
+            source, self.rank, tag, self.ctx.real_timeout
+        )
+        waited = max(0.0, env.available_at - self.clock.now)
+        self.clock.merge(env.available_at)
+        link = self._link(source)
+        busy = link.receive_time()
+        self.clock.advance(busy)
+        # The freshly materialized message object is the GC-pressure
+        # allocation the paper blames ("slow when allocating objects
+        # comprising tens of megabytes", §4.3); the sender serializes into
+        # transient buffers, so only the receive side is charged.
+        self.alloc(env.cost_bytes)
+        self.metrics.charge_recv(env.nbytes, busy, waited)
+        if self.ctx.trace is not None:
+            self.ctx.trace.record(
+                CommEvent("recv", self.clock.now, self.rank, source, tag, env.nbytes)
+            )
+        if env.raw:
+            return env.payload
+        return deserialize(env.payload)
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> "Request":
+        """Nonblocking send.
+
+        The queue-based channel never blocks a sender, so the message
+        departs immediately; injection time is still charged to the
+        sender's clock (large messages occupy the NIC either way --
+        what nonblocking buys in the paper's mri-q is freedom from
+        collective synchronization, which point-to-point sends already
+        have here).  Returns an already-complete :class:`Request`.
+        """
+        self.send(obj, dest, tag)
+        return Request(_value=None, _ready=True)
+
+    def irecv(self, source: int, tag: int = 0) -> "Request":
+        """Nonblocking receive: a :class:`Request` whose ``wait`` blocks."""
+        return Request(_recv=lambda: self.recv(source, tag))
+
+    def Send(self, arr: np.ndarray, dest: int, tag: int = 0) -> None:
+        """Buffer-protocol send: one block copy, no per-element encoding."""
+        if not isinstance(arr, np.ndarray):
+            raise TypeError("Send() requires a numpy array; use send() for objects")
+        nbytes = array_payload_bytes(arr)
+        # The copy models the injection DMA; receiver owns its buffer.
+        self._post(np.ascontiguousarray(arr).copy(), nbytes, dest, tag, raw=True)
+
+    def Recv(self, source: int, tag: int = 0) -> np.ndarray:
+        """Buffer-protocol receive; returns the array."""
+        out = self.recv(source, tag)  # raw envelopes skip deserialization
+        if not isinstance(out, np.ndarray):
+            raise TypeError("Recv() matched a non-buffer message; use recv()")
+        return out
+
+    # -- collective tags -----------------------------------------------------
+
+    def _next_coll_tag(self) -> int:
+        # SPMD programs execute collectives in the same order on every
+        # rank, so a per-rank counter yields matching tags everywhere.
+        tag = COLL_TAG_BASE + self._coll_seq
+        self._coll_seq += 1
+        return tag
+
+    # -- collectives (implementations in collectives.py) ----------------------
+
+    def barrier(self) -> None:
+        from repro.cluster import collectives
+
+        collectives.barrier(self)
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        from repro.cluster import collectives
+
+        return collectives.bcast(self, obj, root)
+
+    def scatter(self, chunks: list | None, root: int = 0) -> Any:
+        from repro.cluster import collectives
+
+        return collectives.scatter(self, chunks, root)
+
+    def gather(self, obj: Any, root: int = 0) -> list | None:
+        from repro.cluster import collectives
+
+        return collectives.gather(self, obj, root)
+
+    def reduce(self, obj: Any, op: Callable[[Any, Any], Any], root: int = 0) -> Any:
+        from repro.cluster import collectives
+
+        return collectives.reduce(self, obj, op, root)
+
+    def allreduce(self, obj: Any, op: Callable[[Any, Any], Any]) -> Any:
+        from repro.cluster import collectives
+
+        return collectives.allreduce(self, obj, op)
+
+    def allgather(self, obj: Any) -> list:
+        from repro.cluster import collectives
+
+        return collectives.allgather(self, obj)
+
+    def alltoall(self, chunks: list) -> list:
+        from repro.cluster import collectives
+
+        return collectives.alltoall(self, chunks)
+
+    def scatterv(self, arr, counts: list[int] | None, root: int = 0):
+        from repro.cluster import collectives
+
+        return collectives.scatterv(self, arr, counts, root)
+
+    def gatherv(self, local, root: int = 0):
+        from repro.cluster import collectives
+
+        return collectives.gatherv(self, local, root)
+
+    def reduce_scatter(self, chunks: list, op: Callable[[Any, Any], Any]):
+        from repro.cluster import collectives
+
+        return collectives.reduce_scatter(self, chunks, op)

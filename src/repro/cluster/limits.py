@@ -1,0 +1,55 @@
+"""Runtime limits of the simulated message-passing layer.
+
+Eden's runtime buffers whole messages; §4.3 reports that for sgemm "the
+Eden code fails at 2 nodes because the array data is too large for Eden's
+message-passing runtime to buffer".  We model that as a per-message byte
+cap the Eden baseline installs on its communicator.  The Triolet and
+C+MPI+OpenMP runtimes leave the cap unset.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class BufferOverflowError(RuntimeError):
+    """A single message exceeded the runtime's message buffer."""
+
+    def __init__(self, nbytes: int, limit: int, src: int, dst: int):
+        super().__init__(
+            f"message of {nbytes} bytes from rank {src} to rank {dst} "
+            f"exceeds the runtime's {limit}-byte message buffer"
+        )
+        self.nbytes = nbytes
+        self.limit = limit
+        self.src = src
+        self.dst = dst
+
+
+@dataclass(frozen=True)
+class RuntimeLimits:
+    """Limits enforced by a communication runtime."""
+
+    #: maximum bytes a single message may occupy; ``None`` = unlimited.
+    max_message_bytes: int | None = None
+    #: enforce only on inter-node messages (PVM/MPI payload buffers sit on
+    #: the network path; same-node channels are plain memory)
+    inter_node_only: bool = True
+
+    def check_message(
+        self, nbytes: int, src: int, dst: int, inter_node: bool = True
+    ) -> None:
+        if self.max_message_bytes is None:
+            return
+        if self.inter_node_only and not inter_node:
+            return
+        if nbytes > self.max_message_bytes:
+            raise BufferOverflowError(nbytes, self.max_message_bytes, src, dst)
+
+
+#: Message buffer of the Eden-like runtime (GHC-Eden with PVM/MPI payload
+#: buffers); large enough for chunked workloads, too small for whole
+#: multi-thousand-row matrix slices.
+EDEN_LIMITS = RuntimeLimits(max_message_bytes=64 * 1024 * 1024)
+
+#: No limits (Triolet runtime, hand-written MPI).
+UNLIMITED = RuntimeLimits()

@@ -1,0 +1,91 @@
+"""Execution counters for the simulated cluster.
+
+Every rank accumulates its own :class:`RankMetrics`; after a run they are
+merged into a :class:`RunMetrics`.  These counters are *measurements of
+the real execution* (bytes actually serialized, messages actually sent,
+virtual seconds actually charged) and drive both the figures and the
+ablation benchmarks.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RankMetrics:
+    """Counters owned by a single rank (single-threaded access)."""
+
+    rank: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    messages_sent: int = 0
+    messages_received: int = 0
+    compute_time: float = 0.0
+    comm_time: float = 0.0
+    idle_time: float = 0.0
+    alloc_bytes: int = 0
+    gc_time: float = 0.0
+
+    def charge_send(self, nbytes: int, busy: float) -> None:
+        self.bytes_sent += nbytes
+        self.messages_sent += 1
+        self.comm_time += busy
+
+    def charge_recv(self, nbytes: int, busy: float, waited: float) -> None:
+        self.bytes_received += nbytes
+        self.messages_received += 1
+        self.comm_time += busy
+        self.idle_time += waited
+
+    def charge_compute(self, dt: float) -> None:
+        self.compute_time += dt
+
+    def charge_alloc(self, nbytes: int, gc_dt: float = 0.0) -> None:
+        self.alloc_bytes += nbytes
+        self.gc_time += gc_dt
+
+
+@dataclass
+class RunMetrics:
+    """Aggregate over all ranks of one SPMD run."""
+
+    per_rank: list[RankMetrics] = field(default_factory=list)
+
+    @property
+    def bytes_sent(self) -> int:
+        return sum(m.bytes_sent for m in self.per_rank)
+
+    @property
+    def messages_sent(self) -> int:
+        return sum(m.messages_sent for m in self.per_rank)
+
+    @property
+    def compute_time(self) -> float:
+        return sum(m.compute_time for m in self.per_rank)
+
+    @property
+    def comm_time(self) -> float:
+        return sum(m.comm_time for m in self.per_rank)
+
+    @property
+    def gc_time(self) -> float:
+        return sum(m.gc_time for m in self.per_rank)
+
+    @property
+    def alloc_bytes(self) -> int:
+        return sum(m.alloc_bytes for m in self.per_rank)
+
+    @property
+    def max_compute_time(self) -> float:
+        return max((m.compute_time for m in self.per_rank), default=0.0)
+
+    def summary(self) -> dict:
+        return {
+            "ranks": len(self.per_rank),
+            "bytes_sent": self.bytes_sent,
+            "messages_sent": self.messages_sent,
+            "compute_time": self.compute_time,
+            "comm_time": self.comm_time,
+            "gc_time": self.gc_time,
+            "alloc_bytes": self.alloc_bytes,
+        }

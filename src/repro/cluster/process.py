@@ -1,0 +1,121 @@
+"""SPMD launcher: run a rank function on every simulated rank.
+
+Each rank executes in a real OS thread (they spend nearly all their time
+blocked on channel receives, so one physical core is plenty).  If any rank
+raises, the run's abort flag wakes every blocked receiver and the original
+exception is re-raised in the caller.
+
+Virtual timing is deterministic: availability stamps are computed from the
+causal clocks, never from wall time, so the reported makespan is a pure
+function of the program, the data, and the machine model.
+"""
+from __future__ import annotations
+
+import contextvars
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.cluster.channel import SimAborted, SimDeadlockError
+from repro.cluster.comm import Comm, SimContext
+from repro.cluster.limits import RuntimeLimits, UNLIMITED
+from repro.cluster.machine import MachineSpec
+from repro.cluster.metrics import RunMetrics
+from repro.cluster.trace import TraceLog
+
+__all__ = ["run_spmd", "SpmdResult", "SimAborted", "SimDeadlockError"]
+
+
+@dataclass
+class SpmdResult:
+    """Outcome of one SPMD run."""
+
+    results: list[Any]  # per-rank return values
+    makespan: float  # max final virtual clock over ranks
+    metrics: RunMetrics
+    final_clocks: list[float]
+    trace: "TraceLog | None" = None  # when run_spmd(..., trace=True)
+
+    @property
+    def root_result(self) -> Any:
+        return self.results[0]
+
+
+def run_spmd(
+    machine: MachineSpec,
+    rank_fn: Callable[..., Any],
+    nranks: int,
+    args: Sequence[Any] = (),
+    ranks_per_node: int = 1,
+    limits: RuntimeLimits = UNLIMITED,
+    alloc_cost: Callable[[int], float] | None = None,
+    wire_scale: float = 1.0,
+    real_timeout: float = 60.0,
+    trace: bool = False,
+) -> SpmdResult:
+    """Run ``rank_fn(comm, *args)`` on *nranks* simulated ranks.
+
+    ``ranks_per_node`` controls rank->node packing (1 for one-process-per-
+    node runtimes like Triolet's, ``cores_per_node`` for Eden's flat
+    process model).  Returns per-rank results, the virtual makespan and
+    merged metrics.
+    """
+    if nranks < 1:
+        raise ValueError("need at least one rank")
+    from repro.cluster.trace import TraceLog
+
+    ctx = SimContext(
+        machine=machine,
+        nranks=nranks,
+        ranks_per_node=ranks_per_node,
+        limits=limits,
+        real_timeout=real_timeout,
+        alloc_cost=alloc_cost,
+        wire_scale=wire_scale,
+        trace=TraceLog() if trace else None,
+    )
+    ctx.validate()
+
+    comms = [Comm(ctx, r) for r in range(nranks)]
+    results: list[Any] = [None] * nranks
+    errors: list[tuple[int, BaseException]] = []
+    errors_lock = threading.Lock()
+    # Rank threads inherit the caller's context (installed executor, cost
+    # context, ...): a fresh thread starts with an empty context, which
+    # would silently disable nested parallel sections inside rank code.
+    caller_context = contextvars.copy_context()
+
+    def worker(rank: int) -> None:
+        try:
+            results[rank] = caller_context.copy().run(rank_fn, comms[rank], *args)
+        except SimAborted:
+            pass  # secondary failure; the primary error is recorded
+        except BaseException as exc:  # noqa: BLE001 -- propagated to caller
+            with errors_lock:
+                errors.append((rank, exc))
+            ctx.channels.fail(exc)
+
+    if nranks == 1:
+        worker(0)
+    else:
+        threads = [
+            threading.Thread(target=worker, args=(r,), name=f"sim-rank-{r}")
+            for r in range(nranks)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    if errors:
+        rank, exc = min(errors, key=lambda e: e[0])
+        raise exc
+
+    clocks = [c.clock.now for c in comms]
+    return SpmdResult(
+        results=results,
+        makespan=max(clocks),
+        metrics=RunMetrics(per_rank=[c.metrics for c in comms]),
+        final_clocks=clocks,
+        trace=ctx.trace,
+    )

@@ -1,0 +1,35 @@
+"""Per-rank virtual clocks.
+
+Each simulated rank owns a :class:`VirtualClock`.  Compute advances it;
+receiving a message merges in the message's availability timestamp.  All
+timestamps are in (virtual) seconds.  This is the LogGP discipline: no
+global clock exists, yet the maximum final clock equals the makespan a
+real machine with the modelled parameters would see, because every
+inter-rank ordering constraint travels with a message.
+"""
+from __future__ import annotations
+
+
+class VirtualClock:
+    """A monotonically advancing local virtual time."""
+
+    __slots__ = ("now",)
+
+    def __init__(self, start: float = 0.0):
+        self.now = float(start)
+
+    def advance(self, dt: float) -> float:
+        """Spend *dt* seconds of local work; returns the new time."""
+        if dt < 0:
+            raise ValueError(f"cannot advance clock by negative time: {dt}")
+        self.now += dt
+        return self.now
+
+    def merge(self, t: float) -> float:
+        """Wait until *t* if it is in the local future."""
+        if t > self.now:
+            self.now = t
+        return self.now
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(now={self.now:.6g})"

@@ -1,0 +1,15 @@
+"""Triolet's primary contribution: fusible hybrid iterators.
+
+Subpackages follow the paper's §3:
+
+* :mod:`repro.core.encodings` -- the four fusible virtual-data-structure
+  encodings of Fig. 1 (indexer, stepper, fold, collector) and the
+  conversions between them (§3.1).
+* :mod:`repro.core.iterators` -- the hybrid ``Iter`` type with its four
+  constructors and the constructor-dispatched skeletons of Fig. 2 (§3.2).
+* :mod:`repro.core.domains` -- the ``Domain`` class hierarchy (Seq, Dim2,
+  Dim3) generalizing iterators to multidimensional index spaces (§3.3).
+* :mod:`repro.core.sources` -- data sources with ``slice`` methods so
+  parallel loops ship each task only the array subset it uses (§3.5).
+* :mod:`repro.core.hints` -- ``par``/``localpar`` parallelism hints (§3.4).
+"""

@@ -1,0 +1,6 @@
+"""Index-space domains (paper §3.3)."""
+from repro.core.domains.base import Domain, DomainMismatchError
+from repro.core.domains.seq import Seq
+from repro.core.domains.dim2 import Dim2, Dim3
+
+__all__ = ["Domain", "DomainMismatchError", "Seq", "Dim2", "Dim3"]

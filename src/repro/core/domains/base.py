@@ -1,0 +1,61 @@
+"""The ``Domain`` protocol (paper §3.3).
+
+"We introduce a type class called Domain to characterize index spaces.
+Each index space is a type that is a member of Domain."  A domain knows
+its size, enumerates its indices, intersects with another domain (for
+``zipWith``), and -- because Triolet distributes work by splitting the
+*outermost* axis -- can report its outer extent and produce contiguous
+outer sub-blocks.
+
+Indices are always local to their domain (0-based); slicing a domain
+rebases indices, and the paired :class:`~repro.core.sources.DataSource`
+is sliced in lockstep so extractor functions never see global offsets.
+"""
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Iterator
+
+
+class Domain(ABC):
+    """An index space: the shape of a loop nest."""
+
+    @property
+    @abstractmethod
+    def size(self) -> int:
+        """Total number of indices."""
+
+    @property
+    @abstractmethod
+    def outer_extent(self) -> int:
+        """Length of the outermost axis (the partitionable one)."""
+
+    @abstractmethod
+    def iter_indices(self) -> Iterator[Any]:
+        """Enumerate indices in canonical (row-major) order."""
+
+    @abstractmethod
+    def outer_block(self, lo: int, hi: int) -> "Domain":
+        """The sub-domain covering outer positions ``[lo, hi)``, rebased."""
+
+    @abstractmethod
+    def intersect(self, other: "Domain") -> "Domain":
+        """Pointwise intersection, for ``zipWith`` (§3.3)."""
+
+    def check_outer_range(self, lo: int, hi: int) -> None:
+        if not (0 <= lo <= hi <= self.outer_extent):
+            raise IndexError(
+                f"outer block [{lo}, {hi}) out of range for extent "
+                f"{self.outer_extent}"
+            )
+
+    @property
+    def is_empty(self) -> bool:
+        return self.size == 0
+
+    def __len__(self) -> int:
+        return self.size
+
+
+class DomainMismatchError(TypeError):
+    """Two domains of incompatible dimensionality were combined."""

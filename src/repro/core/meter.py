@@ -1,0 +1,99 @@
+"""Execution meters: measured loop statistics.
+
+Triolet's performance story rests on facts about the executed loop
+structure: how many element visits happen, how many stepper steps (the
+encoding the paper found 2-5x slower when misused), how many temporary
+collections get materialized, and how many passes run over data.  The
+meter records those facts during *real* execution; the virtual cost model
+and the fusion tests both read them.
+
+A meter is installed per task with :func:`metered`; nesting restores the
+outer meter.  When no meter is installed, tallying is a no-op.
+"""
+from __future__ import annotations
+
+import contextvars
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+
+@dataclass
+class CostMeter:
+    """Counters for one metered region."""
+
+    visits: int = 0  # innermost elements produced/consumed
+    steps: int = 0  # stepper step-function invocations
+    lookups: int = 0  # indexer lookup invocations
+    materializations: int = 0  # temporary collections built
+    materialized_bytes: int = 0
+    passes: int = 0  # complete traversals of a collection
+
+    def merge(self, other: "CostMeter") -> None:
+        self.visits += other.visits
+        self.steps += other.steps
+        self.lookups += other.lookups
+        self.materializations += other.materializations
+        self.materialized_bytes += other.materialized_bytes
+        self.passes += other.passes
+
+
+_current: contextvars.ContextVar[CostMeter | None] = contextvars.ContextVar(
+    "repro_cost_meter", default=None
+)
+
+
+@contextmanager
+def metered(meter: CostMeter | None = None):
+    """Install *meter* (or a fresh one) for the dynamic extent; yields it."""
+    m = meter if meter is not None else CostMeter()
+    token = _current.set(m)
+    try:
+        yield m
+    finally:
+        _current.reset(token)
+
+
+def current_meter() -> CostMeter | None:
+    return _current.get()
+
+
+def tally_visits(n: int = 1) -> None:
+    m = _current.get()
+    if m is not None:
+        m.visits += n
+
+
+def tally_steps(n: int = 1) -> None:
+    m = _current.get()
+    if m is not None:
+        m.steps += n
+
+
+def tally_lookups(n: int = 1) -> None:
+    m = _current.get()
+    if m is not None:
+        m.lookups += n
+
+
+def tally_inner(n: int) -> None:
+    """Tally a vectorized inner loop of *n* element visits.
+
+    For use inside element kernels the library already counts once per
+    outer element: tallies ``n - 1`` so the region totals exactly ``n``.
+    """
+    m = _current.get()
+    if m is not None and n > 1:
+        m.visits += n - 1
+
+
+def tally_pass() -> None:
+    m = _current.get()
+    if m is not None:
+        m.passes += 1
+
+
+def tally_materialization(nbytes: int) -> None:
+    m = _current.get()
+    if m is not None:
+        m.materializations += 1
+        m.materialized_bytes += nbytes

@@ -1,0 +1,22 @@
+"""Balanced contiguous 1-D block partitions."""
+from __future__ import annotations
+
+
+def block_bounds(n: int, nparts: int) -> list[tuple[int, int]]:
+    """Split ``range(n)`` into *nparts* contiguous blocks of size within 1.
+
+    Blocks may be empty when ``nparts > n``; bounds are monotone and cover
+    ``[0, n)`` exactly.
+    """
+    if n < 0:
+        raise ValueError(f"cannot partition negative extent {n}")
+    if nparts < 1:
+        raise ValueError(f"need at least one part, got {nparts}")
+    return [(n * k // nparts, n * (k + 1) // nparts) for k in range(nparts)]
+
+
+def chunk_bounds(n: int, chunk: int) -> list[tuple[int, int]]:
+    """Split ``range(n)`` into blocks of at most *chunk* elements."""
+    if chunk < 1:
+        raise ValueError(f"chunk size must be positive, got {chunk}")
+    return [(lo, min(lo + chunk, n)) for lo in range(0, n, chunk)] or [(0, 0)]

@@ -1,0 +1,48 @@
+"""2-D block decompositions (paper §2, sgemm).
+
+"This feature enables a parallel 2D block decomposition of dense matrix
+multiplication to be written in two lines of code."  The runtime uses
+these helpers to carve a ``Dim2`` iterator into a near-square process
+grid; each block's data cost is the rows of ``u`` covering its vertical
+extent plus the rows of ``v`` covering its horizontal extent, so squarer
+grids ship less data.
+"""
+from __future__ import annotations
+
+import math
+
+from repro.partition.block import block_bounds
+
+
+def grid_shape(nparts: int, h: int, w: int) -> tuple[int, int]:
+    """Choose a ``(py, px)`` grid with ``py*px == nparts``.
+
+    Prefers the factorization whose aspect ratio best matches ``h:w``
+    (minimizing replicated input rows), falling back toward squares.
+    """
+    if nparts < 1:
+        raise ValueError(f"need at least one part, got {nparts}")
+    best = (nparts, 1)
+    best_cost = math.inf
+    for py in range(1, nparts + 1):
+        if nparts % py:
+            continue
+        px = nparts // py
+        # Data shipped ~ px * h (u rows replicated across the px block
+        # columns) + py * w (v rows replicated down the py block rows).
+        cost = px * max(h, 1) + py * max(w, 1)
+        if cost < best_cost:
+            best, best_cost = (py, px), cost
+    return best
+
+
+def block2d_bounds(
+    h: int, w: int, py: int, px: int
+) -> list[tuple[tuple[int, int], tuple[int, int]]]:
+    """The ``py*px`` blocks of an ``h x w`` domain, row-major order.
+
+    Each entry is ``((ylo, yhi), (xlo, xhi))``.
+    """
+    rows = block_bounds(h, py)
+    cols = block_bounds(w, px)
+    return [(r, c) for r in rows for c in cols]

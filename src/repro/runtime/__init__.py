@@ -1,0 +1,33 @@
+"""The Triolet runtime: two-level parallelism over the simulated cluster."""
+from repro.runtime.costs import CostContext, use_costs, current_costs
+from repro.runtime.driver import (
+    TrioletRuntime,
+    SectionRecord,
+    NodeContext,
+    triolet_runtime,
+)
+from repro.runtime.gc_model import (
+    AllocatorModel,
+    BOEHM_GC,
+    LIBC_MALLOC,
+    GHC_GC,
+    FREE_ALLOC,
+)
+from repro.runtime.worksteal import work_stealing_makespan, static_for_makespan
+
+__all__ = [
+    "CostContext",
+    "use_costs",
+    "current_costs",
+    "TrioletRuntime",
+    "SectionRecord",
+    "NodeContext",
+    "triolet_runtime",
+    "AllocatorModel",
+    "BOEHM_GC",
+    "LIBC_MALLOC",
+    "GHC_GC",
+    "FREE_ALLOC",
+    "work_stealing_makespan",
+    "static_for_makespan",
+]

@@ -1,0 +1,594 @@
+"""The Triolet runtime: two-level parallel execution of skeletons (§3.4-§3.5).
+
+"Triolet uses a two-level work distribution policy that first distributes
+large units of work to cluster nodes, then subdivides this work among
+cores within a node."
+
+Execution of one hinted consumer ("a parallel section"):
+
+1. the outer domain is block-partitioned across nodes (a 2-D grid for
+   Dim2 iterators whose source supports inner slicing -- the sgemm case);
+2. the main rank slices the *iterator* per node; slicing the iterator
+   slices its data sources, so serializing the chunk ships exactly the
+   data subset (§3.5) -- over the *simulated* network, with real bytes;
+3. each node splits its chunk into core tasks, really executes each task's
+   fused loop under a cost meter, and models TBB-style work stealing to
+   get the node's virtual makespan;
+4. partials flow back through a tree reduction (reduce consumers) or a
+   gather plus block assembly (build consumers);
+5. the section's makespan advances the program's virtual clock.
+
+Nested hints compose: a ``localpar`` loop encountered inside a node task
+re-enters the same machinery with the cores available to that task,
+giving the paper's "different inter-node and intra-node parallelization
+strategies".
+
+Numerical results are always real; only elapsed time is virtual.
+"""
+from __future__ import annotations
+
+import contextvars
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.cluster.comm import Comm
+from repro.cluster.limits import RuntimeLimits, UNLIMITED
+from repro.cluster.machine import MachineSpec
+from repro.cluster.metrics import RunMetrics
+from repro.cluster.process import run_spmd
+from repro.cluster.simclock import VirtualClock
+from repro.core import meter
+from repro.core.domains import Dim2
+from repro.core.iterators.executor import ConsumeSpec, use_executor
+from repro.core.iterators.iter_type import (
+    IdxFlat,
+    IdxNest,
+    Iter,
+    ParHint,
+)
+from repro.partition import block2d_bounds, block_bounds, grid_shape
+from repro.runtime.costs import CostContext, use_costs
+from repro.runtime.gc_model import BOEHM_GC, AllocatorModel
+from repro.runtime.worksteal import work_stealing_makespan
+from repro.serial.sizeof import transitive_size
+
+_CHUNK_TAG = 99
+
+
+@dataclass
+class NodeContext:
+    """Ambient state while a node task executes (nested-hint support).
+
+    ``nested_work`` accumulates the *sequential* virtual seconds of nested
+    parallel regions (``localpar`` loops inside this task).  TBB-style
+    work stealing is composable: nested tasks go into the same per-node
+    deques, so the scheduler model treats nested work as a stealable pool
+    shared by all cores rather than confining it to this task's core.
+    """
+
+    cores: int  # cores of the node this task runs on (split granularity)
+    nested_work: float = 0.0  # sequential seconds of nested regions
+
+
+_node_ctx: contextvars.ContextVar[NodeContext | None] = contextvars.ContextVar(
+    "repro_node_ctx", default=None
+)
+
+
+@dataclass
+class SectionRecord:
+    """One parallel section's ledger."""
+
+    label: str
+    kind: str  # "reduce" | "build" | "seq"
+    hint: str
+    nodes: int
+    cores: int
+    partition: str
+    makespan: float
+    bytes_shipped: int = 0
+    messages: int = 0
+    metrics: RunMetrics | None = None
+    visits: int = 0
+    gc_time: float = 0.0
+
+    def utilization(self) -> float:
+        """Fraction of node-seconds spent computing (vs waiting/comm).
+
+        Only meaningful for distributed sections carrying run metrics;
+        the paper's saturation discussions are exactly about this number
+        falling with scale.
+        """
+        if self.metrics is None or self.makespan <= 0 or self.nodes == 0:
+            raise ValueError("utilization needs a distributed section's metrics")
+        busy = sum(m.compute_time for m in self.metrics.per_rank)
+        return busy / (self.nodes * self.makespan)
+
+
+def _elements_of(partial: Any) -> int:
+    """How many scalar elements a partial holds (for combine costing)."""
+    if isinstance(partial, np.ndarray):
+        return partial.size
+    if isinstance(partial, (list, tuple)):
+        return len(partial)
+    return 1
+
+
+class TrioletRuntime:
+    """Executor implementing PAR/LOCAL hints on the simulated cluster."""
+
+    def __init__(
+        self,
+        machine: MachineSpec,
+        costs: CostContext | None = None,
+        alloc: AllocatorModel = BOEHM_GC,
+        limits: RuntimeLimits = UNLIMITED,
+        task_grain: int = 4,
+        topology: str = "two-level",
+        scheduler: str = "worksteal",
+        label: str = "",
+    ):
+        """``topology``: ``"two-level"`` (the paper's design: message
+        passing across nodes, threads within) or ``"flat"`` (one rank per
+        core, Eden-style -- the ablation of §1's third problem).
+        ``scheduler``: ``"worksteal"`` (TBB-like) or ``"static"``
+        (OpenMP-static-like) intra-node scheduling."""
+        if topology not in ("two-level", "flat"):
+            raise ValueError(f"unknown topology: {topology!r}")
+        if scheduler not in ("worksteal", "static"):
+            raise ValueError(f"unknown scheduler: {scheduler!r}")
+        self.machine = machine
+        self.costs = costs if costs is not None else CostContext()
+        self.alloc = alloc
+        self.limits = limits
+        self.task_grain = task_grain
+        self.topology = topology
+        self.scheduler = scheduler
+        self.label = label
+        self.clock = VirtualClock()
+        self.sections: list[SectionRecord] = []
+
+    # -- bookkeeping -----------------------------------------------------
+
+    @property
+    def elapsed(self) -> float:
+        """Total virtual program time so far."""
+        return self.clock.now
+
+    @property
+    def last_section(self) -> SectionRecord:
+        if not self.sections:
+            raise RuntimeError("no parallel section has run yet")
+        return self.sections[-1]
+
+    def total_gc_time(self) -> float:
+        return sum(s.gc_time for s in self.sections)
+
+    def total_bytes_shipped(self) -> int:
+        return sum(s.bytes_shipped for s in self.sections)
+
+    def report(self) -> str:
+        """Human-readable ledger of every section this runtime ran."""
+        lines = [
+            f"TrioletRuntime on {self.machine.nodes}x"
+            f"{self.machine.cores_per_node} cores "
+            f"({self.topology}, {self.scheduler}): "
+            f"{len(self.sections)} sections, {self.elapsed:.6f} virtual s"
+        ]
+        for i, s in enumerate(self.sections):
+            lines.append(
+                f"  [{i}] {s.hint:<8} {s.kind:<6} {s.partition:<10} "
+                f"makespan={s.makespan:.6f}s bytes={s.bytes_shipped:,} "
+                f"msgs={s.messages} gc={s.gc_time:.6f}s"
+            )
+        return "\n".join(lines)
+
+    # -- sequential glue ---------------------------------------------------
+
+    def run_sequential(self, fn, *args, label: str = "seq", **kwargs) -> Any:
+        """Run plain code at the main rank, charging its metered time."""
+        with meter.metered() as m:
+            out = fn(*args, **kwargs)
+        dt = self.costs.task_seconds(m)
+        self.clock.advance(dt)
+        self.sections.append(
+            SectionRecord(
+                label=label,
+                kind="seq",
+                hint="seq",
+                nodes=1,
+                cores=1,
+                partition="none",
+                makespan=dt,
+                visits=m.visits,
+            )
+        )
+        return out
+
+    def charge_visits(self, visits: float, label: str = "seq") -> None:
+        """Charge main-rank compute for work done outside the meter."""
+        dt = self.costs.seconds_for_visits(visits)
+        self.clock.advance(dt)
+        self.sections.append(
+            SectionRecord(
+                label=label,
+                kind="seq",
+                hint="seq",
+                nodes=1,
+                cores=1,
+                partition="none",
+                makespan=dt,
+                visits=int(visits),
+            )
+        )
+
+    # -- the Executor interface ----------------------------------------------
+
+    def execute(self, it: Iter, spec: ConsumeSpec) -> Any:
+        nc = _node_ctx.get()
+        if nc is not None:
+            # Nested hint inside a node task: feed the node's work pool.
+            result, seq_work = self._nested_execute(it, spec, nc.cores)
+            nc.nested_work += seq_work
+            return result
+        if it.hint is ParHint.LOCAL:
+            return self._toplevel_local(it, spec)
+        if it.hint is ParHint.PAR:
+            return self._distributed(it, spec)
+        return spec.seq_fn(it)
+
+    # -- partitioning helpers ---------------------------------------------
+
+    @staticmethod
+    def _partitionable(it: Iter) -> bool:
+        return isinstance(it, (IdxFlat, IdxNest))
+
+    @staticmethod
+    def _reslice(it: Iter, lo: int, hi: int) -> Iter:
+        """A hint-free sub-iterator over outer positions [lo, hi)."""
+        if isinstance(it, IdxFlat):
+            return IdxFlat(it.idx.slice(lo, hi))
+        if isinstance(it, IdxNest):
+            return IdxNest(it.idx.slice(lo, hi))
+        raise TypeError(f"cannot slice {type(it).__name__}")
+
+    @staticmethod
+    def _reslice_block(it: Iter, rows, cols) -> Iter:
+        if isinstance(it, IdxFlat):
+            return IdxFlat(it.idx.slice_block(rows, cols))
+        if isinstance(it, IdxNest):
+            return IdxNest(it.idx.slice_block(rows, cols))
+        raise TypeError(f"cannot slice {type(it).__name__}")
+
+    def _can_block_2d(self, it: Iter) -> bool:
+        if not isinstance(it, (IdxFlat, IdxNest)):
+            return False
+        if not isinstance(it.domain, Dim2):
+            return False
+        src = it.idx.source
+        try:
+            src.slice_inner(0, it.domain.w)
+        except TypeError:
+            return False
+        return True
+
+    # -- node-level execution (threads model) --------------------------------
+
+    def _split_for_cores(self, it: Iter, cores: int) -> list[Iter]:
+        """Split a chunk into core tasks (work-stealing granularity)."""
+        if not self._partitionable(it):
+            return [it]
+        extent = it.domain.outer_extent
+        if extent <= 1:
+            return [it]
+        ntasks = min(extent, max(1, cores) * self.task_grain)
+        return [
+            self._reslice(it, lo, hi)
+            for lo, hi in block_bounds(extent, ntasks)
+            if hi > lo
+        ]
+
+    def _run_tasks(
+        self, it: Iter, spec: ConsumeSpec, cores: int
+    ) -> tuple[list[Any], list[float], list[float], float]:
+        """Execute a chunk's tasks for real; return partials and timings.
+
+        Returns ``(partials, serial_durations, nested_works, gc_time)``:
+        ``serial_durations[i]`` is task *i*'s own (unstealable) compute
+        time, ``nested_works[i]`` the sequential total of its nested
+        parallel regions (stealable by any core), and ``gc_time`` the
+        total allocator/GC time for the tasks' private results -- kept
+        separate because collections are stop-the-world and do not
+        parallelize across the node's cores (§4.3, §4.5).
+        """
+        subits = self._split_for_cores(it, cores)
+        serial: list[float] = []
+        nested: list[float] = []
+        partials: list[Any] = []
+        gc_time = 0.0
+        # Reduce consumers keep one private accumulator per *thread*
+        # ("sequentially builds one histogram per thread", §3.4); build
+        # consumers materialize every block.  Charge allocations
+        # accordingly, paper-scaled (§4.3/§4.5 GC overhead).
+        alloc_cap = min(cores, len(subits)) if spec.kind == "reduce" else len(subits)
+        for i, sub in enumerate(subits):
+            nc = NodeContext(cores=cores)
+            token = _node_ctx.set(nc)
+            try:
+                with meter.metered() as m:
+                    partials.append(spec.seq_fn(sub))
+            finally:
+                _node_ctx.reset(token)
+            if i < alloc_cap:
+                gc_time += self.alloc(
+                    int(_result_bytes(partials[-1]) * self.costs.wire_scale)
+                )
+            serial.append(self.costs.task_seconds(m))
+            nested.append(nc.nested_work)
+        return partials, serial, nested, gc_time
+
+    def _combine_partials(self, spec: ConsumeSpec, partials: list[Any]) -> tuple[Any, float]:
+        if spec.kind == "reduce":
+            result = partials[0]
+            combine_elems = 0
+            for p in partials[1:]:
+                result = spec.combine(result, p)
+                combine_elems += _elements_of(p)
+            return result, self.costs.combine_seconds(combine_elems)
+        return _concat_build(partials), 0.0
+
+    def _node_execute(
+        self, it: Iter, spec: ConsumeSpec, cores: int
+    ) -> tuple[Any, float]:
+        """Run a chunk on one node: real tasks, modelled thread overlap.
+
+        Node makespan model for composable work stealing: each task's
+        serial part occupies one core; its nested parallel regions spill
+        into the shared deques.  The makespan is bounded below by total
+        work over cores and by the longest task's critical path, and above
+        by greedy list scheduling of (serial + span) task durations.
+
+        Returns ``(combined_result, node_makespan_seconds)``.
+        """
+        partials, serial, nested, gc_time = self._run_tasks(it, spec, cores)
+        total_work = sum(serial) + sum(nested)
+        durations = [s + w / cores for s, w in zip(serial, nested)]
+        if self.scheduler == "static":
+            from repro.runtime.worksteal import static_for_makespan
+
+            listed = static_for_makespan(
+                durations, cores, barrier_overhead=self.machine.thread_spawn_overhead
+            )
+            makespan = listed + gc_time
+        else:
+            listed = work_stealing_makespan(
+                durations,
+                cores,
+                steal_overhead=self.machine.steal_overhead,
+                spawn_overhead=self.machine.thread_spawn_overhead,
+            )
+            # GC is stop-the-world: allocator time serializes on the node.
+            makespan = max(listed, total_work / cores) + gc_time
+        result, combine_dt = self._combine_partials(spec, partials)
+        return result, makespan + combine_dt, gc_time
+
+    def _nested_execute(
+        self, it: Iter, spec: ConsumeSpec, cores: int
+    ) -> tuple[Any, float]:
+        """A nested parallel region: real execution, sequential-time total.
+
+        The parent folds the returned sequential seconds into the node's
+        stealable work pool (see :class:`NodeContext`); granularity of the
+        split still follows the node's core count.
+        """
+        if not self._partitionable(it):
+            with meter.metered() as m:
+                out = spec.seq_fn(it)
+            return out, self.costs.task_seconds(m)
+        partials, serial, nested, gc_time = self._run_tasks(it, spec, cores)
+        result, combine_dt = self._combine_partials(spec, partials)
+        return result, sum(serial) + sum(nested) + gc_time + combine_dt
+
+    # -- top-level localpar ---------------------------------------------------
+
+    def _toplevel_local(self, it: Iter, spec: ConsumeSpec) -> Any:
+        """``localpar`` at top level: the main node's cores, no network."""
+        if not self._partitionable(it):
+            return self._sequential_fallback(it, spec, "localpar-unpartitionable")
+        result, makespan, gc_time = self._node_execute(
+            it, spec, self.machine.cores_per_node
+        )
+        self.clock.advance(makespan)
+        self.sections.append(
+            SectionRecord(
+                label="localpar",
+                kind=spec.kind,
+                hint="localpar",
+                nodes=1,
+                cores=self.machine.cores_per_node,
+                partition=f"1d x{min(it.domain.outer_extent, self.machine.cores_per_node * self.task_grain)}",
+                makespan=makespan,
+                gc_time=gc_time,
+            )
+        )
+        return result
+
+    def _sequential_fallback(self, it: Iter, spec: ConsumeSpec, label: str) -> Any:
+        with meter.metered() as m:
+            out = spec.seq_fn(it)
+        dt = self.costs.task_seconds(m)
+        self.clock.advance(dt)
+        self.sections.append(
+            SectionRecord(
+                label=label,
+                kind=spec.kind,
+                hint="seq",
+                nodes=1,
+                cores=1,
+                partition="none",
+                makespan=dt,
+                visits=m.visits,
+            )
+        )
+        return out
+
+    # -- distributed sections ---------------------------------------------
+
+    def _distributed(self, it: Iter, spec: ConsumeSpec) -> Any:
+        """``par``: nodes via simulated MPI, cores via the threads model."""
+        if not self._partitionable(it):
+            # Variable-length outer loops cannot be partitioned (§3.2's
+            # whole point is to avoid producing them); run sequentially.
+            return self._sequential_fallback(it, spec, "par-unpartitionable")
+
+        # Flat topology: one rank per core, no shared-memory level.
+        flat = self.topology == "flat"
+        nranks_max = (
+            self.machine.nodes * self.machine.cores_per_node
+            if flat
+            else self.machine.nodes
+        )
+
+        if self._can_block_2d(it):
+            dom: Dim2 = it.domain  # type: ignore[assignment]
+            nchunks = min(nranks_max, max(1, dom.size))
+            py, px = grid_shape(nchunks, dom.h, dom.w)
+            blocks = block2d_bounds(dom.h, dom.w, py, px)
+            chunks = [self._reslice_block(it, r, c) for r, c in blocks]
+            partition = f"2d {py}x{px}"
+            block_meta = blocks
+        else:
+            extent = it.domain.outer_extent
+            nchunks = min(nranks_max, max(1, extent))
+            bounds = block_bounds(extent, nchunks)
+            chunks = [self._reslice(it, lo, hi) for lo, hi in bounds]
+            partition = f"1d x{nchunks}"
+            block_meta = bounds
+
+        cores = 1 if flat else self.machine.cores_per_node
+        costs = self.costs
+        machine = self.machine
+
+        def rank_fn(comm: Comm):
+            my_chunk = _distribute_chunks(comm, chunks)
+            result, makespan, gc_time = self._node_execute(my_chunk, spec, cores)
+            comm.compute(makespan)
+            comm.metrics.gc_time += gc_time  # time already inside makespan
+            comm.alloc(_result_bytes(result))
+            if spec.kind == "reduce":
+                charged = _charged_combine(comm, spec.combine, costs)
+                return comm.reduce(result, charged, root=0)
+            gathered = comm.gather(result, root=0)
+            if comm.rank != 0:
+                return None
+            return _assemble_build(gathered, block_meta, partition)
+
+        res = run_spmd(
+            machine,
+            rank_fn,
+            nranks=len(chunks),
+            ranks_per_node=self.machine.cores_per_node if flat else 1,
+            limits=self.limits,
+            alloc_cost=self.alloc,
+            wire_scale=self.costs.wire_scale,
+        )
+        # The section starts when the main rank reaches it.
+        self.clock.advance(res.makespan)
+        self.sections.append(
+            SectionRecord(
+                label="par",
+                kind=spec.kind,
+                hint="par",
+                nodes=len(chunks),
+                cores=len(chunks) * cores,
+                partition=partition,
+                makespan=res.makespan,
+                bytes_shipped=res.metrics.bytes_sent,
+                messages=res.metrics.messages_sent,
+                metrics=res.metrics,
+                gc_time=res.metrics.gc_time,
+            )
+        )
+        return res.root_result
+
+
+def _distribute_chunks(comm: Comm, chunks: list[Iter]) -> Iter:
+    """Main rank ships every node its sliced chunk (really serialized)."""
+    if comm.rank == 0:
+        for dst in range(1, comm.size):
+            comm.send(chunks[dst], dst, _CHUNK_TAG)
+        return chunks[0]
+    return comm.recv(0, _CHUNK_TAG)
+
+
+def _charged_combine(comm: Comm, combine, costs: CostContext):
+    """Wrap a combine so each tree-reduction hop pays its compute cost."""
+
+    def charged(a, b):
+        comm.compute(costs.combine_seconds(_elements_of(b)))
+        return combine(a, b)
+
+    return charged
+
+
+def _result_bytes(result: Any) -> int:
+    if isinstance(result, np.ndarray):
+        return result.size * result.dtype.itemsize
+    return transitive_size(result)
+
+
+def _concat_build(partials: list[Any]) -> Any:
+    """Concatenate consecutive outer-block build partials."""
+    if len(partials) == 1:
+        return partials[0]
+    if all(isinstance(p, np.ndarray) for p in partials):
+        return np.concatenate(partials, axis=0)
+    out = []
+    for p in partials:
+        out.extend(p)
+    return out
+
+
+def _assemble_build(gathered: list[Any], block_meta, partition: str) -> Any:
+    """Assemble per-node build partials at the root."""
+    if partition.startswith("2d"):
+        # gathered[k] is the (rows x cols) block for block_meta[k],
+        # row-major over the process grid.
+        row_starts = sorted({r[0] for r, _c in block_meta})
+        grid_rows: list[list[np.ndarray]] = []
+        for rs in row_starts:
+            row_blocks = [
+                g
+                for g, (r, _c) in zip(gathered, block_meta)
+                if r[0] == rs
+            ]
+            grid_rows.append(row_blocks)
+        return np.block(grid_rows)
+    return _concat_build(gathered)
+
+
+@contextmanager
+def triolet_runtime(
+    machine: MachineSpec,
+    costs: CostContext | None = None,
+    alloc: AllocatorModel = BOEHM_GC,
+    limits: RuntimeLimits = UNLIMITED,
+    task_grain: int = 4,
+    topology: str = "two-level",
+    scheduler: str = "worksteal",
+):
+    """Install a :class:`TrioletRuntime` as the skeleton executor."""
+    rt = TrioletRuntime(
+        machine,
+        costs=costs,
+        alloc=alloc,
+        limits=limits,
+        task_grain=task_grain,
+        topology=topology,
+        scheduler=scheduler,
+    )
+    with use_executor(rt), use_costs(rt.costs):
+        yield rt

@@ -1,0 +1,46 @@
+"""Allocator / garbage-collector cost models.
+
+Paper §4.3: "At 8 nodes, 40% of Triolet's overhead relative to
+C+MPI+OpenMP is attributable to the garbage collector, which is slow when
+allocating objects comprising tens of megabytes.  The garbage collection
+overhead was determined by comparing to the run time when libc malloc was
+substituted for garbage-collected memory allocation."  §4.5:
+"Approximately 60% of Triolet's execution time at 8 nodes arises from
+allocation overhead."
+
+An allocator model maps an allocation of ``nbytes`` to virtual seconds.
+The ablation benchmark swaps ``BOEHM_GC`` for ``LIBC_MALLOC`` and
+re-measures, exactly as the authors did.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AllocatorModel:
+    """Linear-plus-floor cost of allocating one object."""
+
+    name: str
+    per_byte: float  # seconds per allocated byte (zeroing, GC pressure)
+    per_alloc: float  # fixed seconds per allocation
+
+    def __call__(self, nbytes: int) -> float:
+        if nbytes < 0:
+            raise ValueError(f"negative allocation: {nbytes}")
+        return self.per_alloc + nbytes * self.per_byte
+
+
+#: Triolet's Boehm-style conservative GC: large allocations trigger
+#: collection work proportional to the heap it must scan.
+BOEHM_GC = AllocatorModel("boehm-gc", per_byte=2.0e-9, per_alloc=5e-7)
+
+#: libc malloc: big allocations are mmap'd; near-constant cost per byte
+#: (page zeroing only).
+LIBC_MALLOC = AllocatorModel("libc-malloc", per_byte=6e-11, per_alloc=2e-7)
+
+#: GHC's copying generational GC, as Eden inherits it.
+GHC_GC = AllocatorModel("ghc-gc", per_byte=7e-10, per_alloc=3e-7)
+
+#: No allocation cost (for isolating other effects in ablations).
+FREE_ALLOC = AllocatorModel("free", per_byte=0.0, per_alloc=0.0)

@@ -1,0 +1,47 @@
+"""Serialization substrate.
+
+Triolet's runtime serializes objects to byte arrays before sending them
+between cluster nodes (paper §3.4).  The compiler generates serialization
+code from algebraic data type definitions; functions are serialized as
+closures; pointers to global data are serialized as a segment identifier
+plus offset; pointer-free arrays are block-copied.
+
+This package reproduces each of those mechanisms:
+
+* :mod:`repro.serial.serializer` -- self-describing binary format with a
+  type registry; ``@serializable`` plays the role of compiler-generated
+  serialization for dataclass ADTs.
+* :mod:`repro.serial.arrays` -- numpy arrays serialized as a small header
+  plus a single block copy of the raw buffer.
+* :mod:`repro.serial.closures` -- closures as (code id, environment);
+  global data as segment references that cost O(1) bytes on the wire.
+* :mod:`repro.serial.sizeof` -- transitive byte accounting used by the
+  simulated network's cost model.
+"""
+from repro.serial.serializer import (
+    serialize,
+    deserialize,
+    serializable,
+    SerializationError,
+)
+from repro.serial.sizeof import transitive_size
+from repro.serial.closures import (
+    Closure,
+    closure,
+    register_function,
+    GlobalSegment,
+    GlobalRef,
+)
+
+__all__ = [
+    "serialize",
+    "deserialize",
+    "serializable",
+    "SerializationError",
+    "transitive_size",
+    "Closure",
+    "closure",
+    "register_function",
+    "GlobalSegment",
+    "GlobalRef",
+]

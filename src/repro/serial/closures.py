@@ -1,0 +1,197 @@
+"""Closure and global-data serialization.
+
+Paper §3.4: "Functions are represented by heap-allocated closures and are
+also serialized.  Serializing an object transitively serializes all objects
+that it references.  Pointers to global data are serialized as a segment
+identifier and offset."
+
+Python functions cannot be shipped by value safely or cheaply, and on a
+real cluster Triolet ships a *code pointer* (all nodes run the same
+program image) plus a captured environment.  We reproduce exactly that
+split:
+
+* every function that can appear inside a message is registered once (at
+  import time on "all nodes") under a stable code id via
+  :func:`register_function` -- the analogue of the shared program image;
+* a :class:`Closure` pairs a code id with a tuple of captured values, and
+  serializes as the id plus the environment, so the wire cost is dominated
+  by the environment -- which is what the paper's array-partitioning work
+  (§3.5) minimizes;
+* :class:`GlobalSegment` registers large read-only data once per node;
+  a :class:`GlobalRef` into it serializes as (segment id, offset) in O(1)
+  bytes, never dragging the data itself across the network.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.serial import serializer
+from repro.serial.serializer import (
+    SerializationError,
+    _decode,
+    _decode_str,
+    _encode,
+    _encode_str,
+    register_type,
+)
+
+# The "program image": code id -> function object.  Populated identically
+# on every simulated rank because ranks share the interpreter.
+_CODE_SEGMENT: dict[str, Callable] = {}
+_FUNC_TO_ID: dict[Callable, str] = {}
+
+
+def register_function(fn: Callable, code_id: str | None = None) -> Callable:
+    """Register *fn* in the shared code segment.
+
+    Usable as a decorator.  The default code id is the qualified name,
+    which is stable across ranks because all ranks import the same
+    modules.
+    """
+    if code_id is not None:
+        existing = _CODE_SEGMENT.get(code_id)
+        if existing is not None and existing is not fn:
+            raise ValueError(
+                f"code id already bound to a different function: {code_id!r}"
+            )
+        cid = code_id
+    else:
+        # Default ids come from the qualified name.  Distinct lambdas (or
+        # distinct invocations of a def) can share a qualname; disambiguate
+        # with a counter.  Safe here because every simulated rank shares
+        # this interpreter's registry; a real cluster would additionally
+        # need deterministic registration order on all nodes.
+        base = f"{fn.__module__}.{fn.__qualname__}"
+        cid = base
+        k = 1
+        while _CODE_SEGMENT.get(cid) is not None and _CODE_SEGMENT[cid] is not fn:
+            k += 1
+            cid = f"{base}#{k}"
+    _CODE_SEGMENT[cid] = fn
+    _FUNC_TO_ID[fn] = cid
+    return fn
+
+
+def lookup_function(code_id: str) -> Callable:
+    fn = _CODE_SEGMENT.get(code_id)
+    if fn is None:
+        raise SerializationError(f"code id not in program image: {code_id!r}")
+    return fn
+
+
+@dataclass(frozen=True)
+class Closure:
+    """A serializable function: code pointer + captured environment.
+
+    Calling the closure applies the underlying function to the environment
+    followed by the call arguments, i.e. ``Closure(f, (a, b))(x)`` computes
+    ``f(a, b, x)``.
+    """
+
+    code_id: str
+    env: tuple = ()
+
+    def __call__(self, *args: Any) -> Any:
+        return lookup_function(self.code_id)(*self.env, *args)
+
+    def bind(self, *extra: Any) -> "Closure":
+        """Partially apply: extend the captured environment."""
+        return Closure(self.code_id, self.env + extra)
+
+
+def closure(fn: Callable, *env: Any) -> Closure:
+    """Build a :class:`Closure` over *fn*, registering it if needed."""
+    cid = _FUNC_TO_ID.get(fn)
+    if cid is None:
+        register_function(fn)
+        cid = _FUNC_TO_ID[fn]
+    return Closure(cid, env)
+
+
+def _encode_closure(obj: Closure, out: bytearray) -> None:
+    _encode_str(obj.code_id, out)
+    _encode(obj.env, out)
+
+
+def _decode_closure(buf: memoryview, offset: int):
+    cid, offset = _decode_str(buf, offset)
+    env, offset = _decode(buf, offset)
+    # Fail fast if the receiving "program image" lacks the code.
+    lookup_function(cid)
+    return Closure(cid, env), offset
+
+
+register_type("repro.Closure", Closure, _encode_closure, _decode_closure)
+
+
+# ---------------------------------------------------------------------------
+# Global segments
+
+
+class GlobalSegment:
+    """A named, node-resident pool of read-only global data.
+
+    ``intern`` returns a :class:`GlobalRef` whose wire representation is a
+    (segment, offset) pair -- a handful of bytes regardless of how large the
+    referenced object is.  All simulated ranks share the interpreter, so a
+    single registry faithfully models "the same global data exists at the
+    same offset in every node's image".
+    """
+
+    _segments: dict[str, "GlobalSegment"] = {}
+
+    def __init__(self, name: str):
+        if name in GlobalSegment._segments:
+            raise ValueError(f"global segment already exists: {name!r}")
+        self.name = name
+        self._objects: list[Any] = []
+        GlobalSegment._segments[name] = self
+
+    @classmethod
+    def get(cls, name: str) -> "GlobalSegment":
+        seg = cls._segments.get(name)
+        if seg is None:
+            raise SerializationError(f"unknown global segment: {name!r}")
+        return seg
+
+    @classmethod
+    def get_or_create(cls, name: str) -> "GlobalSegment":
+        return cls._segments.get(name) or cls(name)
+
+    @classmethod
+    def drop(cls, name: str) -> None:
+        """Remove a segment (test hygiene)."""
+        cls._segments.pop(name, None)
+
+    def intern(self, obj: Any) -> "GlobalRef":
+        self._objects.append(obj)
+        return GlobalRef(self.name, len(self._objects) - 1)
+
+    def fetch(self, offset: int) -> Any:
+        return self._objects[offset]
+
+
+@dataclass(frozen=True)
+class GlobalRef:
+    """Serializable pointer to global data: segment id + offset."""
+
+    segment: str
+    offset: int
+
+    def deref(self) -> Any:
+        return GlobalSegment.get(self.segment).fetch(self.offset)
+
+
+def _encode_globalref(obj: GlobalRef, out: bytearray) -> None:
+    _encode_str(obj.segment, out)
+    serializer._pack_varint(obj.offset, out)
+
+
+def _decode_globalref(buf: memoryview, offset: int):
+    seg, offset = _decode_str(buf, offset)
+    off, offset = serializer._unpack_varint(buf, offset)
+    return GlobalRef(seg, off), offset
+
+
+register_type("repro.GlobalRef", GlobalRef, _encode_globalref, _decode_globalref)

@@ -1,0 +1,130 @@
+"""The Triolet programming interface.
+
+"From an application developer's perspective, Triolet presents an
+extensible set of data-parallel higher-order functions that help
+manipulate aggregate data structures.  A Triolet parallel loop resembles
+sequential Python code that uses list comprehensions and higher-order
+functions to manipulate lists."  (paper §2)
+
+Typical use::
+
+    import numpy as np
+    import repro.triolet as tri
+    from repro.runtime import triolet_runtime
+    from repro.cluster.machine import PAPER_MACHINE
+
+    def dot(xs, ys):
+        return tri.sum(x * y for ... )          # or, explicitly:
+        # tri.sum(tri.map(lambda p: p[0]*p[1], tri.par(tri.zip(xs, ys))))
+
+    with triolet_runtime(PAPER_MACHINE) as rt:
+        result = dot(np.arange(1e6), np.ones(1_000_000))
+        print(rt.last_run.makespan)
+
+Python cannot intercept its own comprehension syntax, so where the paper
+writes ``sum(f(x) for x in par(xs))`` this library writes
+``tri.sum(tri.map(f, tri.par(xs)))`` -- the same desugaring the paper
+describes ("The call of map arises from desugaring the list
+comprehension").
+
+Names mirror the paper's: some shadow Python builtins (``map``, ``zip``,
+``filter``, ``sum``, ``range``); import the module qualified.
+"""
+from __future__ import annotations
+
+from repro.core.domains.multi import (
+    array_range as arrayRange,
+)
+from repro.core.domains.multi import (
+    cols,
+    domain,
+    indices,
+    outerproduct,
+    rows,
+)
+from repro.core.hints import localpar, par, seq
+from repro.core.iterators import (
+    IdxFlat,
+    IdxNest,
+    Iter,
+    ParHint,
+    StepFlat,
+    StepNest,
+    all_match,
+    any_match,
+    append,
+    argmax,
+    argmin,
+    build,
+    collect_list,
+    concat_map,
+    count,
+    drop,
+    find_first,
+    group_reduce,
+    histogram,
+    iterate,
+    mean_variance,
+    prefix_sum,
+    scan,
+    take,
+)
+from repro.core.iterators import enumerate_iter as enumerate  # noqa: A001
+from repro.core.iterators import tfilter as filter  # noqa: A001
+from repro.core.iterators import tmap as map  # noqa: A001
+from repro.core.iterators import tmax as max  # noqa: A001
+from repro.core.iterators import tmin as min  # noqa: A001
+from repro.core.iterators import treduce as reduce
+from repro.core.iterators import tsum as sum  # noqa: A001
+from repro.core.iterators import tzip as zip  # noqa: A001
+from repro.core.fusion import analyze
+
+__all__ = [
+    # hints
+    "par",
+    "localpar",
+    "seq",
+    # construction
+    "iterate",
+    "rows",
+    "cols",
+    "outerproduct",
+    "arrayRange",
+    "indices",
+    "domain",
+    # transforms
+    "map",
+    "zip",
+    "filter",
+    "concat_map",
+    # consumers
+    "sum",
+    "min",
+    "max",
+    "reduce",
+    "count",
+    "histogram",
+    "collect_list",
+    "build",
+    "scan",
+    "prefix_sum",
+    "enumerate",
+    "take",
+    "drop",
+    "append",
+    "find_first",
+    "any_match",
+    "all_match",
+    "group_reduce",
+    "mean_variance",
+    "argmin",
+    "argmax",
+    # types & tools
+    "Iter",
+    "IdxFlat",
+    "StepFlat",
+    "IdxNest",
+    "StepNest",
+    "ParHint",
+    "analyze",
+]

@@ -1,0 +1,31 @@
+"""Tests for the per-app CLIs (``python -m repro.apps.<app>``)."""
+import pytest
+
+from repro.apps.common import app_main
+
+
+class TestAppCli:
+    def test_small_run_prints_speedups(self, capsys):
+        assert app_main("mriq", ["--nodes", "2", "--cores", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "sequential C reference" in out
+        assert "triolet" in out and "cmpi" in out
+        assert "True" in out
+
+    def test_framework_selection(self, capsys):
+        assert app_main("cutcp", ["--nodes", "1", "--cores", "2",
+                                  "--frameworks", "triolet"]) == 0
+        out = capsys.readouterr().out
+        assert "triolet" in out and "cmpi" not in out.split("framework")[1]
+
+    def test_failure_rendered(self, capsys):
+        assert app_main("sgemm", ["--nodes", "2", "--frameworks", "eden"]) == 0
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_bad_framework_rejected(self):
+        with pytest.raises(SystemExit):
+            app_main("mriq", ["--frameworks", "fortress"])
+
+    def test_bad_machine_rejected(self):
+        with pytest.raises(SystemExit):
+            app_main("mriq", ["--nodes", "0"])

@@ -1,0 +1,99 @@
+"""cutcp correctness and behaviour tests."""
+import numpy as np
+import pytest
+
+from repro.apps.cutcp import (
+    make_problem,
+    run_cmpi_app,
+    run_eden,
+    run_triolet,
+    solve_ref,
+)
+from repro.apps.cutcp.kernel import atom_contribution
+from repro.bench.calibrate import costs_for
+from repro.cluster.machine import MachineSpec
+
+MACHINE = MachineSpec(nodes=4, cores_per_node=4)
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return make_problem(na=60, grid=(12, 12, 12), cutoff=3.0, seed=3)
+
+
+@pytest.fixture(scope="module")
+def reference(problem):
+    return solve_ref(problem)
+
+
+@pytest.fixture(scope="module")
+def costs(problem):
+    return costs_for("cutcp", "triolet", problem)
+
+
+class TestKernel:
+    def test_contribution_respects_cutoff(self, problem):
+        p = problem
+        nz, ny, nx = p.grid_dim
+        atom = p.atoms[0]
+        flat, s = atom_contribution(atom, p.grid_dim, p.spacing, p.cutoff)
+        gz = flat // (ny * nx)
+        gy = (flat // nx) % ny
+        gx = flat % nx
+        r = np.sqrt(
+            (gz * p.spacing - atom[0]) ** 2
+            + (gy * p.spacing - atom[1]) ** 2
+            + (gx * p.spacing - atom[2]) ** 2
+        )
+        assert np.all(r < p.cutoff)
+        assert np.all(r > 0)
+
+    def test_potential_formula(self):
+        # One atom at the origin with q=2, grid point at distance 1, c=2.
+        atom = np.array([0.0, 0.0, 0.0, 2.0])
+        flat, s = atom_contribution(atom, (2, 2, 2), 1.0, 2.0)
+        idx = list(flat)
+        # grid point (0,0,1) -> flat 1, r=1: s = 2 * (1/1) * (1 - 1/4)^2
+        assert 1 in idx
+        val = s[idx.index(1)]
+        assert val == pytest.approx(2.0 * (1 - 0.25) ** 2)
+
+    def test_atom_outside_box_contributes_nothing(self):
+        atom = np.array([100.0, 100.0, 100.0, 1.0])
+        flat, s = atom_contribution(atom, (4, 4, 4), 1.0, 2.0)
+        assert len(flat) == 0 and len(s) == 0
+
+    def test_indices_within_grid(self, problem):
+        for atom in problem.atoms[:20]:
+            flat, _ = atom_contribution(
+                atom, problem.grid_dim, problem.spacing, problem.cutoff
+            )
+            assert np.all(flat >= 0) and np.all(flat < problem.grid_size)
+
+
+class TestFrameworks:
+    @pytest.mark.parametrize("runner", [run_triolet, run_eden, run_cmpi_app])
+    def test_matches_reference(self, runner, problem, reference, costs):
+        run = runner(problem, MACHINE, costs)
+        assert run.ok
+        np.testing.assert_allclose(run.value, reference, rtol=1e-9, atol=1e-12)
+
+    def test_superposition(self, costs):
+        """Potentials add: two atoms = sum of single-atom grids."""
+        base = make_problem(na=2, grid=(10, 10, 10), cutoff=3.0, seed=5)
+        both = solve_ref(base)
+        from dataclasses import replace
+
+        one = solve_ref(replace(base, atoms=base.atoms[:1]))
+        two = solve_ref(replace(base, atoms=base.atoms[1:]))
+        np.testing.assert_allclose(both, one + two, rtol=1e-10)
+
+    def test_triolet_gc_time_reported(self, problem, costs):
+        run = run_triolet(problem, MACHINE, costs)
+        assert run.detail["gc_time"] > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_problem(na=0)
+        with pytest.raises(ValueError):
+            make_problem(grid=(1, 4, 4))

@@ -1,0 +1,98 @@
+"""Tests for the synthetic problem generators and their scale accounting."""
+import numpy as np
+import pytest
+
+from repro.apps import cutcp, mriq, sgemm, tpacf
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "make",
+        [mriq.make_problem, sgemm.make_problem, tpacf.make_problem, cutcp.make_problem],
+    )
+    def test_same_seed_same_problem(self, make):
+        a, b = make(seed=3), make(seed=3)
+        for field in a.__dataclass_fields__:
+            va, vb = getattr(a, field), getattr(b, field)
+            if isinstance(va, np.ndarray):
+                np.testing.assert_array_equal(va, vb)
+            else:
+                assert va == vb
+
+    @pytest.mark.parametrize(
+        "make",
+        [mriq.make_problem, sgemm.make_problem, tpacf.make_problem, cutcp.make_problem],
+    )
+    def test_different_seed_different_data(self, make):
+        a, b = make(seed=1), make(seed=2)
+        arrays_a = [
+            getattr(a, f)
+            for f in a.__dataclass_fields__
+            if isinstance(getattr(a, f), np.ndarray)
+        ]
+        arrays_b = [
+            getattr(b, f)
+            for f in b.__dataclass_fields__
+            if isinstance(getattr(b, f), np.ndarray)
+        ]
+        assert any(
+            not np.array_equal(x, y) for x, y in zip(arrays_a, arrays_b)
+        )
+
+
+class TestScaleAccounting:
+    def test_mriq_scales(self):
+        p = mriq.make_problem(npix=1000, nk=100)
+        assert p.visits == 100_000
+        assert p.compute_scale == pytest.approx(p.nominal_visits / p.visits)
+        assert p.wire_scale > 1
+
+    def test_sgemm_visits_cubic(self):
+        small = sgemm.make_problem(n=16)
+        big = sgemm.make_problem(n=32)
+        # n^3 term dominates: doubling n ~ 8x the work
+        assert 7.0 < big.visits / small.visits < 9.0
+
+    def test_tpacf_work_formula(self):
+        p = tpacf.make_problem(m=10, nr=3)
+        dd = 45
+        rr = 3 * 45
+        dr = 3 * 100
+        assert p.visits == dd + rr + dr
+
+    def test_cutcp_pts_per_atom_is_box(self):
+        p = cutcp.make_problem(cutoff=4.0, spacing=1.0)
+        assert p.pts_per_atom == pytest.approx(8.0**3)
+
+    def test_compute_scale_decreases_with_sandbox_size(self):
+        small = mriq.make_problem(npix=500, nk=50)
+        large = mriq.make_problem(npix=2000, nk=200)
+        assert large.compute_scale < small.compute_scale
+
+
+class TestStatistics:
+    def test_tpacf_points_are_unit_vectors(self):
+        p = tpacf.make_problem(m=50, nr=2)
+        np.testing.assert_allclose(np.linalg.norm(p.obs, axis=1), 1.0, rtol=1e-12)
+        np.testing.assert_allclose(
+            np.linalg.norm(p.rands.reshape(-1, 3), axis=1), 1.0, rtol=1e-12
+        )
+
+    def test_cutcp_atoms_inside_box(self):
+        p = cutcp.make_problem(na=100, grid=(16, 16, 16), spacing=0.5)
+        nz, ny, nx = p.grid_dim
+        assert np.all(p.atoms[:, 0] >= 0) and np.all(
+            p.atoms[:, 0] <= (nz - 1) * p.spacing
+        )
+        assert np.all(np.abs(p.atoms[:, 3]) <= 1.0)  # charges in [-1, 1]
+
+    def test_mriq_coordinates_in_fov(self):
+        p = mriq.make_problem(npix=100, nk=10)
+        for axis in (p.x, p.y, p.z):
+            assert np.all(np.abs(axis) <= 0.5)
+        assert np.all(p.mag >= 0)
+
+    def test_sgemm_shapes(self):
+        p = sgemm.make_problem(n=24)
+        assert p.A.shape == (24, 24) and p.B.shape == (24, 24)
+        assert p.n == p.k == p.m == 24

@@ -1,0 +1,108 @@
+"""mri-q correctness and behaviour tests."""
+import numpy as np
+import pytest
+
+from repro.apps.mriq import (
+    make_problem,
+    run_cmpi_app,
+    run_eden,
+    run_triolet,
+    solve_ref,
+)
+from repro.apps.mriq.kernel import ftcoeff, q_for_pixels
+from repro.baselines.eden.runtime import StragglerModel
+from repro.bench.calibrate import costs_for
+from repro.cluster.machine import MachineSpec
+from repro.core import meter
+
+MACHINE = MachineSpec(nodes=4, cores_per_node=4)
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return make_problem(npix=257, nk=33, seed=3)
+
+
+@pytest.fixture(scope="module")
+def reference(problem):
+    return solve_ref(problem)
+
+
+@pytest.fixture(scope="module")
+def costs(problem):
+    return costs_for("mriq", "triolet", problem)
+
+
+class TestKernel:
+    def test_scalar_matches_bulk(self, problem):
+        p = problem
+        scalar = sum(
+            ftcoeff(p.kx[k], p.ky[k], p.kz[k], p.mag[k], p.x[0], p.y[0], p.z[0])
+            for k in range(p.nk)
+        )
+        bulk = q_for_pixels(p.x[:1], p.y[:1], p.z[:1], p.kx, p.ky, p.kz, p.mag)
+        assert bulk[0] == pytest.approx(scalar, rel=1e-10)
+
+    def test_ref_visit_accounting(self, problem):
+        with meter.metered() as m:
+            solve_ref(problem)
+        assert m.visits == problem.npix * problem.nk
+
+    def test_zero_frequency_sample(self):
+        # A k=0 sample contributes its magnitude with zero phase.
+        q = q_for_pixels(
+            np.array([0.3]),
+            np.array([0.1]),
+            np.array([-0.2]),
+            np.zeros(1),
+            np.zeros(1),
+            np.zeros(1),
+            np.array([2.5]),
+        )
+        assert q[0] == pytest.approx(2.5 + 0j)
+
+
+class TestFrameworks:
+    def test_triolet_matches_reference(self, problem, reference, costs):
+        run = run_triolet(problem, MACHINE, costs)
+        np.testing.assert_allclose(run.value, reference, rtol=1e-9)
+
+    def test_eden_matches_reference(self, problem, reference, costs):
+        run = run_eden(problem, MACHINE, costs)
+        np.testing.assert_allclose(run.value, reference, rtol=1e-9)
+
+    def test_cmpi_matches_reference(self, problem, reference, costs):
+        run = run_cmpi_app(problem, MACHINE, costs)
+        np.testing.assert_allclose(run.value, reference, rtol=1e-9)
+
+    def test_single_node_machines(self, problem, reference, costs):
+        tiny = MachineSpec(nodes=1, cores_per_node=2)
+        for runner in (run_triolet, run_eden, run_cmpi_app):
+            run = runner(problem, tiny, costs)
+            np.testing.assert_allclose(run.value, reference, rtol=1e-9)
+
+    def test_triolet_ships_pixel_slices_not_everything(self, problem, costs):
+        run = run_triolet(problem, MACHINE, costs)
+        # Shipped bytes ~ coordinate slices + replicated k-space + results,
+        # not nodes x whole-problem.
+        whole = (3 * problem.npix + 4 * problem.nk) * 8
+        assert run.bytes_shipped < 3 * whole + MACHINE.nodes * 5 * problem.nk * 8
+
+    def test_eden_straggler_changes_time_not_value(self, problem, reference, costs):
+        calm = run_eden(problem, MACHINE, costs, straggler=StragglerModel())
+        stormy = run_eden(
+            problem,
+            MACHINE,
+            costs,
+            straggler=StragglerModel(probability=0.5, min_factor=3, max_factor=4),
+        )
+        np.testing.assert_allclose(calm.value, stormy.value)
+        assert stormy.elapsed > calm.elapsed
+
+    def test_problem_validation(self):
+        with pytest.raises(ValueError):
+            make_problem(npix=0)
+
+    def test_scales(self, problem):
+        assert problem.compute_scale > 1
+        assert problem.wire_scale > 1

@@ -1,0 +1,84 @@
+"""sgemm correctness and behaviour tests."""
+import numpy as np
+import pytest
+
+from repro.apps.sgemm import (
+    make_problem,
+    run_cmpi_app,
+    run_eden,
+    run_triolet,
+    solve_ref,
+)
+from repro.bench.calibrate import costs_for
+from repro.cluster.machine import MachineSpec
+from repro.core import meter
+
+MACHINE = MachineSpec(nodes=4, cores_per_node=4)
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return make_problem(n=40, alpha=2.5, seed=3)
+
+
+@pytest.fixture(scope="module")
+def truth(problem):
+    return problem.alpha * (problem.A @ problem.B)
+
+
+@pytest.fixture(scope="module")
+def costs(problem):
+    return costs_for("sgemm", "triolet", problem)
+
+
+class TestReference:
+    def test_matches_numpy(self, problem, truth):
+        np.testing.assert_allclose(solve_ref(problem), truth, rtol=1e-10)
+
+    def test_visit_accounting(self, problem):
+        with meter.metered() as m:
+            solve_ref(problem)
+        n = problem.n
+        assert m.visits == n * n * n + n * n  # MACs + transpose moves
+
+
+class TestFrameworks:
+    def test_triolet_matches(self, problem, truth, costs):
+        run = run_triolet(problem, MACHINE, costs)
+        np.testing.assert_allclose(run.value, truth, rtol=1e-10)
+
+    def test_triolet_uses_2d_partition(self, problem, costs):
+        run = run_triolet(problem, MACHINE, costs)
+        assert run.detail["partition"].startswith("2d")
+
+    def test_cmpi_matches(self, problem, truth, costs):
+        run = run_cmpi_app(problem, MACHINE, costs)
+        np.testing.assert_allclose(run.value, truth, rtol=1e-10)
+
+    def test_eden_single_node_matches(self, problem, truth, costs):
+        run = run_eden(problem, MachineSpec(nodes=1, cores_per_node=4), costs)
+        assert run.ok
+        np.testing.assert_allclose(run.value, truth, rtol=1e-10)
+
+    def test_eden_fails_at_multiple_nodes_at_paper_scale(self, problem, costs):
+        """§4.3: 'The Eden code fails at 2 nodes because the array data is
+        too large for Eden's message-passing runtime to buffer.'"""
+        run = run_eden(problem, MachineSpec(nodes=2, cores_per_node=16), costs)
+        assert not run.ok
+        assert "buffer" in run.failed
+
+    def test_nonsquare_grid_machines(self, problem, truth, costs):
+        for nodes in (2, 3, 5):
+            m = MachineSpec(nodes=nodes, cores_per_node=4)
+            run = run_triolet(problem, m, costs)
+            np.testing.assert_allclose(run.value, truth, rtol=1e-10)
+            run = run_cmpi_app(problem, m, costs)
+            np.testing.assert_allclose(run.value, truth, rtol=1e-10)
+
+    def test_transpose_is_separate_section(self, problem, costs):
+        run = run_triolet(problem, MACHINE, costs)
+        assert 0 < run.detail["transpose_time"] < run.elapsed
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_problem(n=0)

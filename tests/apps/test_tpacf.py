@@ -1,0 +1,87 @@
+"""tpacf correctness and behaviour tests."""
+import numpy as np
+import pytest
+
+from repro.apps.tpacf import (
+    make_problem,
+    run_cmpi_app,
+    run_eden,
+    run_triolet,
+    solve_ref,
+)
+from repro.apps.tpacf.kernel import correlate_cross, correlate_self, row_bins, score
+from repro.bench.calibrate import costs_for
+from repro.cluster.machine import MachineSpec
+
+MACHINE = MachineSpec(nodes=4, cores_per_node=4)
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return make_problem(m=30, nr=6, nbins=12, seed=3)
+
+
+@pytest.fixture(scope="module")
+def reference(problem):
+    return solve_ref(problem)
+
+
+@pytest.fixture(scope="module")
+def costs(problem):
+    return costs_for("tpacf", "triolet", problem)
+
+
+class TestKernel:
+    def test_row_bins_matches_scalar_score(self, problem):
+        p = problem
+        u = p.obs[0]
+        vs = p.obs[1:]
+        bins = row_bins(p.nbins, u, vs)
+        expected = [score(p.nbins, u, v) for v in vs]
+        assert list(bins) == expected
+
+    def test_identical_points_bin_zero(self):
+        u = np.array([1.0, 0.0, 0.0])
+        assert score(10, u, u) == 0
+
+    def test_antipodal_points_last_bin(self):
+        u = np.array([1.0, 0.0, 0.0])
+        assert score(10, u, -u) == 9
+
+    def test_self_correlation_counts_unique_pairs(self, problem):
+        hist = correlate_self(problem.nbins, problem.obs)
+        m = problem.m
+        assert hist.sum() == m * (m - 1) / 2
+
+    def test_cross_correlation_counts_all_pairs(self, problem):
+        hist = correlate_cross(problem.nbins, problem.obs, problem.rands[0])
+        assert hist.sum() == problem.m * problem.m
+
+    def test_empty_tail_row(self):
+        assert len(row_bins(8, np.array([1.0, 0, 0]), np.empty((0, 3)))) == 0
+
+
+class TestFrameworks:
+    @pytest.mark.parametrize("runner", [run_triolet, run_eden, run_cmpi_app])
+    def test_matches_reference(self, runner, problem, reference, costs):
+        run = runner(problem, MACHINE, costs)
+        assert run.ok
+        for key in ("dd", "dr", "rr"):
+            np.testing.assert_allclose(run.value[key], reference[key])
+
+    @pytest.mark.parametrize("nodes", [1, 3, 5])
+    def test_odd_machine_shapes(self, nodes, problem, reference, costs):
+        m = MachineSpec(nodes=nodes, cores_per_node=3)
+        run = run_triolet(problem, m, costs)
+        for key in ("dd", "dr", "rr"):
+            np.testing.assert_allclose(run.value[key], reference[key])
+
+    def test_histogram_totals_conserved(self, problem, reference):
+        m, nr = problem.m, problem.nr
+        assert reference["dd"].sum() == m * (m - 1) / 2
+        assert reference["dr"].sum() == nr * m * m
+        assert reference["rr"].sum() == nr * m * (m - 1) / 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_problem(m=1)

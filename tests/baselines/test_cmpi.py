@@ -1,0 +1,102 @@
+"""Unit tests for the C+MPI+OpenMP-like baseline helpers."""
+import numpy as np
+import pytest
+
+from repro.baselines.cmpi import omp_parallel_for, run_cmpi
+from repro.baselines.seqc import run_seqc
+from repro.cluster.machine import MachineSpec
+from repro.core import meter
+from repro.runtime.costs import CostContext
+
+MACHINE = MachineSpec(nodes=4, cores_per_node=4)
+COSTS = CostContext(unit_time=1e-6)
+
+
+class TestOmpParallelFor:
+    def _run(self, durations_visits, schedule="static"):
+        def rank_fn(comm, costs):
+            def mk(v):
+                def task():
+                    meter.tally_visits(v)
+                    return v
+
+                return task
+
+            results = omp_parallel_for(
+                comm, costs, [mk(v) for v in durations_visits], schedule=schedule
+            )
+            return (results, comm.clock.now)
+
+        from repro.cluster.process import run_spmd
+
+        res = run_spmd(MACHINE, rank_fn, nranks=1, args=(COSTS,))
+        return res.results[0]
+
+    def test_results_in_order(self):
+        results, _ = self._run([3, 1, 2])
+        assert results == [3, 1, 2]
+
+    def test_balanced_speedup(self):
+        _, t = self._run([1000] * 4)  # 4 equal tasks on 4 cores
+        assert t < 4 * 1000 * 1e-6  # faster than sequential
+
+    def test_static_vs_dynamic_on_imbalance(self):
+        skewed = [4000, 10, 10, 10, 10, 10, 10, 10]
+        _, t_static = self._run(skewed, "static")
+        _, t_dynamic = self._run(skewed, "dynamic")
+        assert t_dynamic <= t_static
+
+    def test_empty_task_list(self):
+        results, t = self._run([])
+        assert results == [] and t >= 0
+
+    def test_unknown_schedule(self):
+        with pytest.raises(ValueError):
+            self._run([1], schedule="guided-oops")
+
+
+class TestRunCmpi:
+    def test_one_rank_per_node(self):
+        def rank_fn(comm, costs):
+            return (comm.rank, comm.size, comm.node)
+
+        res = run_cmpi(MACHINE, rank_fn, COSTS)
+        assert res.value == (0, 4, 0)
+
+    def test_explicit_nodes(self):
+        def rank_fn(comm, costs):
+            return comm.size
+
+        res = run_cmpi(MACHINE, rank_fn, COSTS, nodes=2)
+        assert res.value == 2
+
+    def test_bytes_counted(self):
+        def rank_fn(comm, costs):
+            if comm.rank == 0:
+                comm.Send(np.zeros(1000), dest=1)
+                return None
+            if comm.rank == 1:
+                return comm.Recv(source=0).sum()
+            return None
+
+        res = run_cmpi(MACHINE, rank_fn, COSTS)
+        assert res.bytes_shipped >= 8000
+
+
+class TestSeqC:
+    def test_run_seqc_meters_and_prices(self):
+        def kernel():
+            meter.tally_visits(500)
+            return "value"
+
+        out = run_seqc(kernel, CostContext(unit_time=2e-3))
+        assert out.value == "value"
+        assert out.visits == 500
+        assert out.seconds == pytest.approx(1.0)
+
+    def test_compute_scale_applied(self):
+        def kernel():
+            meter.tally_visits(100)
+
+        out = run_seqc(kernel, CostContext(unit_time=1e-3, compute_scale=10.0))
+        assert out.seconds == pytest.approx(1.0)

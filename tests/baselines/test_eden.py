@@ -1,0 +1,189 @@
+"""Unit tests for the Eden-like baseline framework."""
+import numpy as np
+import pytest
+
+from repro.baselines.eden import (
+    EdenRuntime,
+    StragglerModel,
+    chunk_array,
+    chunked_nbytes,
+    unchunk,
+)
+from repro.cluster.limits import RuntimeLimits
+from repro.cluster.machine import MachineSpec
+from repro.core import meter
+from repro.runtime.costs import CostContext
+
+MACHINE = MachineSpec(nodes=4, cores_per_node=4)
+
+
+def work_square(item, payload):
+    meter.tally_visits(int(np.size(item)))
+    return np.asarray(item) ** 2
+
+
+def work_sum(item, payload):
+    meter.tally_visits(int(np.size(item)))
+    bonus = payload if isinstance(payload, (int, float)) else 0.0
+    return float(np.sum(item)) + bonus
+
+
+class TestChunkedArrays:
+    def test_chunk_unchunk_roundtrip(self):
+        xs = np.arange(2500.0)
+        chunks = chunk_array(xs, 1024)
+        assert len(chunks) == 3
+        np.testing.assert_array_equal(unchunk(chunks), xs)
+
+    def test_chunks_are_views(self):
+        xs = np.arange(10.0)
+        chunks = chunk_array(xs, 4)
+        assert chunks[0].base is xs
+
+    def test_empty_array(self):
+        chunks = chunk_array(np.array([]), 4)
+        assert len(chunks) == 1 and len(chunks[0]) == 0
+
+    def test_2d_chunks_by_rows(self):
+        A = np.arange(24.0).reshape(6, 4)
+        chunks = chunk_array(A, 2)
+        assert all(c.shape == (2, 4) for c in chunks)
+        np.testing.assert_array_equal(unchunk(chunks), A)
+
+    def test_wire_size_includes_spine_overhead(self):
+        xs = np.arange(2048.0)
+        one = chunked_nbytes(chunk_array(xs, 2048))
+        many = chunked_nbytes(chunk_array(xs, 16))
+        assert many > one  # boxed list spine costs per cell
+
+    def test_invalid_chunk(self):
+        with pytest.raises(ValueError):
+            chunk_array(np.arange(4), 0)
+        with pytest.raises(ValueError):
+            unchunk([])
+
+
+class TestFarm:
+    def test_map_collect_preserves_order(self):
+        rt = EdenRuntime(MACHINE)
+        items = [np.full(3, float(i)) for i in range(10)]
+        out = rt.map_collect(items, work_square)
+        assert len(out) == 10
+        for i, arr in enumerate(out):
+            np.testing.assert_array_equal(arr, np.full(3, float(i)) ** 2)
+
+    def test_map_reduce(self):
+        rt = EdenRuntime(MACHINE)
+        items = [np.arange(5.0) for _ in range(8)]
+        total = rt.map_reduce(items, work_sum, lambda a, b: a + b)
+        assert total == pytest.approx(8 * 10.0)
+
+    def test_payload_reaches_every_item(self):
+        rt = EdenRuntime(MACHINE)
+        total = rt.map_reduce(
+            [np.zeros(1)] * 6, work_sum, lambda a, b: a + b, payload=2.5
+        )
+        assert total == pytest.approx(6 * 2.5)
+
+    def test_fewer_items_than_processes(self):
+        rt = EdenRuntime(MACHINE)
+        out = rt.map_collect([np.arange(2.0)], work_square)
+        assert len(out) == 1
+
+    def test_single_core_machine(self):
+        rt = EdenRuntime(MachineSpec(nodes=1, cores_per_node=1))
+        total = rt.map_reduce(
+            [np.arange(3.0)] * 4, work_sum, lambda a, b: a + b
+        )
+        assert total == pytest.approx(4 * 3.0)
+
+    def test_empty_items_rejected(self):
+        rt = EdenRuntime(MACHINE)
+        with pytest.raises(ValueError):
+            rt.map_collect([], work_square)
+
+    def test_clock_advances_per_farm(self):
+        rt = EdenRuntime(MACHINE, costs=CostContext(unit_time=1e-6))
+        rt.map_collect([np.arange(100.0)] * 4, work_square)
+        t1 = rt.elapsed
+        rt.map_collect([np.arange(100.0)] * 4, work_square)
+        assert rt.elapsed > t1
+        assert len(rt.runs) == 2
+
+    def test_run_sequential_charges_main(self):
+        rt = EdenRuntime(MACHINE, costs=CostContext(unit_time=1e-3))
+
+        def task():
+            meter.tally_visits(100)
+            return 7
+
+        assert rt.run_sequential(task) == 7
+        assert rt.elapsed == pytest.approx(0.1)
+
+
+class TestStraggler:
+    def test_zero_probability_is_identity(self):
+        model = StragglerModel(probability=0.0)
+        rng = np.random.default_rng(0)
+        assert all(model.factor(rng) == 1.0 for _ in range(100))
+
+    def test_always_straggle_in_range(self):
+        model = StragglerModel(probability=1.0, min_factor=2.0, max_factor=3.0)
+        rng = np.random.default_rng(0)
+        factors = [model.factor(rng) for _ in range(100)]
+        assert all(2.0 <= f <= 3.0 for f in factors)
+
+    def test_stragglers_deterministic_per_seed(self):
+        def run():
+            rt = EdenRuntime(
+                MACHINE,
+                costs=CostContext(unit_time=1e-6),
+                straggler=StragglerModel(probability=0.3, seed=5),
+            )
+            rt.map_collect([np.arange(50.0)] * 8, work_square)
+            return rt.elapsed
+
+        assert run() == run()
+
+    def test_stragglers_slow_the_farm(self):
+        calm = EdenRuntime(MACHINE, costs=CostContext(unit_time=1e-6))
+        calm.map_collect([np.arange(500.0)] * 16, work_square)
+        stormy = EdenRuntime(
+            MACHINE,
+            costs=CostContext(unit_time=1e-6),
+            straggler=StragglerModel(probability=1.0, min_factor=3, max_factor=3),
+        )
+        stormy.map_collect([np.arange(500.0)] * 16, work_square)
+        assert stormy.elapsed > calm.elapsed
+
+
+class TestWholeDataSemantics:
+    def test_payload_replicated_per_process(self):
+        """More processes -> proportionally more payload bytes shipped."""
+        payload = np.arange(5000.0)
+
+        def run(machine):
+            rt = EdenRuntime(machine, costs=CostContext())
+            rt.map_reduce(
+                [np.zeros(1)] * machine.nodes * machine.cores_per_node,
+                work_sum,
+                lambda a, b: a + b,
+                payload=payload,
+            )
+            return rt.runs[-1].bytes_shipped
+
+        small = run(MachineSpec(nodes=2, cores_per_node=2))
+        large = run(MachineSpec(nodes=4, cores_per_node=4))
+        assert large > 3 * small
+
+    def test_buffer_limit_respected(self):
+        from repro.cluster.limits import BufferOverflowError
+
+        rt = EdenRuntime(
+            MACHINE,
+            costs=CostContext(wire_scale=1.0),
+            limits=RuntimeLimits(max_message_bytes=1000),
+        )
+        big = np.zeros(10_000)
+        with pytest.raises(BufferOverflowError):
+            rt.map_reduce([big] * 8, work_sum, lambda a, b: a + b)

@@ -1,0 +1,30 @@
+"""Tests for the ``python -m repro.bench`` CLI."""
+import pytest
+
+from repro.bench.__main__ import main
+
+
+class TestCli:
+    def test_fig3_only(self, capsys):
+        assert main(["fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "sequential execution time" in out
+        assert "tpacf" in out and "cutcp" in out
+
+    def test_single_figure_with_nodes(self, capsys):
+        assert main(["sgemm", "--nodes", "1,2"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 5" in out
+        assert "FAIL" in out  # Eden's buffer failure at 2 nodes
+
+    def test_bad_nodes_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig3", "--nodes", "zero"])
+
+    def test_negative_nodes_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig3", "--nodes", "0,1"])
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig9"])

@@ -1,0 +1,52 @@
+"""Tests for the ASCII figure renderer."""
+import pytest
+
+from repro.bench.figures import plot_series
+from repro.bench.harness import SpeedupPoint
+
+
+def pt(fw, nodes, speedup, failed=None):
+    return SpeedupPoint(
+        app="x",
+        framework=fw,
+        nodes=nodes,
+        cores=nodes * 16,
+        speedup=speedup,
+        elapsed=1.0,
+        correct=failed is None,
+        failed=failed,
+    )
+
+
+class TestPlot:
+    def test_basic_plot_contains_glyphs(self):
+        series = {
+            "cmpi": [pt("cmpi", 1, 15.0), pt("cmpi", 8, 100.0)],
+            "triolet": [pt("triolet", 1, 14.0), pt("triolet", 8, 80.0)],
+        }
+        out = plot_series("x", series)
+        assert "C" in out and "T" in out
+        assert "=linear" in out
+        assert "128 cores" in out
+
+    def test_failed_runs_footnoted_not_plotted(self):
+        series = {
+            "eden": [pt("eden", 1, 10.0), pt("eden", 8, 0.0, failed="buffer")],
+        }
+        out = plot_series("x", series)
+        assert "failed runs: eden@128c" in out
+
+    def test_all_failed(self):
+        series = {"eden": [pt("eden", 1, 0.0, failed="x")]}
+        assert "no successful runs" in plot_series("x", series)
+
+    def test_y_axis_covers_linear_reference(self):
+        # even if all speedups are small, the axis reaches the core count
+        series = {"cmpi": [pt("cmpi", 8, 5.0)]}
+        out = plot_series("x", series)
+        assert "128" in out.splitlines()[1]  # top y label
+
+    def test_unknown_framework_gets_a_glyph(self):
+        series = {"mylang": [pt("mylang", 1, 8.0)]}
+        out = plot_series("x", series)
+        assert "M=mylang" in out

@@ -1,0 +1,90 @@
+"""Tests for the figure-regeneration harness and calibration."""
+import numpy as np
+import pytest
+
+from repro.bench import (
+    APPS,
+    SpeedupPoint,
+    make_problem,
+    render_series,
+    run_point,
+    scaling_series,
+    sequential_seconds,
+)
+from repro.bench.calibrate import SEQ_SECONDS, costs_for, unit_time
+
+
+class TestCalibration:
+    def test_every_app_calibrated_for_every_framework(self):
+        for app in APPS:
+            p = make_problem(app)
+            for fw in ("c", "triolet", "eden", "cmpi"):
+                costs = costs_for(app, fw, p)
+                assert costs.unit_time > 0
+                assert costs.compute_scale >= 1
+                assert costs.wire_scale >= 1
+
+    def test_cmpi_shares_c_constants(self):
+        assert unit_time("mriq", "cmpi", 1e9) == unit_time("mriq", "c", 1e9)
+
+    def test_fig3_window(self):
+        for app, row in SEQ_SECONDS.items():
+            assert 20.0 <= row["c"] <= 200.0, app
+
+    def test_ratios_match_paper_statements(self):
+        # mri-q Eden: "about 50% longer"
+        r = SEQ_SECONDS["mriq"]["eden"] / SEQ_SECONDS["mriq"]["c"]
+        assert 1.4 <= r <= 1.6
+        # Triolet close to C everywhere
+        for app, row in SEQ_SECONDS.items():
+            assert row["c"] <= row["triolet"] <= row["eden"]
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(KeyError):
+            unit_time("nosuchapp", "c", 1.0)
+
+
+class TestRunPoint:
+    @pytest.mark.parametrize("app", sorted(APPS))
+    def test_single_node_point(self, app):
+        pt = run_point(app, "triolet", nodes=1, cores_per_node=4)
+        assert isinstance(pt, SpeedupPoint)
+        assert pt.correct
+        assert 0 < pt.speedup <= 4.5
+        assert pt.cores == 4
+
+    def test_speedup_is_relative_to_sequential_c(self):
+        p = make_problem("mriq")
+        seq_s, _ = sequential_seconds("mriq", p)
+        pt = run_point("mriq", "triolet", nodes=2, problem=p, cores_per_node=4)
+        assert pt.speedup == pytest.approx(seq_s / pt.elapsed)
+
+    def test_failed_run_reports_failure(self):
+        # sgemm Eden at 2 nodes: the paper's buffer failure.
+        pt = run_point("sgemm", "eden", nodes=2)
+        assert pt.failed is not None
+        assert pt.speedup == 0.0
+
+    def test_reference_reuse_gives_same_point(self):
+        p = make_problem("tpacf")
+        ref = sequential_seconds("tpacf", p)
+        a = run_point("tpacf", "cmpi", 2, problem=p, reference=ref)
+        b = run_point("tpacf", "cmpi", 2, problem=p, reference=ref)
+        assert a.speedup == b.speedup  # deterministic
+
+
+class TestSeries:
+    def test_series_structure(self):
+        s = scaling_series("sgemm", frameworks=("cmpi",), node_counts=(1, 2))
+        assert list(s) == ["cmpi"]
+        assert [pt.cores for pt in s["cmpi"]] == [16, 32]
+
+    def test_render_series_mentions_failures(self):
+        s = scaling_series("sgemm", frameworks=("eden",), node_counts=(1, 2))
+        text = render_series("sgemm", s)
+        assert "FAIL" in text
+        assert "linear" in text
+
+    def test_more_nodes_never_wrong(self):
+        s = scaling_series("mriq", frameworks=("triolet",), node_counts=(1, 3, 5))
+        assert all(pt.correct for pt in s["triolet"])

@@ -1,0 +1,97 @@
+"""Tests for the distributed algorithms (sample sort, unique counts)."""
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import MachineSpec, run_spmd
+from repro.cluster.algorithms import distributed_unique_counts, sample_sort
+
+MACHINE = MachineSpec(nodes=8, cores_per_node=2)
+
+
+def _run_sort(per_rank_data: list[np.ndarray]):
+    nranks = len(per_rank_data)
+
+    def main(comm):
+        return sample_sort(comm, per_rank_data[comm.rank])
+
+    res = run_spmd(MACHINE, main, nranks=nranks)
+    return res.results
+
+
+class TestSampleSort:
+    def test_globally_sorted(self):
+        rng = np.random.default_rng(0)
+        data = [rng.standard_normal(100) for _ in range(4)]
+        pieces = _run_sort(data)
+        glued = np.concatenate(pieces)
+        expected = np.sort(np.concatenate(data))
+        np.testing.assert_array_equal(glued, expected)
+
+    def test_single_rank(self):
+        pieces = _run_sort([np.array([3.0, 1.0, 2.0])])
+        np.testing.assert_array_equal(pieces[0], [1.0, 2.0, 3.0])
+
+    def test_uneven_inputs(self):
+        data = [np.arange(10.0)[::-1], np.array([]), np.array([5.5]), np.arange(3.0)]
+        pieces = _run_sort(data)
+        glued = np.concatenate([p for p in pieces if p.size])
+        expected = np.sort(np.concatenate(data))
+        np.testing.assert_array_equal(glued, expected)
+
+    def test_duplicates_preserved(self):
+        data = [np.array([1.0, 1.0, 2.0]), np.array([1.0, 2.0, 2.0])]
+        pieces = _run_sort(data)
+        glued = np.concatenate(pieces)
+        np.testing.assert_array_equal(glued, [1.0, 1.0, 1.0, 2.0, 2.0, 2.0])
+
+    def test_pieces_are_ordered_by_rank(self):
+        rng = np.random.default_rng(1)
+        data = [rng.uniform(0, 100, 64) for _ in range(8)]
+        pieces = _run_sort(data)
+        for a, b in zip(pieces, pieces[1:]):
+            if a.size and b.size:
+                assert a[-1] <= b[0]
+
+    def test_rejects_2d(self):
+        def main(comm):
+            sample_sort(comm, np.zeros((2, 2)))
+
+        with pytest.raises(ValueError):
+            run_spmd(MACHINE, main, nranks=2)
+
+    @given(
+        st.lists(
+            st.lists(st.integers(-50, 50), max_size=30),
+            min_size=2,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_property_matches_numpy(self, chunks):
+        data = [np.array(c, dtype=np.float64) for c in chunks]
+        pieces = _run_sort(data)
+        glued = np.concatenate([p for p in pieces if p.size] or [np.array([])])
+        expected = np.sort(np.concatenate(data)) if any(len(c) for c in chunks) else np.array([])
+        np.testing.assert_array_equal(glued, expected)
+
+
+class TestUniqueCounts:
+    def test_counts_merge_globally(self):
+        data = [np.array([1, 2, 2]), np.array([2, 3]), np.array([1])]
+
+        def main(comm):
+            return distributed_unique_counts(comm, data[comm.rank])
+
+        res = run_spmd(MACHINE, main, nranks=3)
+        expected = {1: 2, 2: 3, 3: 1}
+        assert all(r == expected for r in res.results)
+
+    def test_empty_contribution(self):
+        data = [np.array([7]), np.array([], dtype=np.int64)]
+
+        def main(comm):
+            return distributed_unique_counts(comm, data[comm.rank])
+
+        res = run_spmd(MACHINE, main, nranks=2)
+        assert res.results[0] == {7: 1}

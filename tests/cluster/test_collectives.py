@@ -1,0 +1,148 @@
+"""Collective-operation tests: correctness on every rank count 1..9."""
+import numpy as np
+import pytest
+
+from repro.cluster import MachineSpec, run_spmd
+
+MACHINE = MachineSpec(nodes=16, cores_per_node=1)
+SIZES = [1, 2, 3, 4, 5, 7, 8, 9]
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("root", [0, "last"])
+def test_bcast_all_ranks_receive(size, root):
+    root = size - 1 if root == "last" else 0
+
+    def main(comm):
+        obj = {"data": [1, 2, 3]} if comm.rank == root else None
+        return comm.bcast(obj, root=root)
+
+    res = run_spmd(MACHINE, main, nranks=size)
+    assert all(r == {"data": [1, 2, 3]} for r in res.results)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_scatter_distributes_chunks(size):
+    def main(comm):
+        chunks = [i * 10 for i in range(comm.size)] if comm.rank == 0 else None
+        return comm.scatter(chunks, root=0)
+
+    res = run_spmd(MACHINE, main, nranks=size)
+    assert res.results == [i * 10 for i in range(size)]
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_gather_collects_in_rank_order(size):
+    def main(comm):
+        return comm.gather(comm.rank**2, root=0)
+
+    res = run_spmd(MACHINE, main, nranks=size)
+    assert res.results[0] == [i**2 for i in range(size)]
+    assert all(r is None for r in res.results[1:])
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("root", [0, "mid"])
+def test_reduce_sum(size, root):
+    root = size // 2 if root == "mid" else 0
+
+    def main(comm):
+        return comm.reduce(comm.rank + 1, op=lambda a, b: a + b, root=root)
+
+    res = run_spmd(MACHINE, main, nranks=size)
+    assert res.results[root] == size * (size + 1) // 2
+    assert all(r is None for i, r in enumerate(res.results) if i != root)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_reduce_array_sum(size):
+    def main(comm):
+        local = np.full(5, float(comm.rank + 1))
+        return comm.reduce(local, op=lambda a, b: a + b, root=0)
+
+    res = run_spmd(MACHINE, main, nranks=size)
+    np.testing.assert_allclose(res.results[0], np.full(5, size * (size + 1) / 2))
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_allreduce_everyone_gets_total(size):
+    def main(comm):
+        return comm.allreduce(comm.rank, op=lambda a, b: a + b)
+
+    res = run_spmd(MACHINE, main, nranks=size)
+    assert res.results == [size * (size - 1) // 2] * size
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_allgather(size):
+    def main(comm):
+        return comm.allgather(chr(ord("a") + comm.rank))
+
+    res = run_spmd(MACHINE, main, nranks=size)
+    expected = [chr(ord("a") + i) for i in range(size)]
+    assert res.results == [expected] * size
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_alltoall_transposes(size):
+    def main(comm):
+        chunks = [(comm.rank, dst) for dst in range(comm.size)]
+        return comm.alltoall(chunks)
+
+    res = run_spmd(MACHINE, main, nranks=size)
+    for rank, got in enumerate(res.results):
+        assert got == [(src, rank) for src in range(size)]
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_barrier_synchronizes_clocks(size):
+    def main(comm):
+        comm.compute(float(comm.rank))  # rank i works i seconds
+        comm.barrier()
+        return comm.clock.now
+
+    res = run_spmd(MACHINE, main, nranks=size)
+    slowest = size - 1.0
+    assert all(t >= slowest for t in res.results)
+
+
+def test_consecutive_collectives_do_not_cross_talk():
+    def main(comm):
+        a = comm.bcast(comm.rank if comm.rank == 0 else None, root=0)
+        b = comm.bcast(comm.rank if comm.rank == 1 else None, root=1)
+        c = comm.allreduce(1, op=lambda x, y: x + y)
+        return (a, b, c)
+
+    res = run_spmd(MACHINE, main, nranks=6)
+    assert res.results == [(0, 1, 6)] * 6
+
+
+def test_bcast_tree_is_log_depth():
+    """With 8 ranks a binomial bcast needs 3 latency hops, not 7."""
+
+    def main(comm):
+        comm.bcast("payload", root=0)
+        return comm.clock.now
+
+    machine = MachineSpec(nodes=8, cores_per_node=1)
+    res = run_spmd(machine, main, nranks=8)
+    lat = machine.net.latency
+    finish = max(res.results)
+    # Tree depth 3 -> ~3 latencies on the critical path; linear would be >=7.
+    assert finish < 6.5 * lat
+    assert finish >= 2.5 * lat
+
+
+def test_scatter_root_injection_is_linear():
+    """Root must inject each chunk: time grows with rank count."""
+
+    def main(comm):
+        payload = np.zeros(125_000)  # 1 MB
+        chunks = [payload] * comm.size if comm.rank == 0 else None
+        comm.scatter(chunks, root=0)
+        return comm.clock.now
+
+    m = MachineSpec(nodes=16, cores_per_node=1)
+    t4 = run_spmd(m, main, nranks=4).makespan
+    t16 = run_spmd(m, main, nranks=16).makespan
+    assert t16 > 2.5 * t4

@@ -1,0 +1,103 @@
+"""Tests for the vector collectives (Scatterv/Gatherv/reduce_scatter)."""
+import numpy as np
+import pytest
+
+from repro.cluster import MachineSpec, run_spmd
+from repro.cluster.collectives import gatherv, reduce_scatter, scatterv
+
+MACHINE = MachineSpec(nodes=8, cores_per_node=2)
+
+
+class TestScatterv:
+    def test_uneven_rows(self):
+        counts = [3, 1, 4, 2]
+        data = np.arange(10.0)
+
+        def main(comm):
+            local = scatterv(comm, data if comm.rank == 0 else None, counts if comm.rank == 0 else None)
+            return list(local)
+
+        res = run_spmd(MACHINE, main, nranks=4)
+        assert res.results == [[0, 1, 2], [3], [4, 5, 6, 7], [8, 9]]
+
+    def test_2d_rows(self):
+        data = np.arange(12.0).reshape(6, 2)
+
+        def main(comm):
+            local = scatterv(
+                comm,
+                data if comm.rank == 0 else None,
+                [4, 2] if comm.rank == 0 else None,
+            )
+            return local.shape
+
+        res = run_spmd(MACHINE, main, nranks=2)
+        assert res.results == [(4, 2), (2, 2)]
+
+    def test_zero_count_ranks(self):
+        def main(comm):
+            local = scatterv(
+                comm,
+                np.arange(4.0) if comm.rank == 0 else None,
+                [4, 0] if comm.rank == 0 else None,
+            )
+            return len(local)
+
+        res = run_spmd(MACHINE, main, nranks=2)
+        assert res.results == [4, 0]
+
+    def test_bad_counts_rejected(self):
+        def main(comm):
+            scatterv(
+                comm,
+                np.arange(4.0) if comm.rank == 0 else None,
+                [1, 1] if comm.rank == 0 else None,  # sums to 2, not 4
+            )
+
+        with pytest.raises(ValueError):
+            run_spmd(MACHINE, main, nranks=2)
+
+
+class TestGatherv:
+    def test_roundtrip_with_scatterv(self):
+        data = np.arange(20.0)
+        counts = [7, 3, 6, 4]
+
+        def main(comm):
+            local = scatterv(
+                comm,
+                data if comm.rank == 0 else None,
+                counts if comm.rank == 0 else None,
+            )
+            return gatherv(comm, local * 2)
+
+        res = run_spmd(MACHINE, main, nranks=4)
+        np.testing.assert_array_equal(res.results[0], data * 2)
+        assert all(r is None for r in res.results[1:])
+
+
+class TestReduceScatter:
+    def test_each_rank_owns_its_chunk(self):
+        def main(comm):
+            # rank r contributes [r, r, r, r] split as one chunk per rank
+            chunks = [np.full(2, float(comm.rank)) for _ in range(comm.size)]
+            return reduce_scatter(comm, chunks, lambda a, b: a + b)
+
+        res = run_spmd(MACHINE, main, nranks=4)
+        total = sum(range(4))
+        for r in res.results:
+            np.testing.assert_array_equal(r, np.full(2, float(total)))
+
+    def test_matches_allreduce_slice(self):
+        rng = np.random.default_rng(0)
+        data = rng.standard_normal((4, 8))  # per-rank contribution rows
+
+        def main(comm):
+            mine = data[comm.rank]
+            chunks = [mine[2 * i : 2 * i + 2] for i in range(comm.size)]
+            rs = reduce_scatter(comm, chunks, lambda a, b: a + b)
+            full = comm.allreduce(mine, op=lambda a, b: a + b)
+            return np.allclose(rs, full[2 * comm.rank : 2 * comm.rank + 2])
+
+        res = run_spmd(MACHINE, main, nranks=4)
+        assert all(res.results)

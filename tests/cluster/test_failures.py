@@ -1,0 +1,151 @@
+"""Failure injection: the simulated cluster under misbehaving programs."""
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    BufferOverflowError,
+    MachineSpec,
+    RuntimeLimits,
+    SimDeadlockError,
+    run_spmd,
+)
+
+MACHINE = MachineSpec(nodes=4, cores_per_node=2)
+
+
+class TestRankFailures:
+    def test_exception_type_preserved(self):
+        class AppError(RuntimeError):
+            pass
+
+        def main(comm):
+            if comm.rank == 2:
+                raise AppError("rank 2 exploded")
+            comm.barrier()
+
+        with pytest.raises(AppError, match="rank 2 exploded"):
+            run_spmd(MACHINE, main, nranks=4)
+
+    def test_failure_mid_collective_unblocks_everyone(self):
+        """Ranks blocked in a reduce must not hang when a peer dies."""
+
+        def main(comm):
+            if comm.rank == 1:
+                raise ValueError("died before contributing")
+            return comm.allreduce(comm.rank, op=lambda a, b: a + b)
+
+        with pytest.raises(ValueError):
+            run_spmd(MACHINE, main, nranks=4, real_timeout=10.0)
+
+    def test_lowest_failing_rank_wins(self):
+        def main(comm):
+            raise RuntimeError(f"boom {comm.rank}")
+
+        with pytest.raises(RuntimeError, match="boom 0"):
+            run_spmd(MACHINE, main, nranks=4)
+
+    def test_failure_after_success_of_others(self):
+        """A late failure still fails the run (no partial results leak)."""
+
+        def main(comm):
+            token = comm.bcast("ok" if comm.rank == 0 else None)
+            if comm.rank == comm.size - 1:
+                raise RuntimeError("late failure")
+            return token
+
+        with pytest.raises(RuntimeError, match="late failure"):
+            run_spmd(MACHINE, main, nranks=4)
+
+
+class TestDeadlocks:
+    def test_recv_with_no_sender_times_out(self):
+        def main(comm):
+            if comm.rank == 1:
+                comm.recv(source=0, tag=42)  # nobody sends tag 42
+
+        with pytest.raises(SimDeadlockError):
+            run_spmd(MACHINE, main, nranks=2, real_timeout=0.3)
+
+    def test_cyclic_wait_times_out(self):
+        def main(comm):
+            # Everyone receives before sending: a classic deadlock.
+            peer = (comm.rank + 1) % comm.size
+            comm.recv(source=peer, tag=7)
+            comm.send("x", peer, tag=7)
+
+        with pytest.raises(SimDeadlockError):
+            run_spmd(MACHINE, main, nranks=2, real_timeout=0.3)
+
+
+class TestBufferOverflowPropagation:
+    def test_overflow_aborts_blocked_peers(self):
+        limits = RuntimeLimits(max_message_bytes=100)
+
+        def main(comm):
+            if comm.rank == 0:
+                comm.Send(np.zeros(1000), dest=1)  # 8000 B > 100 B limit
+            else:
+                comm.Recv(source=0)  # would block forever without abort
+
+        with pytest.raises(BufferOverflowError):
+            run_spmd(MACHINE, main, nranks=2, limits=limits, real_timeout=10.0)
+
+    def test_overflow_reports_endpoints(self):
+        limits = RuntimeLimits(max_message_bytes=100)
+
+        def main(comm):
+            if comm.rank == 0:
+                comm.Send(np.zeros(1000), dest=1)
+            else:
+                comm.Recv(source=0)
+
+        with pytest.raises(BufferOverflowError) as exc_info:
+            run_spmd(MACHINE, main, nranks=2, limits=limits, real_timeout=10.0)
+        assert exc_info.value.src == 0
+        assert exc_info.value.dst == 1
+        assert exc_info.value.nbytes > exc_info.value.limit
+
+    def test_intra_node_exempt_when_configured(self):
+        limits = RuntimeLimits(max_message_bytes=100, inter_node_only=True)
+
+        def main(comm):
+            # ranks 0 and 1 share a node (2 ranks per node)
+            if comm.rank == 0:
+                comm.Send(np.zeros(1000), dest=1)
+                return None
+            return comm.Recv(source=0).sum()
+
+        res = run_spmd(
+            MACHINE, main, nranks=2, ranks_per_node=2, limits=limits
+        )
+        assert res.results[1] == 0.0
+
+
+class TestRecovery:
+    def test_new_run_after_failure_is_clean(self):
+        """A failed run must not poison subsequent runs."""
+
+        def bad(comm):
+            raise RuntimeError("bad")
+
+        def good(comm):
+            return comm.allreduce(1, op=lambda a, b: a + b)
+
+        with pytest.raises(RuntimeError):
+            run_spmd(MACHINE, bad, nranks=4)
+        res = run_spmd(MACHINE, good, nranks=4)
+        assert res.results == [4, 4, 4, 4]
+
+    def test_runtime_survives_failed_section(self):
+        import repro.triolet as tri
+        from repro.runtime import triolet_runtime
+
+        def boom(x):
+            raise ValueError("element function failed")
+
+        xs = np.arange(100.0)
+        with triolet_runtime(MACHINE) as rt:
+            with pytest.raises(ValueError, match="element function failed"):
+                tri.sum(tri.map(boom, tri.par(xs)))
+            # The runtime is still usable for the next section.
+            assert tri.sum(tri.par(xs)) == pytest.approx(4950.0)

@@ -1,0 +1,12 @@
+"""Suite-wide configuration."""
+from hypothesis import HealthCheck, settings
+
+# Property tests drive real (simulated-cluster) executions whose wall
+# time varies with machine load; disable the per-example deadline so the
+# suite is robust on slow or shared machines.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

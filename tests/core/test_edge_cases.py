@@ -1,0 +1,135 @@
+"""Edge-case coverage for less-travelled paths across the core."""
+import numpy as np
+import pytest
+
+import repro.triolet as tri
+from repro.core.domains import Seq
+from repro.core.encodings.indexer import whole_list_indexer
+from repro.core.fusion import analyze
+from repro.core.iterators import (
+    IdxNest,
+    StepFlat,
+    StepNest,
+    iterate,
+    to_step,
+)
+from repro.core.iterators.transforms import tzip
+from repro.serial import register_function
+
+
+@register_function
+def _pos(x):
+    return x > 0
+
+
+class TestArrayRangeEdges:
+    def test_1d_form(self):
+        assert tri.collect_list(tri.arrayRange(4)) == [0, 1, 2, 3]
+
+    def test_explicit_lo(self):
+        out = tri.collect_list(tri.arrayRange((0, 0), (2, 2)))
+        assert out == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_nonzero_lo_unsupported(self):
+        with pytest.raises(NotImplementedError):
+            tri.arrayRange((1, 0), (2, 2))
+
+    def test_rank_mismatch(self):
+        with pytest.raises(ValueError):
+            tri.arrayRange((0, 0), (2, 2, 2))
+
+    def test_4d_unsupported(self):
+        with pytest.raises(NotImplementedError):
+            tri.arrayRange((1, 1, 1, 1))
+
+    def test_negative_extent_clamped(self):
+        assert tri.collect_list(tri.arrayRange(-3)) == []
+
+
+class TestZipEdges:
+    def test_single_operand_rejected(self):
+        with pytest.raises(ValueError):
+            tzip(np.arange(3))
+
+    def test_zip_four_streams(self):
+        out = tri.collect_list(
+            tri.zip(np.arange(2), np.arange(2) + 10, np.arange(2) + 20, np.arange(2) + 30)
+        )
+        assert out == [(0, 10, 20, 30), (1, 11, 21, 31)]
+
+    def test_zip_empty_with_nonempty(self):
+        assert tri.collect_list(tri.zip(np.array([]), np.arange(5))) == []
+
+
+class TestDomainHelpers:
+    def test_domain_of_list_and_tuple(self):
+        assert tri.domain([1, 2, 3]) == Seq(3)
+        assert tri.domain((1, 2)) == Seq(2)
+
+    def test_domain_of_domain_is_identity(self):
+        d = Seq(4)
+        assert tri.domain(d) is d
+
+    def test_domain_of_unsupported(self):
+        with pytest.raises(TypeError):
+            tri.domain(42)
+
+    def test_whole_list_indexer_explicit_length(self):
+        idx = whole_list_indexer([9, 8, 7, 6], n=2)
+        assert idx.size == 2
+        assert idx.lookup(1) == 8
+
+
+class TestAnalyzeEdges:
+    def test_stepflat_report(self):
+        st = StepFlat(to_step(tri.filter(_pos, np.array([1.0, -1.0]))))
+        rep = analyze(st)
+        assert rep.constructor == "StepFlat"
+        assert not rep.partitionable
+        assert rep.source_bytes == 0
+
+    def test_stepnest_probe(self):
+        nested = tri.concat_map(
+            lambda x: np.arange(2.0), StepFlat(to_step(iterate(np.arange(3.0))))
+        )
+        assert isinstance(nested, StepNest)
+        rep = analyze(nested)
+        assert rep.nest_shape[0] == "Step"
+
+    def test_empty_outer_nest_is_unknown(self):
+        empty_nest = tri.filter(_pos, np.array([]))
+        assert isinstance(empty_nest, IdxNest)
+        rep = analyze(empty_nest)
+        assert rep.nest_shape == ("Idx", "?")
+
+    def test_describe_is_stringy(self):
+        rep = analyze(iterate(np.arange(3)))
+        assert "partitionable" in rep.describe()
+
+
+class TestConsumerEdges:
+    def test_reduce_over_empty_returns_init(self):
+        assert tri.reduce(lambda a, b: a + b, 42, np.array([])) == 42
+
+    def test_histogram_int_dtype(self):
+        h = tri.histogram(3, iterate(np.array([0, 2, 2])), dtype=np.int64)
+        assert h.dtype == np.int64
+        np.testing.assert_array_equal(h, [1, 0, 2])
+
+    def test_min_max_empty_give_identities(self):
+        assert tri.min(np.array([])) == np.inf
+        assert tri.max(np.array([])) == -np.inf
+
+    def test_build_of_empty(self):
+        out = tri.build(tri.map(lambda x: x, np.array([])))
+        assert out.size == 0
+
+    def test_sum_of_rows_adds_arrays(self):
+        A = np.arange(6.0).reshape(3, 2)
+        out = tri.sum(tri.rows(A), zero=np.zeros(2))
+        np.testing.assert_array_equal(out, A.sum(axis=0))
+
+    def test_nested_sum_over_stepnest(self):
+        base = StepFlat(to_step(iterate(np.array([2.0, 3.0]))))
+        nested = tri.concat_map(lambda x: np.full(int(x), x), base)
+        assert tri.sum(nested) == pytest.approx(2 * 2.0 + 3 * 3.0)

@@ -1,0 +1,217 @@
+"""Tests for the extended skeleton library (scan, take/drop, keyed ops)."""
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+import repro.triolet as tri
+from repro.cluster.machine import MachineSpec
+from repro.core import meter
+from repro.core.iterators import StepFlat, iterate, to_step
+from repro.runtime import triolet_runtime
+from repro.serial import register_function
+
+MACHINE = MachineSpec(nodes=4, cores_per_node=4)
+
+int_lists = st.lists(st.integers(min_value=-50, max_value=50), max_size=40)
+
+
+@register_function
+def pos(x):
+    return x > 0
+
+
+@register_function
+def parity(x):
+    return int(x) % 2
+
+
+@register_function
+def add(a, b):
+    return a + b
+
+
+class TestEnumerate:
+    def test_flat(self):
+        out = tri.collect_list(tri.enumerate(np.array([5.0, 7.0])))
+        assert out == [(0, 5.0), (1, 7.0)]
+
+    def test_flat_stays_partitionable(self):
+        assert tri.enumerate(np.arange(4)).constructor == "IdxFlat"
+
+    def test_irregular(self):
+        filtered = tri.filter(pos, np.array([3.0, -1.0, 4.0]))
+        out = tri.collect_list(tri.enumerate(StepFlat(to_step(filtered))))
+        assert out == [(0, 3.0), (1, 4.0)]
+
+    @given(int_lists)
+    def test_matches_builtin(self, xs):
+        arr = np.array(xs, dtype=np.int64)
+        got = tri.collect_list(tri.enumerate(iterate(arr)))
+        assert got == list(enumerate(xs))
+
+
+class TestTakeDrop:
+    def test_take_flat_is_a_slice(self):
+        out = tri.take(3, np.arange(10))
+        assert out.constructor == "IdxFlat"
+        assert tri.collect_list(out) == [0, 1, 2]
+
+    def test_take_more_than_length(self):
+        assert tri.collect_list(tri.take(99, np.arange(3))) == [0, 1, 2]
+
+    def test_drop_flat(self):
+        assert tri.collect_list(tri.drop(7, np.arange(10))) == [7, 8, 9]
+
+    def test_take_from_filtered_stream(self):
+        filtered = tri.filter(pos, np.arange(10.0) - 5.0)
+        out = tri.take(2, StepFlat(to_step(filtered)))
+        assert tri.collect_list(out) == [1.0, 2.0]
+
+    def test_drop_from_filtered_stream(self):
+        filtered = tri.filter(pos, np.arange(10.0) - 5.0)
+        out = tri.drop(2, StepFlat(to_step(filtered)))
+        assert tri.collect_list(out) == [3.0, 4.0]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            tri.take(-1, np.arange(3))
+        with pytest.raises(ValueError):
+            tri.drop(-1, np.arange(3))
+
+    @given(int_lists, st.integers(0, 50))
+    def test_take_drop_partition(self, xs, n):
+        arr = np.array(xs, dtype=np.int64)
+        taken = tri.collect_list(tri.take(n, iterate(arr)))
+        dropped = tri.collect_list(tri.drop(n, iterate(arr)))
+        assert taken + dropped == xs
+
+
+class TestAppendScan:
+    def test_append(self):
+        out = tri.collect_list(tri.append(np.arange(2), np.arange(3) + 10))
+        assert out == [0, 1, 10, 11, 12]
+
+    def test_append_empty_sides(self):
+        assert tri.collect_list(tri.append(np.array([]), np.array([1.0]))) == [1.0]
+        assert tri.collect_list(tri.append(np.array([1.0]), np.array([]))) == [1.0]
+
+    def test_scan_inclusive(self):
+        out = tri.collect_list(tri.scan(add, 0, np.array([1, 2, 3, 4])))
+        assert out == [1, 3, 6, 10]
+
+    def test_scan_over_filtered(self):
+        out = tri.collect_list(tri.scan(add, 0.0, tri.filter(pos, np.array([1.0, -9.0, 2.0]))))
+        assert out == [1.0, 3.0]
+
+    def test_scan_is_fused_single_pass(self):
+        with meter.metered() as m:
+            tri.collect_list(tri.scan(add, 0, np.arange(100)))
+        assert m.materializations == 0
+
+    @given(int_lists)
+    def test_scan_matches_cumsum(self, xs):
+        arr = np.array(xs, dtype=np.int64)
+        got = tri.collect_list(tri.scan(add, 0, iterate(arr)))
+        assert got == list(np.cumsum(xs)) if xs else got == []
+
+    def test_prefix_sum_matches_cumsum(self):
+        xs = np.random.default_rng(0).standard_normal(1000)
+        np.testing.assert_allclose(tri.prefix_sum(xs), np.cumsum(xs), rtol=1e-9)
+
+    def test_prefix_sum_is_multipass(self):
+        """§3.1: the parallel scan cannot fuse -- two passes, temporaries."""
+        with meter.metered() as m:
+            tri.prefix_sum(np.arange(1000.0))
+        assert m.passes == 2
+        assert m.materializations >= 1
+
+    def test_prefix_sum_empty(self):
+        assert tri.prefix_sum(np.array([])).size == 0
+
+    @given(st.lists(st.floats(-100, 100), max_size=50), st.integers(1, 8))
+    def test_prefix_sum_any_blocking(self, xs, nblocks):
+        arr = np.array(xs)
+        np.testing.assert_allclose(
+            tri.prefix_sum(arr, nblocks=nblocks), np.cumsum(arr), atol=1e-9
+        )
+
+
+class TestShortCircuit:
+    def test_find_first(self):
+        assert tri.find_first(pos, np.array([-1.0, -2.0, 5.0, 7.0])) == 5.0
+
+    def test_find_first_default(self):
+        assert tri.find_first(pos, np.array([-1.0]), default="none") == "none"
+
+    def test_find_first_stops_early(self):
+        with meter.metered() as m:
+            tri.find_first(pos, np.concatenate([[-1.0, 3.0], np.zeros(10_000)]))
+        assert m.steps < 100  # did not walk the zeros
+
+    def test_any_all(self):
+        xs = np.array([-1.0, 2.0, -3.0])
+        assert tri.any_match(pos, xs)
+        assert not tri.all_match(pos, xs)
+        assert tri.all_match(pos, np.array([1.0, 2.0]))
+        assert not tri.any_match(pos, np.array([-1.0]))
+
+    def test_empty_semantics(self):
+        assert not tri.any_match(pos, np.array([]))
+        assert tri.all_match(pos, np.array([]))
+
+
+class TestKeyedAndStats:
+    def test_group_reduce(self):
+        out = tri.group_reduce(parity, add, np.arange(10))
+        assert out == {0: 0 + 2 + 4 + 6 + 8, 1: 1 + 3 + 5 + 7 + 9}
+
+    def test_group_reduce_parallel_matches_sequential(self):
+        xs = np.arange(500)
+        seq = tri.group_reduce(parity, add, xs)
+        with triolet_runtime(MACHINE):
+            par = tri.group_reduce(parity, add, tri.par(xs))
+        assert par == seq
+
+    def test_group_reduce_empty(self):
+        assert tri.group_reduce(parity, add, np.array([])) == {}
+
+    def test_mean_variance(self):
+        xs = np.array([1.0, 2.0, 3.0, 4.0])
+        mean, var = tri.mean_variance(xs)
+        assert mean == pytest.approx(2.5)
+        assert var == pytest.approx(np.var(xs))
+
+    def test_mean_variance_parallel(self):
+        rng = np.random.default_rng(1)
+        xs = rng.standard_normal(2000) * 3 + 7
+        with triolet_runtime(MACHINE):
+            mean, var = tri.mean_variance(tri.par(xs))
+        assert mean == pytest.approx(np.mean(xs))
+        assert var == pytest.approx(np.var(xs))
+
+    def test_mean_variance_empty_raises(self):
+        with pytest.raises(ValueError):
+            tri.mean_variance(np.array([]))
+
+    @given(st.lists(st.floats(-1e3, 1e3), min_size=1, max_size=60))
+    def test_welford_matches_numpy(self, xs):
+        arr = np.array(xs)
+        mean, var = tri.mean_variance(arr)
+        assert mean == pytest.approx(np.mean(arr), abs=1e-6)
+        assert var == pytest.approx(np.var(arr), abs=1e-6)
+
+    def test_argmin_argmax(self):
+        xs = np.array([3.0, -1.0, 7.0, -1.0, 7.0])
+        assert tri.argmin(xs) == 1  # first of the ties
+        assert tri.argmax(xs) == 2
+
+    def test_arg_parallel_matches_sequential(self):
+        rng = np.random.default_rng(2)
+        xs = rng.permutation(1000).astype(float)
+        with triolet_runtime(MACHINE):
+            i = tri.argmax(tri.par(xs))
+        assert xs[i] == 999.0
+
+    def test_arg_empty_raises(self):
+        with pytest.raises(ValueError):
+            tri.argmin(np.array([]))

@@ -1,0 +1,271 @@
+"""Tests for the hybrid Iter type and Fig. 2 skeletons (sequential)."""
+import numpy as np
+import pytest
+
+import repro.triolet as tri
+from repro.core import meter
+from repro.core.domains import Dim2, Seq
+from repro.core.iterators import (
+    IdxFlat,
+    IdxNest,
+    StepFlat,
+    StepNest,
+    ParHint,
+    iterate,
+    to_step,
+)
+from repro.serial import register_function
+
+
+@register_function
+def double(x):
+    return 2 * x
+
+
+@register_function
+def positive(x):
+    return x > 0
+
+
+@register_function
+def expand(x):
+    return iterate(np.arange(float(x)))
+
+
+class TestIterate:
+    def test_array_becomes_idxflat(self):
+        it = iterate(np.arange(5))
+        assert isinstance(it, IdxFlat)
+        assert list(it.elements()) == [0, 1, 2, 3, 4]
+
+    def test_range_becomes_idxflat(self):
+        it = iterate(range(2, 8, 3))
+        assert list(it.elements()) == [2, 5]
+
+    def test_list_becomes_whole_object(self):
+        it = iterate(["a", "b"])
+        assert isinstance(it, IdxFlat)
+        assert list(it.elements()) == ["a", "b"]
+
+    def test_iter_passes_through(self):
+        it = iterate(np.arange(3))
+        assert iterate(it) is it
+
+    def test_generator_is_materialized(self):
+        it = iterate(x * x for x in range(4))
+        assert list(it.elements()) == [0, 1, 4, 9]
+
+    def test_non_iterable_rejected(self):
+        with pytest.raises(TypeError):
+            iterate(42)
+
+
+class TestFig2Dispatch:
+    """Output constructor is a function of the input constructor."""
+
+    def test_map_preserves_constructor(self):
+        flat = iterate(np.arange(3.0))
+        assert isinstance(tri.map(double, flat), IdxFlat)
+        nest = tri.filter(positive, flat)
+        assert isinstance(nest, IdxNest)
+        assert isinstance(tri.map(double, nest), IdxNest)
+
+    def test_filter_on_idxflat_gives_idxnest(self):
+        out = tri.filter(positive, iterate(np.array([1.0, -1.0])))
+        assert isinstance(out, IdxNest)
+
+    def test_filter_on_stepflat_stays_stepflat(self):
+        st = StepFlat(to_step(iterate(np.array([1.0, -2.0, 3.0]))))
+        out = tri.filter(positive, st)
+        assert isinstance(out, StepFlat)
+        assert list(out.elements()) == [1.0, 3.0]
+
+    def test_concat_map_on_idxflat_gives_idxnest(self):
+        out = tri.concat_map(expand, iterate(np.array([2, 3])))
+        assert isinstance(out, IdxNest)
+        assert list(out.elements()) == [0.0, 1.0, 0.0, 1.0, 2.0]
+
+    def test_concat_map_on_stepnest(self):
+        base = tri.concat_map(expand, StepFlat(to_step(iterate(np.array([2])))))
+        assert isinstance(base, StepNest)
+        out = tri.concat_map(expand, base)
+        assert isinstance(out, StepNest)
+        assert list(out.elements()) == [0.0]  # expand(0)=[], expand(1)=[0]
+
+    def test_zip_of_idxflats_stays_idxflat(self):
+        z = tri.zip(np.arange(3), np.arange(3) * 10)
+        assert isinstance(z, IdxFlat)
+        assert list(z.elements()) == [(0, 0), (1, 10), (2, 20)]
+
+    def test_zip_with_irregular_falls_to_stepflat(self):
+        filtered = tri.filter(positive, np.array([1.0, -5.0, 2.0]))
+        z = tri.zip(filtered, np.array([10.0, 20.0]))
+        assert isinstance(z, StepFlat)
+        assert list(z.elements()) == [(1.0, 10.0), (2.0, 20.0)]
+
+    def test_zip3(self):
+        z = tri.zip(np.arange(2), np.arange(2) + 10, np.arange(2) + 100)
+        assert list(z.elements()) == [(0, 10, 100), (1, 11, 101)]
+
+    def test_nested_filter_of_concat_map(self):
+        nested = tri.concat_map(expand, np.array([3, 2]))
+        out = tri.filter(positive, nested)
+        assert isinstance(out, IdxNest)
+        assert list(out.elements()) == [1.0, 2.0, 1.0]
+
+
+class TestConsumers:
+    def test_sum_flat(self):
+        assert tri.sum(np.arange(5.0)) == 10.0
+
+    def test_sum_uses_bulk_fast_path(self):
+        xs = np.arange(1000.0)
+        with meter.metered() as m:
+            total = tri.sum(xs)
+        assert total == 499500.0
+        assert m.visits == 1000
+        assert m.lookups == 0  # bulk path, no per-element lookup
+
+    def test_sum_of_filter_is_fused_single_pass(self):
+        """The §3.2 walkthrough: sum(filter(positive, xs))."""
+        xs = np.array([1.0, -2.0, -4.0, 1.0, 3.0, 4.0])
+        with meter.metered() as m:
+            total = tri.sum(tri.filter(positive, xs))
+        assert total == 9.0
+        assert m.materializations == 0
+
+    def test_sum_of_mapped(self):
+        assert tri.sum(tri.map(double, np.arange(4.0))) == 12.0
+
+    def test_reduce_with_custom_op(self):
+        out = tri.reduce(lambda a, b: a * b, 1.0, np.array([2.0, 3.0, 4.0]))
+        assert out == 24.0
+
+    def test_min_max(self):
+        xs = np.array([3.0, -1.0, 7.0])
+        assert tri.min(xs) == -1.0
+        assert tri.max(xs) == 7.0
+
+    def test_count_nested(self):
+        out = tri.concat_map(expand, np.array([2, 0, 3]))
+        assert tri.count(out) == 5
+
+    def test_histogram_plain_bins(self):
+        h = tri.histogram(4, iterate(np.array([0, 1, 1, 3, 3, 3])))
+        np.testing.assert_array_equal(h, [1, 2, 0, 3])
+
+    def test_histogram_weighted(self):
+        values = tri.map(lambda i: (int(i) % 2, float(i)), np.arange(4))
+        h = tri.histogram(2, values)
+        np.testing.assert_allclose(h, [2.0, 4.0])  # 0+2, 1+3
+
+    def test_histogram_vectorized_contributions(self):
+        # Each element contributes a whole (bins, weights) pair of arrays.
+        def contrib(i):
+            return (np.array([0, 1]), np.array([float(i), 1.0]))
+
+        values = tri.map(contrib, np.arange(3))
+        h = tri.histogram(2, values)
+        np.testing.assert_allclose(h, [3.0, 3.0])
+
+    def test_collect_list_flattens(self):
+        out = tri.concat_map(expand, np.array([2, 1]))
+        assert tri.collect_list(out) == [0.0, 1.0, 0.0]
+
+    def test_build_1d(self):
+        arr = tri.build(tri.map(double, np.arange(3.0)))
+        np.testing.assert_array_equal(arr, [0.0, 2.0, 4.0])
+
+    def test_build_dim2(self):
+        it = tri.map(lambda yx: float(yx[0] * 10 + yx[1]), tri.arrayRange((3, 2)))
+        arr = tri.build(it)
+        assert arr.shape == (3, 2)
+        np.testing.assert_array_equal(arr, [[0, 1], [10, 11], [20, 21]])
+
+    def test_transpose_via_array_range(self):
+        A = np.arange(6.0).reshape(2, 3)
+        h, w = A.shape
+        T = tri.build(
+            tri.map(lambda yx: A[yx[1], yx[0]], tri.arrayRange((w, h)))
+        )
+        np.testing.assert_array_equal(T, A.T)
+
+    def test_sum_empty(self):
+        assert tri.sum(np.array([])) == 0.0
+
+    def test_sum_of_filter_all_removed(self):
+        assert tri.sum(tri.filter(positive, np.array([-1.0, -2.0]))) == 0.0
+
+
+class TestHints:
+    def test_par_sets_flag(self):
+        it = tri.par(np.arange(3))
+        assert it.hint is ParHint.PAR
+
+    def test_localpar_sets_flag(self):
+        assert tri.localpar(np.arange(3)).hint is ParHint.LOCAL
+
+    def test_seq_clears_flag(self):
+        assert tri.seq(tri.par(np.arange(3))).hint is ParHint.SEQ
+
+    def test_map_preserves_hint(self):
+        it = tri.map(double, tri.par(np.arange(3)))
+        assert it.hint is ParHint.PAR
+
+    def test_filter_preserves_hint(self):
+        it = tri.filter(positive, tri.par(np.arange(3.0)))
+        assert it.hint is ParHint.PAR
+
+    def test_zip_joins_hints(self):
+        z = tri.zip(tri.par(np.arange(3)), np.arange(3))
+        assert z.hint is ParHint.PAR
+
+    def test_hinted_sum_without_runtime_is_sequential(self):
+        # No runtime installed: par loops still compute correct results.
+        assert tri.sum(tri.par(np.arange(10.0))) == 45.0
+
+
+class TestRowsAndOuterProduct:
+    def test_rows_elements_are_row_views(self):
+        A = np.arange(6.0).reshape(3, 2)
+        rws = list(tri.rows(A).elements())
+        assert len(rws) == 3
+        np.testing.assert_array_equal(rws[1], [2.0, 3.0])
+
+    def test_cols(self):
+        A = np.arange(6.0).reshape(3, 2)
+        cls = list(tri.cols(A).elements())
+        assert len(cls) == 2
+        np.testing.assert_array_equal(cls[0], [0.0, 2.0, 4.0])
+
+    def test_outerproduct_domain(self):
+        A = np.zeros((4, 3))
+        B = np.zeros((5, 3))
+        op = tri.outerproduct(tri.rows(A), tri.rows(B))
+        assert op.domain == Dim2(4, 5)
+
+    def test_two_line_sgemm(self):
+        """The paper's §2 matrix-multiply in two lines."""
+        rng = np.random.default_rng(0)
+        A = rng.standard_normal((4, 6))
+        B = rng.standard_normal((6, 5))
+        BT = B.T.copy()
+
+        zipped_AB = tri.outerproduct(tri.rows(A), tri.rows(BT))
+        AB = tri.build(tri.map(lambda uv: float(uv[0] @ uv[1]), zipped_AB))
+
+        np.testing.assert_allclose(AB, A @ B, rtol=1e-12)
+
+    def test_rows_requires_2d(self):
+        with pytest.raises(ValueError):
+            tri.rows(np.arange(5))
+
+    def test_outerproduct_rejects_irregular(self):
+        filtered = tri.filter(positive, np.array([1.0, -1.0]))
+        with pytest.raises(TypeError):
+            tri.outerproduct(filtered, np.arange(3))
+
+    def test_domain_and_indices(self):
+        xs = np.arange(7.0)
+        assert tri.domain(xs) == Seq(7)
+        assert tri.collect_list(tri.indices(tri.domain(xs))) == list(range(7))

@@ -1,0 +1,94 @@
+"""Tests for the cost meter (the measurement half of the timing model)."""
+import pytest
+
+from repro.core import meter
+from repro.core.meter import CostMeter
+
+
+class TestMetering:
+    def test_no_meter_is_noop(self):
+        assert meter.current_meter() is None
+        meter.tally_visits(5)  # must not raise
+        meter.tally_steps()
+        meter.tally_pass()
+        meter.tally_materialization(100)
+
+    def test_basic_tallies(self):
+        with meter.metered() as m:
+            meter.tally_visits(3)
+            meter.tally_steps(2)
+            meter.tally_lookups()
+            meter.tally_pass()
+            meter.tally_materialization(64)
+        assert m.visits == 3
+        assert m.steps == 2
+        assert m.lookups == 1
+        assert m.passes == 1
+        assert m.materializations == 1 and m.materialized_bytes == 64
+
+    def test_nesting_isolates_inner(self):
+        with meter.metered() as outer:
+            meter.tally_visits(1)
+            with meter.metered() as inner:
+                meter.tally_visits(10)
+            meter.tally_visits(1)
+        assert inner.visits == 10
+        assert outer.visits == 2  # the inner region did not leak out
+
+    def test_meter_restored_after_exception(self):
+        with meter.metered() as outer:
+            with pytest.raises(RuntimeError):
+                with meter.metered():
+                    raise RuntimeError("inner")
+            meter.tally_visits(1)
+        assert outer.visits == 1
+        assert meter.current_meter() is None
+
+    def test_explicit_meter_reuse(self):
+        m = CostMeter()
+        with meter.metered(m):
+            meter.tally_visits(2)
+        with meter.metered(m):
+            meter.tally_visits(3)
+        assert m.visits == 5
+
+    def test_tally_inner_subtracts_the_library_count(self):
+        with meter.metered() as m:
+            meter.tally_inner(10)  # kernel saw 10, library counts 1
+        assert m.visits == 9
+
+    def test_tally_inner_small_values(self):
+        with meter.metered() as m:
+            meter.tally_inner(1)
+            meter.tally_inner(0)
+        assert m.visits == 0
+
+    def test_merge(self):
+        a = CostMeter(visits=1, steps=2, passes=1)
+        b = CostMeter(visits=10, materializations=1, materialized_bytes=8)
+        a.merge(b)
+        assert a.visits == 11 and a.steps == 2
+        assert a.materializations == 1 and a.materialized_bytes == 8
+        assert a.passes == 1
+
+    def test_threads_have_independent_meters(self):
+        import threading
+
+        results = {}
+
+        def worker(name, n):
+            with meter.metered() as m:
+                meter.tally_visits(n)
+            results[name] = m.visits
+
+        threads = [
+            threading.Thread(target=worker, args=(f"t{i}", (i + 1) * 100))
+            for i in range(4)
+        ]
+        with meter.metered() as main_meter:
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert results == {"t0": 100, "t1": 200, "t2": 300, "t3": 400}
+        assert main_meter.visits == 0  # thread tallies never leak to main

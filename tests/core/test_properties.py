@@ -1,0 +1,191 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+Invariants under test:
+
+* serializer roundtrip is the identity on its supported domain;
+* fused skeleton pipelines agree with the obvious Python list semantics
+  for every input and pipeline shape;
+* slicing an iterator partitions its elements exactly (no loss, no
+  duplication) for any block boundaries;
+* zip/filter/concat_map obey their algebraic laws.
+"""
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+import repro.triolet as tri
+from repro.core.iterators import IdxFlat, IdxNest, iterate
+from repro.serial import deserialize, register_function, serialize
+
+floats = st.floats(allow_nan=False, allow_infinity=False, width=32).map(float)
+float_lists = st.lists(floats, max_size=60)
+int_lists = st.lists(st.integers(min_value=-100, max_value=100), max_size=60)
+
+
+@register_function
+def _sq(x):
+    return x * x
+
+
+@register_function
+def _neg(x):
+    return -x
+
+
+@register_function
+def _pos(x):
+    return x > 0
+
+
+@register_function
+def _small_range(x):
+    return np.arange(float(abs(int(x)) % 5))
+
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**63), max_value=2**63),
+    floats,
+    st.text(max_size=20),
+    st.binary(max_size=20),
+)
+trees = st.recursive(
+    scalars,
+    lambda leaf: st.one_of(
+        st.lists(leaf, max_size=5),
+        st.tuples(leaf, leaf),
+        st.dictionaries(st.text(max_size=5), leaf, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+class TestSerializerProperties:
+    @given(trees)
+    @settings(max_examples=150)
+    def test_roundtrip_identity(self, obj):
+        assert deserialize(serialize(obj)) == obj
+
+    @given(
+        st.lists(floats, min_size=0, max_size=50),
+        st.sampled_from(["<f8", "<f4", "<i8", "<i4"]),
+    )
+    def test_array_roundtrip(self, values, dtype):
+        clipped = np.clip(np.array(values), -1e9, 1e9)
+        arr = clipped.astype(np.dtype(dtype))
+        out = deserialize(serialize(arr))
+        np.testing.assert_array_equal(out, arr)
+        assert out.dtype == arr.dtype
+
+
+class TestPipelineSemantics:
+    @given(int_lists)
+    def test_map_matches_list_semantics(self, xs):
+        arr = np.array(xs, dtype=np.int64)
+        got = tri.collect_list(tri.map(_sq, iterate(arr)))
+        assert got == [x * x for x in xs]
+
+    @given(int_lists)
+    def test_filter_matches_list_semantics(self, xs):
+        arr = np.array(xs, dtype=np.int64)
+        got = tri.collect_list(tri.filter(_pos, iterate(arr)))
+        assert got == [x for x in xs if x > 0]
+
+    @given(int_lists)
+    def test_sum_of_filter_of_map(self, xs):
+        arr = np.array(xs, dtype=np.int64)
+        got = tri.sum(tri.filter(_pos, tri.map(_neg, iterate(arr))), zero=0)
+        assert got == sum(-x for x in xs if -x > 0)
+
+    @given(int_lists, int_lists)
+    def test_zip_matches_list_semantics(self, xs, ys):
+        a, b = np.array(xs, dtype=np.int64), np.array(ys, dtype=np.int64)
+        if len(xs) == 0 and len(ys) == 0:
+            return
+        got = tri.collect_list(tri.zip(a, b))
+        assert got == list(zip(xs, ys))
+
+    @given(int_lists)
+    def test_concat_map_matches_list_semantics(self, xs):
+        arr = np.array(xs, dtype=np.int64)
+        got = tri.collect_list(tri.concat_map(_small_range, iterate(arr)))
+        expected = [float(v) for x in xs for v in range(abs(x) % 5)]
+        assert got == expected
+
+    @given(int_lists)
+    def test_count_equals_len_of_collect(self, xs):
+        arr = np.array(xs, dtype=np.int64)
+        pipe = tri.concat_map(_small_range, tri.filter(_pos, iterate(arr)))
+        assert tri.count(pipe) == len(tri.collect_list(pipe))
+
+    @given(st.lists(st.integers(min_value=0, max_value=9), max_size=60))
+    def test_histogram_matches_bincount(self, bins):
+        arr = np.array(bins, dtype=np.int64)
+        got = tri.histogram(10, iterate(arr))
+        np.testing.assert_array_equal(got, np.bincount(arr, minlength=10))
+
+
+class TestSlicePartitioning:
+    @given(
+        st.lists(st.integers(min_value=-50, max_value=50), min_size=1, max_size=60),
+        st.data(),
+    )
+    def test_flat_slices_partition_exactly(self, xs, data):
+        arr = np.array(xs, dtype=np.int64)
+        it = tri.map(_sq, iterate(arr))
+        n = len(xs)
+        cut = data.draw(st.integers(min_value=0, max_value=n))
+        left = IdxFlat(it.idx.slice(0, cut))
+        right = IdxFlat(it.idx.slice(cut, n))
+        assert (
+            tri.collect_list(left) + tri.collect_list(right)
+            == tri.collect_list(it)
+        )
+
+    @given(
+        st.lists(st.integers(min_value=-50, max_value=50), min_size=1, max_size=40),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_nested_blocks_sum_to_whole(self, xs, nparts):
+        arr = np.array(xs, dtype=np.int64)
+        it = tri.filter(_pos, iterate(arr))
+        n = len(xs)
+        bounds = [n * k // nparts for k in range(nparts + 1)]
+        total = 0
+        for lo, hi in zip(bounds, bounds[1:]):
+            total += tri.sum(IdxNest(it.idx.slice(lo, hi)), zero=0)
+        assert total == sum(x for x in xs if x > 0)
+
+    @given(st.lists(floats, min_size=1, max_size=40), st.data())
+    def test_sliced_pipeline_survives_wire(self, xs, data):
+        arr = np.array(xs)
+        it = tri.map(_neg, iterate(arr))
+        n = len(xs)
+        lo = data.draw(st.integers(min_value=0, max_value=n))
+        hi = data.draw(st.integers(min_value=lo, max_value=n))
+        chunk = IdxFlat(it.idx.slice(lo, hi))
+        shipped = deserialize(serialize(chunk))
+        assert tri.collect_list(shipped) == [-x for x in xs[lo:hi]]
+
+
+class TestAlgebraicLaws:
+    @given(int_lists)
+    def test_filter_commutes_with_map_of_preserving_fn(self, xs):
+        # neg is sign-flipping: filter(pos) . map(neg) == map(neg) . filter(neg pos)
+        arr = np.array(xs, dtype=np.int64)
+        lhs = tri.collect_list(tri.filter(_pos, tri.map(_neg, iterate(arr))))
+        rhs = [-x for x in xs if -x > 0]
+        assert lhs == rhs
+
+    @given(int_lists)
+    def test_map_fusion_law(self, xs):
+        # map f . map g == map (f . g)
+        arr = np.array(xs, dtype=np.int64)
+        lhs = tri.collect_list(tri.map(_sq, tri.map(_neg, iterate(arr))))
+        rhs = tri.collect_list(tri.map(lambda x: (-x) * (-x), iterate(arr)))
+        assert lhs == rhs
+
+    @given(int_lists)
+    def test_sum_linear_in_concatenation(self, xs):
+        arr = np.array(xs + xs, dtype=np.int64)
+        assert tri.sum(iterate(arr), zero=0) == 2 * sum(xs)

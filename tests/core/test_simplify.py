@@ -1,0 +1,105 @@
+"""The symbolic §3.2 derivation agrees with the paper and the runtime."""
+import numpy as np
+
+import repro.triolet as tri
+from repro.core.fusion import analyze
+from repro.core.fusion.simplify import (
+    T,
+    Term,
+    apply_consumer,
+    apply_skeleton,
+    derive,
+    final_form,
+)
+from repro.core.iterators import iterate
+from repro.serial import register_function
+
+
+@register_function
+def _f(x):
+    return x > 0
+
+
+class TestFig2Equations:
+    def test_filter_on_idxflat(self):
+        out = apply_skeleton("filter", T("IdxFlat", "ys"), "f")
+        assert out.head == "IdxNest"
+        assert "filterStep f" in str(out)
+        assert "unitStep" in str(out)
+
+    def test_filter_on_stepflat(self):
+        out = apply_skeleton("filter", T("StepFlat", "xs"), "f")
+        assert out.head == "StepFlat"
+
+    def test_filter_on_nests_recurses(self):
+        assert apply_skeleton("filter", T("IdxNest", "xss"), "f").head == "IdxNest"
+        assert apply_skeleton("filter", T("StepNest", "xss"), "f").head == "StepNest"
+
+    def test_concat_map_adds_nesting(self):
+        assert apply_skeleton("concatMap", T("IdxFlat", "xs"), "f").head == "IdxNest"
+        assert apply_skeleton("concatMap", T("StepFlat", "xs"), "f").head == "StepNest"
+
+    def test_consumer_on_flat(self):
+        assert apply_consumer("sum", T("IdxFlat", "xs")).head == "sumIdx"
+        assert apply_consumer("sum", T("StepFlat", "xs")).head == "sumStep"
+
+
+class TestPaperWalkthrough:
+    """sum (filter f (IdxFlat ys)) -- the exact §3.2 chain."""
+
+    def test_derivation_chain(self):
+        chain = derive("ys", [("filter", "f")], "sum")
+        assert len(chain) == 3
+        # Step 1: the unreduced expression.
+        assert chain[0].startswith("sum (filter f")
+        # Step 2: filter reduced to an IdxNest of one-element steppers.
+        assert "IdxNest" in chain[1]
+        assert "unitStep" in chain[1]
+        # Step 3: the paper's final form.
+        assert chain[2].startswith("sumIdx")
+        assert "sumStep" in chain[2]
+        assert "filterStep f" in chain[2]
+        assert "unitStep" in chain[2]
+        # Iterator constructors are completely eliminated.
+        for ctor in ("IdxFlat", "IdxNest", "StepFlat", "StepNest"):
+            assert ctor not in chain[2]
+
+    def test_final_form_matches_paper(self):
+        final = final_form("ys", [("filter", "f")], "sum")
+        assert final == "sumIdx (mapIdx (compose sumStep filterStep f unitStep) ys)"
+
+    def test_symbolic_agrees_with_runtime_dispatch(self):
+        """The symbolic head at each stage matches the live constructors."""
+        xs = np.array([1.0, -2.0, 3.0])
+        live = tri.filter(_f, iterate(xs))
+        symbolic = apply_skeleton("filter", T("IdxFlat", "xs"), "f")
+        assert live.constructor == symbolic.head
+        live2 = tri.concat_map(lambda x: np.arange(2.0), live)
+        symbolic2 = apply_skeleton("concatMap", symbolic, "g")
+        assert live2.constructor == symbolic2.head
+
+    def test_nest_shape_agrees_with_analyze(self):
+        xs = np.array([1.0, -2.0, 3.0])
+        live = analyze(tri.filter(_f, iterate(xs)))
+        symbolic = apply_skeleton("filter", T("IdxFlat", "xs"), "f")
+        assert live.nest_shape == ("Idx", "Step")
+        assert symbolic.head == "IdxNest"  # Idx outer, Step inner
+
+
+class TestTermRendering:
+    def test_leaf(self):
+        assert str(T("IdxFlat", "xs")) == "IdxFlat xs"
+
+    def test_nested_parenthesized(self):
+        t = T("sumIdx", T("mapIdx", "f", "xs"))
+        assert str(t) == "sumIdx (mapIdx f xs)"
+
+    def test_errors(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            apply_skeleton("filter", T("sumIdx", "xs"))
+        with pytest.raises(ValueError):
+            apply_skeleton("transmogrify", T("IdxFlat", "xs"))
+        with pytest.raises(ValueError):
+            apply_consumer("sum", Term("bogus"))

@@ -1,0 +1,122 @@
+"""Property-based tests for data-source slicing laws (hypothesis).
+
+The runtime composes slices (node chunk -> core task -> nested region);
+these laws keep that composition sound:
+
+* slice-of-slice == composed slice (for every source kind);
+* a slice's context yields exactly the elements of the original range;
+* wire size is monotone in slice width for sliceable sources, and
+  constant for replicated/whole-object sources.
+"""
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro.core.encodings.indexer import (
+    array_indexer,
+    index_indexer,
+    outer_product_idx,
+    range_indexer,
+    whole_list_indexer,
+    zip_idx,
+)
+from repro.core.domains import Dim2
+from repro.serial import serialize
+
+
+@st.composite
+def nested_ranges(draw, n_max=60):
+    n = draw(st.integers(1, n_max))
+    lo1 = draw(st.integers(0, n))
+    hi1 = draw(st.integers(lo1, n))
+    width = hi1 - lo1
+    lo2 = draw(st.integers(0, width))
+    hi2 = draw(st.integers(lo2, width))
+    return n, (lo1, hi1), (lo2, hi2)
+
+
+def values_of(idx):
+    ctx = idx.source.context()
+    return [idx.extract(ctx, i) for i in idx.domain.iter_indices()]
+
+
+class TestSliceComposition:
+    @given(nested_ranges())
+    def test_array_slice_of_slice(self, spec):
+        n, (lo1, hi1), (lo2, hi2) = spec
+        idx = array_indexer(np.arange(float(n)))
+        twice = idx.slice(lo1, hi1).slice(lo2, hi2)
+        once = idx.slice(lo1 + lo2, lo1 + hi2)
+        assert values_of(twice) == values_of(once)
+
+    @given(nested_ranges())
+    def test_range_slice_of_slice(self, spec):
+        n, (lo1, hi1), (lo2, hi2) = spec
+        idx = range_indexer(n, start=5, step=3)
+        twice = idx.slice(lo1, hi1).slice(lo2, hi2)
+        once = idx.slice(lo1 + lo2, lo1 + hi2)
+        assert values_of(twice) == values_of(once)
+
+    @given(nested_ranges())
+    def test_index_slice_stays_global(self, spec):
+        n, (lo1, hi1), (lo2, hi2) = spec
+        from repro.core.domains import Seq
+
+        idx = index_indexer(Seq(n))
+        twice = idx.slice(lo1, hi1).slice(lo2, hi2)
+        assert values_of(twice) == list(range(lo1 + lo2, lo1 + hi2))
+
+    @given(nested_ranges())
+    def test_whole_object_slice_of_slice(self, spec):
+        n, (lo1, hi1), (lo2, hi2) = spec
+        idx = whole_list_indexer(list(range(n)))
+        twice = idx.slice(lo1, hi1).slice(lo2, hi2)
+        assert values_of(twice) == list(range(lo1 + lo2, lo1 + hi2))
+
+    @given(nested_ranges())
+    def test_zip_slice_of_slice(self, spec):
+        n, (lo1, hi1), (lo2, hi2) = spec
+        idx = zip_idx(array_indexer(np.arange(n)), range_indexer(n, start=100))
+        twice = idx.slice(lo1, hi1).slice(lo2, hi2)
+        once = idx.slice(lo1 + lo2, lo1 + hi2)
+        assert values_of(twice) == values_of(once)
+
+
+class TestBlockComposition:
+    @given(
+        st.integers(1, 12),
+        st.integers(1, 12),
+        st.data(),
+    )
+    def test_outer_product_block_of_block(self, h, w, data):
+        u = array_indexer(np.arange(float(h)))
+        v = array_indexer(np.arange(float(w)) + 100)
+        op = outer_product_idx(u, v)
+        y1 = sorted((data.draw(st.integers(0, h)), data.draw(st.integers(0, h))))
+        x1 = sorted((data.draw(st.integers(0, w)), data.draw(st.integers(0, w))))
+        block = op.slice_block(tuple(y1), tuple(x1))
+        assert isinstance(block.domain, Dim2)
+        expected = [
+            (float(y1[0] + dy), float(100 + x1[0] + dx))
+            for dy in range(y1[1] - y1[0])
+            for dx in range(x1[1] - x1[0])
+        ]
+        assert values_of(block) == expected
+
+
+class TestWireSizeLaws:
+    @given(st.integers(1, 2000), st.data())
+    def test_array_wire_size_monotone(self, n, data):
+        idx = array_indexer(np.arange(float(n)))
+        cut = data.draw(st.integers(0, n))
+        small = len(serialize(idx.slice(0, cut)))
+        whole = len(serialize(idx))
+        assert small <= whole + 8
+
+    @given(st.integers(1, 500), st.data())
+    def test_whole_object_wire_size_constant(self, n, data):
+        idx = whole_list_indexer(list(range(n)))
+        lo = data.draw(st.integers(0, n))
+        hi = data.draw(st.integers(lo, n))
+        sliced = len(serialize(idx.slice(lo, hi)))
+        whole = len(serialize(idx))
+        assert abs(sliced - whole) <= 8  # only the offset varint differs

@@ -1,0 +1,101 @@
+"""Property-based tests: stepper combinators obey the list laws.
+
+Steppers are the sequential workhorse encoding; these laws pin their
+semantics to Python's list operations for arbitrary inputs and
+combinator stacks.
+"""
+from hypothesis import given, strategies as st
+
+from repro.core.encodings.stepper import (
+    concat_map_step,
+    filter_step,
+    fold_step,
+    map_step,
+    stepper_from_list,
+    unit_stepper,
+    zip_step,
+)
+from repro.serial import register_function
+
+ints = st.lists(st.integers(-30, 30), max_size=40)
+
+
+@register_function
+def _inc(x):
+    return x + 1
+
+
+@register_function
+def _even(x):
+    return x % 2 == 0
+
+
+@register_function
+def _replicate(x):
+    return stepper_from_list([x] * (abs(x) % 4))
+
+
+class TestListLaws:
+    @given(ints)
+    def test_to_list_is_identity(self, xs):
+        assert stepper_from_list(xs).to_list() == xs
+
+    @given(ints)
+    def test_map_law(self, xs):
+        got = map_step(_inc, stepper_from_list(xs)).to_list()
+        assert got == [x + 1 for x in xs]
+
+    @given(ints)
+    def test_filter_law(self, xs):
+        got = filter_step(_even, stepper_from_list(xs)).to_list()
+        assert got == [x for x in xs if x % 2 == 0]
+
+    @given(ints)
+    def test_map_filter_compose(self, xs):
+        st1 = map_step(_inc, filter_step(_even, stepper_from_list(xs)))
+        assert st1.to_list() == [x + 1 for x in xs if x % 2 == 0]
+
+    @given(ints)
+    def test_concat_map_law(self, xs):
+        got = concat_map_step(_replicate, stepper_from_list(xs)).to_list()
+        assert got == [x for x in xs for _ in range(abs(x) % 4)]
+
+    @given(ints, ints)
+    def test_zip_law(self, xs, ys):
+        got = zip_step(stepper_from_list(xs), stepper_from_list(ys)).to_list()
+        assert got == list(zip(xs, ys))
+
+    @given(ints, ints)
+    def test_zip_of_filtered_streams(self, xs, ys):
+        fx = filter_step(_even, stepper_from_list(xs))
+        fy = filter_step(_even, stepper_from_list(ys))
+        got = zip_step(fx, fy).to_list()
+        expected = list(
+            zip([x for x in xs if x % 2 == 0], [y for y in ys if y % 2 == 0])
+        )
+        assert got == expected
+
+    @given(ints)
+    def test_fold_equals_sum(self, xs):
+        got = fold_step(lambda a, x: a + x, 0, stepper_from_list(xs))
+        assert got == sum(xs)
+
+    @given(st.integers(-5, 5))
+    def test_unit_is_singleton(self, x):
+        assert unit_stepper(x).to_list() == [x]
+
+    @given(ints)
+    def test_steppers_are_restartable(self, xs):
+        """A Step value is immutable: driving it twice gives the same list."""
+        stp = map_step(_inc, stepper_from_list(xs))
+        assert stp.to_list() == stp.to_list()
+
+    @given(ints)
+    def test_deeply_stacked_combinators(self, xs):
+        stp = stepper_from_list(xs)
+        for _ in range(5):
+            stp = map_step(_inc, filter_step(_even, stp))
+        expected = xs
+        for _ in range(5):
+            expected = [x + 1 for x in expected if x % 2 == 0]
+        assert stp.to_list() == expected

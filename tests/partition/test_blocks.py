@@ -1,0 +1,100 @@
+"""Partition math tests, including hypothesis coverage properties."""
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.partition import block2d_bounds, block_bounds, chunk_bounds, grid_shape
+
+
+class TestBlockBounds:
+    def test_even_split(self):
+        assert block_bounds(8, 4) == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+    def test_uneven_split_sizes_within_one(self):
+        sizes = [hi - lo for lo, hi in block_bounds(10, 3)]
+        assert sum(sizes) == 10
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_parts_than_items(self):
+        bounds = block_bounds(2, 5)
+        assert sum(hi - lo for lo, hi in bounds) == 2
+
+    def test_zero_items(self):
+        assert all(lo == hi for lo, hi in block_bounds(0, 4))
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            block_bounds(5, 0)
+        with pytest.raises(ValueError):
+            block_bounds(-1, 2)
+
+    @given(st.integers(0, 10_000), st.integers(1, 64))
+    def test_cover_exactly(self, n, p):
+        bounds = block_bounds(n, p)
+        assert bounds[0][0] == 0 and bounds[-1][1] == n
+        for (_, a), (b, _) in zip(bounds, bounds[1:]):
+            assert a == b
+
+    @given(st.integers(0, 10_000), st.integers(1, 64))
+    def test_balanced(self, n, p):
+        sizes = [hi - lo for lo, hi in block_bounds(n, p)]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestChunkBounds:
+    def test_exact_chunks(self):
+        assert chunk_bounds(6, 2) == [(0, 2), (2, 4), (4, 6)]
+
+    def test_ragged_tail(self):
+        assert chunk_bounds(7, 3) == [(0, 3), (3, 6), (6, 7)]
+
+    def test_empty(self):
+        assert chunk_bounds(0, 4) == [(0, 0)]
+
+    @given(st.integers(0, 5000), st.integers(1, 100))
+    def test_cover(self, n, c):
+        bounds = chunk_bounds(n, c)
+        assert sum(hi - lo for lo, hi in bounds) == n
+        assert all(hi - lo <= c for lo, hi in bounds)
+
+
+class TestGrid:
+    def test_square_for_square_domain(self):
+        assert grid_shape(4, 1000, 1000) == (2, 2)
+
+    def test_tall_domain_prefers_row_split(self):
+        py, px = grid_shape(8, 100_000, 10)
+        assert py > px
+
+    def test_wide_domain_prefers_col_split(self):
+        py, px = grid_shape(8, 10, 100_000)
+        assert px > py
+
+    def test_prime_parts(self):
+        assert grid_shape(7, 100, 100) in [(1, 7), (7, 1)]
+
+    @given(st.integers(1, 64), st.integers(1, 1000), st.integers(1, 1000))
+    def test_product_is_nparts(self, p, h, w):
+        py, px = grid_shape(p, h, w)
+        assert py * px == p
+
+    def test_blocks_tile_domain(self):
+        blocks = block2d_bounds(10, 7, 2, 3)
+        assert len(blocks) == 6
+        covered = set()
+        for (ylo, yhi), (xlo, xhi) in blocks:
+            for y in range(ylo, yhi):
+                for x in range(xlo, xhi):
+                    assert (y, x) not in covered
+                    covered.add((y, x))
+        assert len(covered) == 70
+
+    @given(
+        st.integers(0, 60),
+        st.integers(0, 60),
+        st.integers(1, 6),
+        st.integers(1, 6),
+    )
+    def test_blocks_tile_exactly(self, h, w, py, px):
+        blocks = block2d_bounds(h, w, py, px)
+        total = sum((yhi - ylo) * (xhi - xlo) for (ylo, yhi), (xlo, xhi) in blocks)
+        assert total == h * w

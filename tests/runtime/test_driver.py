@@ -1,0 +1,201 @@
+"""End-to-end tests of the Triolet runtime on the simulated cluster."""
+import numpy as np
+import pytest
+
+import repro.triolet as tri
+from repro.cluster import BufferOverflowError, MachineSpec, RuntimeLimits
+from repro.runtime import (
+    CostContext,
+    FREE_ALLOC,
+    LIBC_MALLOC,
+    BOEHM_GC,
+    triolet_runtime,
+)
+from repro.serial import register_function
+
+MACHINE = MachineSpec(nodes=4, cores_per_node=4)
+
+
+@register_function
+def sq(x):
+    return x * x
+
+
+@register_function
+def pos(x):
+    return x > 0
+
+
+class TestDistributedCorrectness:
+    def test_par_sum_matches_sequential(self):
+        xs = np.arange(1000.0)
+        with triolet_runtime(MACHINE):
+            out = tri.sum(tri.par(xs))
+        assert out == pytest.approx(np.sum(xs))
+
+    def test_par_dot_product(self):
+        """§2's dot: sum(x*y for (x,y) in par(zip(xs, ys)))."""
+        rng = np.random.default_rng(1)
+        xs, ys = rng.standard_normal(500), rng.standard_normal(500)
+        with triolet_runtime(MACHINE):
+            out = tri.sum(tri.map(lambda p: p[0] * p[1], tri.par(tri.zip(xs, ys))))
+        assert out == pytest.approx(float(xs @ ys))
+
+    def test_par_sum_of_filter(self):
+        xs = np.arange(200.0) - 100.0
+        with triolet_runtime(MACHINE):
+            out = tri.sum(tri.filter(pos, tri.par(xs)))
+        assert out == pytest.approx(sum(x for x in xs if x > 0))
+
+    def test_par_histogram(self):
+        bins = np.arange(300) % 7
+        with triolet_runtime(MACHINE):
+            h = tri.histogram(7, tri.par(bins))
+        np.testing.assert_array_equal(h, np.bincount(bins, minlength=7))
+
+    def test_par_build_1d(self):
+        xs = np.arange(100.0)
+        with triolet_runtime(MACHINE):
+            out = tri.build(tri.map(sq, tri.par(xs)))
+        np.testing.assert_allclose(out, xs**2)
+
+    def test_par_build_2d_outer_product(self):
+        """The two-line sgemm decomposition distributed on the cluster."""
+        rng = np.random.default_rng(2)
+        A = rng.standard_normal((16, 8))
+        B = rng.standard_normal((8, 12))
+        BT = np.ascontiguousarray(B.T)
+        with triolet_runtime(MACHINE) as rt:
+            zipped = tri.outerproduct(tri.rows(A), tri.rows(BT))
+            AB = tri.build(tri.map(lambda uv: float(uv[0] @ uv[1]), tri.par(zipped)))
+        np.testing.assert_allclose(AB, A @ B, rtol=1e-10)
+        assert rt.last_section.partition.startswith("2d")
+
+    def test_localpar_sum(self):
+        xs = np.arange(128.0)
+        with triolet_runtime(MACHINE) as rt:
+            out = tri.sum(tri.localpar(xs))
+        assert out == pytest.approx(np.sum(xs))
+        assert rt.last_section.nodes == 1
+        assert rt.last_section.hint == "localpar"
+
+    def test_nested_localpar_inside_par(self):
+        """tpacf's shape: par over datasets, localpar within each."""
+        rng = np.random.default_rng(3)
+        datasets = rng.standard_normal((8, 50))
+
+        def per_set(row):
+            return tri.sum(tri.map(sq, tri.localpar(row)))
+
+        with triolet_runtime(MACHINE):
+            out = tri.sum(tri.map(per_set, tri.par(datasets)))
+        assert out == pytest.approx(float(np.sum(datasets**2)))
+
+    def test_more_data_than_one_element_per_node(self):
+        xs = np.arange(7.0)  # fewer elements than cores, more than nodes?
+        with triolet_runtime(MACHINE):
+            assert tri.sum(tri.par(xs)) == pytest.approx(21.0)
+
+    def test_single_element(self):
+        with triolet_runtime(MACHINE):
+            assert tri.sum(tri.par(np.array([5.0]))) == pytest.approx(5.0)
+
+    def test_empty_input(self):
+        with triolet_runtime(MACHINE):
+            assert tri.sum(tri.par(np.array([]))) == pytest.approx(0.0)
+
+    def test_unpartitionable_par_falls_back_sequential(self):
+        # A StepFlat (variable-length) loop marked par still computes.
+        stepper = tri.zip(tri.filter(pos, np.arange(5.0)), np.arange(5.0))
+        assert stepper.constructor == "StepFlat"
+        with triolet_runtime(MACHINE) as rt:
+            out = tri.count(stepper.with_hint(tri.ParHint.PAR))
+        assert out == 4
+        assert rt.last_section.label == "par-unpartitionable"
+
+
+class TestVirtualTiming:
+    def test_section_recorded_with_makespan(self):
+        xs = np.arange(1000.0)
+        with triolet_runtime(MACHINE) as rt:
+            tri.sum(tri.par(xs))
+        s = rt.last_section
+        assert s.makespan > 0
+        assert s.nodes == 4
+        assert rt.elapsed >= s.makespan
+
+    def test_parallel_faster_than_sequential_model(self):
+        """With compute-heavy costs, 4 nodes beat 1 node in virtual time."""
+        xs = np.arange(4000.0)
+        costs = CostContext(unit_time=1e-5)
+        with triolet_runtime(MACHINE, costs=costs, alloc=FREE_ALLOC) as rt4:
+            tri.sum(tri.par(xs))
+        t4 = rt4.elapsed
+        small = MachineSpec(nodes=1, cores_per_node=1, net=MACHINE.net, shm=MACHINE.shm)
+        with triolet_runtime(small, costs=costs, alloc=FREE_ALLOC) as rt1:
+            tri.sum(tri.par(xs))
+        t1 = rt1.elapsed
+        assert t4 < t1 / 3  # near-linear on compute-bound work
+
+    def test_comm_bound_loop_does_not_scale(self):
+        """Tiny per-element work: shipping dominates; speedup saturates."""
+        xs = np.arange(20_000.0)
+        costs = CostContext(unit_time=1e-10)  # nearly free compute
+        with triolet_runtime(MACHINE, costs=costs) as rt4:
+            tri.sum(tri.par(xs))
+        small = MachineSpec(nodes=1, cores_per_node=4, net=MACHINE.net, shm=MACHINE.shm)
+        with triolet_runtime(small, costs=costs) as rt1:
+            tri.sum(tri.par(xs))
+        # 4 nodes can't be 4x faster when time is all communication.
+        assert rt4.elapsed > rt1.elapsed / 2
+
+    def test_bytes_shipped_scale_with_slice_size(self):
+        with triolet_runtime(MACHINE) as rt_small:
+            tri.sum(tri.par(np.arange(1000.0)))
+        with triolet_runtime(MACHINE) as rt_big:
+            tri.sum(tri.par(np.arange(10_000.0)))
+        assert (
+            rt_big.last_section.bytes_shipped
+            > 5 * rt_small.last_section.bytes_shipped
+        )
+
+    def test_determinism(self):
+        xs = np.arange(3000.0)
+        times = []
+        for _ in range(2):
+            with triolet_runtime(MACHINE) as rt:
+                tri.sum(tri.par(xs))
+            times.append(rt.elapsed)
+        assert times[0] == times[1]
+
+    def test_gc_model_changes_time_not_result(self):
+        xs = np.arange(5000.0)
+        with triolet_runtime(MACHINE, alloc=BOEHM_GC) as rt_gc:
+            r1 = tri.sum(tri.par(xs))
+        with triolet_runtime(MACHINE, alloc=LIBC_MALLOC) as rt_malloc:
+            r2 = tri.sum(tri.par(xs))
+        assert r1 == r2
+        assert rt_gc.total_gc_time() > rt_malloc.total_gc_time()
+
+    def test_wire_scale_inflates_comm_time(self):
+        xs = np.arange(5000.0)
+        with triolet_runtime(MACHINE, costs=CostContext(wire_scale=1.0)) as rt1:
+            tri.sum(tri.par(xs))
+        with triolet_runtime(MACHINE, costs=CostContext(wire_scale=100.0)) as rt2:
+            tri.sum(tri.par(xs))
+        assert rt2.elapsed > rt1.elapsed
+
+    def test_buffer_limit_enforced_on_scaled_bytes(self):
+        xs = np.arange(10_000.0)  # 80 kB raw; 8 MB at wire_scale=100
+        limits = RuntimeLimits(max_message_bytes=1_000_000)
+        with triolet_runtime(
+            MACHINE, costs=CostContext(wire_scale=100.0), limits=limits
+        ):
+            with pytest.raises(BufferOverflowError):
+                tri.sum(tri.par(xs))
+
+    def test_run_sequential_charges_clock(self):
+        with triolet_runtime(MACHINE, costs=CostContext(unit_time=1e-3)) as rt:
+            out = rt.run_sequential(lambda: tri.sum(np.arange(100.0)))
+        assert out == pytest.approx(4950.0)
+        assert rt.elapsed == pytest.approx(100 * 1e-3)

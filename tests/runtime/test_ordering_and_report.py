@@ -1,0 +1,75 @@
+"""Regression tests: ordering guarantees and the runtime report."""
+import numpy as np
+import pytest
+
+import repro.triolet as tri
+from repro.cluster.machine import MachineSpec
+from repro.runtime import triolet_runtime
+from repro.serial import register_function
+
+
+@register_function
+def _pos(x):
+    return x > 0
+
+
+class TestOrderPreservation:
+    """The reduction tree combines children in ascending rank order, so
+    order-sensitive (but associative) monoids like list concatenation
+    come back in element order.  This is load-bearing for collect and
+    build; pin it down."""
+
+    @pytest.mark.parametrize("nodes,cores", [(1, 1), (2, 3), (5, 2), (8, 16)])
+    def test_par_collect_is_in_order(self, nodes, cores):
+        xs = np.arange(53.0)  # odd size vs. any machine shape
+        with triolet_runtime(MachineSpec(nodes=nodes, cores_per_node=cores)):
+            out = tri.collect_list(tri.par(xs))
+        assert out == list(xs)
+
+    @pytest.mark.parametrize("nodes", [2, 3, 7])
+    def test_par_collect_of_filtered_in_order(self, nodes):
+        xs = np.arange(40.0) - 20.0
+        with triolet_runtime(MachineSpec(nodes=nodes, cores_per_node=2)):
+            out = tri.collect_list(tri.filter(_pos, tri.par(xs)))
+        assert out == [x for x in xs if x > 0]
+
+    @pytest.mark.parametrize("nodes", [2, 5, 8])
+    def test_par_build_is_in_order(self, nodes):
+        xs = np.arange(61.0)
+        with triolet_runtime(MachineSpec(nodes=nodes, cores_per_node=4)):
+            out = tri.build(tri.map(lambda x: -x, tri.par(xs)))
+        np.testing.assert_array_equal(out, -xs)
+
+    def test_scan_after_par_build(self):
+        """Order survives across section boundaries."""
+        xs = np.arange(30.0)
+        with triolet_runtime(MachineSpec(nodes=4, cores_per_node=2)):
+            doubled = tri.build(tri.map(lambda x: 2 * x, tri.par(xs)))
+        running = tri.collect_list(tri.scan(lambda a, b: a + b, 0.0, doubled))
+        np.testing.assert_allclose(running, np.cumsum(2 * xs))
+
+
+class TestReport:
+    def test_report_lists_every_section(self):
+        xs = np.arange(100.0)
+        with triolet_runtime(MachineSpec(nodes=2, cores_per_node=2)) as rt:
+            tri.sum(tri.par(xs))
+            tri.sum(tri.localpar(xs))
+        text = rt.report()
+        assert "2 sections" in text
+        assert "par" in text and "localpar" in text
+        assert "two-level" in text and "worksteal" in text
+
+    def test_report_shows_configuration(self):
+        with triolet_runtime(
+            MachineSpec(nodes=2, cores_per_node=2),
+            topology="flat",
+            scheduler="static",
+        ) as rt:
+            tri.sum(tri.par(np.arange(10.0)))
+        assert "flat" in rt.report() and "static" in rt.report()
+
+    def test_last_section_raises_when_empty(self):
+        with triolet_runtime(MachineSpec(nodes=2, cores_per_node=2)) as rt:
+            with pytest.raises(RuntimeError):
+                _ = rt.last_section

@@ -1,0 +1,72 @@
+"""Scheduler makespan-model tests."""
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.runtime import static_for_makespan, work_stealing_makespan
+
+durs = st.lists(st.floats(min_value=0, max_value=100, allow_nan=False), max_size=50)
+
+
+class TestWorkStealing:
+    def test_single_core_is_sum(self):
+        assert work_stealing_makespan([1.0, 2.0, 3.0], 1) == pytest.approx(6.0)
+
+    def test_perfect_split(self):
+        assert work_stealing_makespan([1.0] * 8, 4) == pytest.approx(2.0)
+
+    def test_imbalanced_tasks_bounded_by_graham(self):
+        tasks = [5.0, 1.0, 1.0, 1.0, 1.0, 1.0]
+        ms = work_stealing_makespan(tasks, 2)
+        opt = 5.0
+        assert opt <= ms <= 2 * opt
+
+    def test_empty(self):
+        assert work_stealing_makespan([], 4) == 0.0
+
+    def test_steal_overhead_accumulates(self):
+        a = work_stealing_makespan([1.0] * 16, 4, steal_overhead=0.0)
+        b = work_stealing_makespan([1.0] * 16, 4, steal_overhead=0.1)
+        assert b > a
+
+    def test_invalid_cores(self):
+        with pytest.raises(ValueError):
+            work_stealing_makespan([1.0], 0)
+
+    @given(durs, st.integers(1, 16))
+    def test_bounds(self, tasks, cores):
+        ms = work_stealing_makespan(tasks, cores)
+        total = sum(tasks)
+        longest = max(tasks, default=0.0)
+        assert ms >= max(total / cores, longest) - 1e-9
+        assert ms <= total + 1e-9
+
+    @given(durs, st.integers(1, 16))
+    def test_more_cores_never_slower(self, tasks, cores):
+        a = work_stealing_makespan(tasks, cores)
+        b = work_stealing_makespan(tasks, cores + 1)
+        assert b <= a + 1e-9
+
+
+class TestStaticFor:
+    def test_balanced(self):
+        assert static_for_makespan([1.0] * 8, 4) == pytest.approx(2.0)
+
+    def test_imbalance_not_recovered(self):
+        # One heavy task at the front: its whole block lands on core 0.
+        tasks = [10.0, 1.0, 1.0, 1.0]
+        static = static_for_makespan(tasks, 2)
+        dynamic = work_stealing_makespan(tasks, 2)
+        assert static >= dynamic
+
+    def test_empty(self):
+        assert static_for_makespan([], 4) == 0.0
+
+    @given(durs, st.integers(1, 16))
+    def test_both_schedulers_respect_lower_bound(self, tasks, cores):
+        lower = max(sum(tasks) / cores, max(tasks, default=0.0))
+        st_ms = static_for_makespan(tasks, cores)
+        dy_ms = work_stealing_makespan(tasks, cores)
+        assert st_ms >= lower - 1e-9
+        assert dy_ms >= lower - 1e-9
+        # Graham's bound for greedy list scheduling.
+        assert dy_ms <= 2 * lower + 1e-9

@@ -1,0 +1,81 @@
+"""Tests for the runtime's topology and scheduler knobs (ablation levers)."""
+import numpy as np
+import pytest
+
+import repro.triolet as tri
+from repro.cluster.machine import MachineSpec
+from repro.runtime import CostContext, FREE_ALLOC, triolet_runtime
+from repro.serial import register_function
+
+MACHINE = MachineSpec(nodes=4, cores_per_node=4)
+
+
+@register_function
+def sq(x):
+    return x * x
+
+
+@register_function
+def triangular(iu):
+    i, u = iu
+    from repro.core import meter
+
+    meter.tally_inner(int(u))
+    return float(u)
+
+
+class TestFlatTopology:
+    def test_flat_results_match_two_level(self):
+        xs = np.arange(500.0)
+        with triolet_runtime(MACHINE) as rt:
+            a = tri.sum(tri.map(sq, tri.par(xs)))
+        with triolet_runtime(MACHINE, topology="flat") as rt_flat:
+            b = tri.sum(tri.map(sq, tri.par(xs)))
+        assert a == b
+
+    def test_flat_uses_one_rank_per_core(self):
+        xs = np.arange(500.0)
+        with triolet_runtime(MACHINE, topology="flat") as rt:
+            tri.sum(tri.par(xs))
+        assert rt.last_section.nodes == MACHINE.total_cores
+
+    def test_flat_ships_more_messages(self):
+        xs = np.arange(2000.0)
+        with triolet_runtime(MACHINE) as rt2:
+            tri.sum(tri.par(xs))
+        with triolet_runtime(MACHINE, topology="flat") as rtf:
+            tri.sum(tri.par(xs))
+        assert rtf.last_section.messages > rt2.last_section.messages
+
+    def test_invalid_topology_rejected(self):
+        with pytest.raises(ValueError):
+            with triolet_runtime(MACHINE, topology="mesh"):
+                pass
+
+
+class TestSchedulerChoice:
+    def _triangular_sum(self, scheduler):
+        # Row i costs ~i: heavily imbalanced tasks.
+        xs = np.arange(256.0)
+        indexed = tri.zip(tri.indices(tri.domain(xs)), tri.iterate(xs))
+        costs = CostContext(unit_time=1e-6)
+        with triolet_runtime(
+            MACHINE, costs=costs, alloc=FREE_ALLOC, scheduler=scheduler
+        ) as rt:
+            out = tri.sum(tri.map(triangular, tri.localpar(indexed)))
+        return out, rt.elapsed
+
+    def test_results_identical(self):
+        a, _ = self._triangular_sum("worksteal")
+        b, _ = self._triangular_sum("static")
+        assert a == b
+
+    def test_static_slower_on_irregular_work(self):
+        _, dyn = self._triangular_sum("worksteal")
+        _, stat = self._triangular_sum("static")
+        assert stat >= dyn
+
+    def test_invalid_scheduler_rejected(self):
+        with pytest.raises(ValueError):
+            with triolet_runtime(MACHINE, scheduler="fifo"):
+                pass

@@ -1,0 +1,64 @@
+"""Tests for section utilization accounting and the cost-context hook."""
+import numpy as np
+import pytest
+
+import repro.triolet as tri
+from repro.apps.cutcp import make_problem
+from repro.bench.calibrate import costs_for
+from repro.cluster.machine import MachineSpec
+from repro.runtime import CostContext, triolet_runtime, use_costs, current_costs
+
+MACHINE = MachineSpec(nodes=4, cores_per_node=4)
+
+
+class TestUtilization:
+    def test_compute_bound_section_is_highly_utilized(self):
+        xs = np.arange(8000.0)
+        with triolet_runtime(MACHINE, costs=CostContext(unit_time=1e-5)) as rt:
+            tri.sum(tri.par(xs))
+        assert rt.last_section.utilization() > 0.8
+
+    def test_comm_bound_section_is_poorly_utilized(self):
+        xs = np.arange(8000.0)
+        with triolet_runtime(MACHINE, costs=CostContext(unit_time=1e-12)) as rt:
+            tri.sum(tri.par(xs))
+        assert rt.last_section.utilization() < 0.5
+
+    def test_cutcp_utilization_falls_with_scale(self):
+        """Fig. 8's saturation, seen through the utilization lens."""
+        from repro.apps.cutcp.triolet import _contrib
+        from repro.serial import closure
+
+        p = make_problem(na=200, grid=(20, 20, 20), cutoff=4.0, seed=9)
+        costs = costs_for("cutcp", "triolet", p)
+        utils = []
+        for nodes in (1, 8):
+            with triolet_runtime(
+                MachineSpec(nodes=nodes, cores_per_node=16), costs=costs
+            ) as rt:
+                contrib = closure(_contrib, list(p.grid_dim), p.spacing, p.cutoff)
+                tri.histogram(p.grid_size, tri.map(contrib, tri.par(p.atoms)))
+            utils.append(rt.last_section.utilization())
+        assert utils[1] < utils[0]
+
+    def test_sequential_section_has_no_utilization(self):
+        with triolet_runtime(MACHINE) as rt:
+            rt.run_sequential(lambda: 1)
+        with pytest.raises(ValueError):
+            rt.last_section.utilization()
+
+
+class TestCostContextHook:
+    def test_current_costs_default(self):
+        assert current_costs().unit_time > 0
+
+    def test_use_costs_scopes(self):
+        custom = CostContext(unit_time=123.0)
+        with use_costs(custom):
+            assert current_costs() is custom
+        assert current_costs() is not custom
+
+    def test_runtime_installs_its_costs(self):
+        custom = CostContext(unit_time=77.0)
+        with triolet_runtime(MACHINE, costs=custom):
+            assert current_costs() is custom

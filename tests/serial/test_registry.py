@@ -1,0 +1,124 @@
+"""Tests for the serializer's type registry and ADT edge cases."""
+import numpy as np
+import pytest
+
+from repro.serial import deserialize, serializable, serialize, SerializationError
+from repro.serial.serializer import register_type
+
+
+@serializable
+class Leaf:
+    value: int
+
+
+@serializable
+class Node:
+    left: object  # Leaf | Node | None
+    right: object
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Node)
+            and self.left == other.left
+            and self.right == other.right
+        )
+
+
+class TestADTEdgeCases:
+    def test_recursive_structure(self):
+        tree = Node(Node(Leaf(1), Leaf(2)), Node(None, Leaf(3)))
+        assert deserialize(serialize(tree)) == tree
+
+    def test_adt_with_none_fields(self):
+        assert deserialize(serialize(Node(None, None))) == Node(None, None)
+
+    def test_deep_nesting(self):
+        t = Leaf(0)
+        for i in range(1, 60):
+            t = Node(t, Leaf(i))
+        out = deserialize(serialize(t))
+        # walk down the left spine
+        depth = 0
+        while isinstance(out, Node):
+            out = out.left
+            depth += 1
+        assert depth == 59
+
+    def test_adts_inside_arrays_inside_adts(self):
+        @serializable
+        class Packet:
+            header: str
+            body: np.ndarray
+
+            def __eq__(self, other):
+                return self.header == other.header and np.array_equal(
+                    self.body, other.body
+                )
+
+        p = Packet("h", np.arange(5.0))
+        assert deserialize(serialize([p, p])) == [p, p]
+
+
+class TestRegistry:
+    def test_custom_type_roundtrip(self):
+        class Fraction:
+            def __init__(self, num, den):
+                self.num, self.den = num, den
+
+            def __eq__(self, other):
+                return (self.num, self.den) == (other.num, other.den)
+
+        def enc(obj, out):
+            from repro.serial.serializer import _encode
+
+            _encode((obj.num, obj.den), out)
+
+        def dec(buf, offset):
+            from repro.serial.serializer import _decode
+
+            (num, den), offset = _decode(buf, offset)
+            return Fraction(num, den), offset
+
+        register_type("tests.Fraction", Fraction, enc, dec)
+        assert deserialize(serialize(Fraction(3, 4))) == Fraction(3, 4)
+
+    def test_conflicting_name_rejected(self):
+        class A:
+            pass
+
+        class B:
+            pass
+
+        register_type("tests.conflict", A, lambda o, b: None, lambda b, o: (A(), o))
+        with pytest.raises(ValueError):
+            register_type(
+                "tests.conflict", B, lambda o, b: None, lambda b, o: (B(), o)
+            )
+
+    def test_reregistering_same_type_is_idempotent(self):
+        class C:
+            pass
+
+        enc = lambda o, b: None  # noqa: E731
+        dec = lambda b, o: (C(), o)  # noqa: E731
+        register_type("tests.idem", C, enc, dec)
+        register_type("tests.idem", C, enc, dec)  # no error
+
+    def test_unknown_wire_name_raises(self):
+        from repro.serial.serializer import (
+            _T_REGISTERED,
+            _encode_str,
+        )
+
+        out = bytearray([_T_REGISTERED])
+        _encode_str("tests.never-registered-type", out)
+        with pytest.raises(SerializationError, match="unknown registered type"):
+            deserialize(bytes(out))
+
+    def test_subclass_not_implicitly_registered(self):
+        class LeafChild(Leaf):
+            pass
+
+        # exact-type dispatch: the subclass has no registration of its own
+        with pytest.raises(SerializationError):
+            serialize(LeafChild(1))

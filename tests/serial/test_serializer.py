@@ -1,0 +1,172 @@
+"""Unit tests for the binary serializer."""
+import numpy as np
+import pytest
+
+from repro.serial import serialize, deserialize, serializable, SerializationError
+
+
+def roundtrip(obj):
+    return deserialize(serialize(obj))
+
+
+class TestScalars:
+    @pytest.mark.parametrize(
+        "value",
+        [None, True, False, 0, 1, -1, 2**40, -(2**40), 127, 128, -128],
+    )
+    def test_scalar_roundtrip(self, value):
+        out = roundtrip(value)
+        assert out == value
+        assert type(out) is type(value)
+
+    @pytest.mark.parametrize("value", [0.0, -0.0, 1.5, 1e300, float("inf")])
+    def test_float_roundtrip(self, value):
+        assert roundtrip(value) == value
+
+    def test_nan_roundtrip(self):
+        out = roundtrip(float("nan"))
+        assert out != out
+
+    def test_complex_roundtrip(self):
+        assert roundtrip(3 + 4j) == 3 + 4j
+
+    def test_str_roundtrip(self):
+        assert roundtrip("héllo wörld ☃") == "héllo wörld ☃"
+
+    def test_bytes_roundtrip(self):
+        assert roundtrip(b"\x00\xff\x80abc") == b"\x00\xff\x80abc"
+
+    def test_bool_not_confused_with_int(self):
+        assert roundtrip(True) is True
+        assert roundtrip(1) == 1 and roundtrip(1) is not True
+
+
+class TestContainers:
+    def test_tuple(self):
+        assert roundtrip((1, "a", (2.0, None))) == (1, "a", (2.0, None))
+
+    def test_list(self):
+        assert roundtrip([1, [2, [3]]]) == [1, [2, [3]]]
+
+    def test_list_vs_tuple_distinguished(self):
+        assert type(roundtrip([1, 2])) is list
+        assert type(roundtrip((1, 2))) is tuple
+
+    def test_dict(self):
+        d = {"a": 1, 2: [3, 4], (5,): None}
+        assert roundtrip(d) == d
+
+    def test_set_and_frozenset(self):
+        assert roundtrip({1, 2, 3}) == {1, 2, 3}
+        out = roundtrip(frozenset({4, 5}))
+        assert out == frozenset({4, 5}) and isinstance(out, frozenset)
+
+    def test_slice(self):
+        assert roundtrip(slice(1, 10, 2)) == slice(1, 10, 2)
+        assert roundtrip(slice(None, None, None)) == slice(None)
+
+    def test_empty_containers(self):
+        assert roundtrip(()) == ()
+        assert roundtrip([]) == []
+        assert roundtrip({}) == {}
+
+
+class TestArrays:
+    def test_1d_float(self):
+        a = np.linspace(0, 1, 17)
+        np.testing.assert_array_equal(roundtrip(a), a)
+
+    def test_2d_int(self):
+        a = np.arange(12, dtype=np.int32).reshape(3, 4)
+        out = roundtrip(a)
+        np.testing.assert_array_equal(out, a)
+        assert out.dtype == a.dtype and out.shape == a.shape
+
+    def test_fortran_order_normalized(self):
+        a = np.asfortranarray(np.arange(6.0).reshape(2, 3))
+        out = roundtrip(a)
+        np.testing.assert_array_equal(out, a)
+        assert out.flags["C_CONTIGUOUS"]
+
+    def test_strided_view(self):
+        base = np.arange(20.0)
+        view = base[::2]
+        np.testing.assert_array_equal(roundtrip(view), view)
+
+    def test_empty_array(self):
+        a = np.empty((0, 3))
+        out = roundtrip(a)
+        assert out.shape == (0, 3)
+
+    def test_received_array_is_writable_copy(self):
+        a = np.arange(5.0)
+        out = roundtrip(a)
+        out[0] = 99.0
+        assert a[0] == 0.0
+
+    def test_complex_dtype(self):
+        a = np.array([1 + 2j, 3 - 4j])
+        np.testing.assert_array_equal(roundtrip(a), a)
+
+    def test_np_scalar_preserves_scalarness(self):
+        v = np.float32(2.5)
+        out = roundtrip(v)
+        assert out == v and out.dtype == np.float32
+        assert isinstance(out, np.generic)  # not promoted to an array
+
+    def test_0d_array_keeps_rank(self):
+        a = np.array(7.5)
+        out = roundtrip(a)
+        assert out.shape == () and out == 7.5
+
+
+@serializable
+class Point:
+    x: float
+    y: float
+
+
+@serializable
+class Box:
+    lo: Point
+    hi: Point
+    payload: np.ndarray
+
+    def __eq__(self, other):
+        return (
+            self.lo == other.lo
+            and self.hi == other.hi
+            and np.array_equal(self.payload, other.payload)
+        )
+
+
+class TestADTs:
+    def test_flat_adt(self):
+        p = Point(1.0, 2.0)
+        assert roundtrip(p) == p
+
+    def test_nested_adt_with_array(self):
+        b = Box(Point(0, 0), Point(1, 1), np.arange(4.0))
+        assert roundtrip(b) == b
+
+    def test_adt_inside_container(self):
+        lst = [Point(0, 1), Point(2, 3)]
+        assert roundtrip(lst) == lst
+
+
+class TestErrors:
+    def test_unregistered_type_raises(self):
+        class Opaque:
+            pass
+
+        with pytest.raises(SerializationError):
+            serialize(Opaque())
+
+    def test_trailing_garbage_raises(self):
+        data = serialize(42) + b"\x00"
+        with pytest.raises(SerializationError):
+            deserialize(data)
+
+    def test_bad_tag_raises(self):
+        with pytest.raises(SerializationError):
+            deserialize(b"\xfe")

@@ -1,0 +1,53 @@
+"""Direct tests for transitive byte estimation."""
+import numpy as np
+import pytest
+
+from repro.serial import transitive_size
+from repro.serial.sizeof import BOXED_CELL_BYTES
+
+
+class TestTransitiveSize:
+    def test_scalars(self):
+        assert transitive_size(None) == 1
+        assert transitive_size(True) == 1
+        assert transitive_size(0) >= 2
+        assert transitive_size(1.5) == 9
+        assert transitive_size(1 + 2j) == 17
+
+    def test_strings_by_utf8_length(self):
+        assert transitive_size("abc") == 5
+        assert transitive_size("é") == 4  # 2 UTF-8 bytes + 2 overhead
+
+    def test_array_is_raw_bytes_plus_header(self):
+        a = np.zeros((10, 10), dtype=np.float32)
+        assert transitive_size(a) == 16 + 16 + 400
+
+    def test_cyclic_structures_terminate(self):
+        lst = [1, 2]
+        lst.append(lst)  # a cycle
+        size = transitive_size(lst)
+        assert 0 < size < 100
+
+    def test_shared_subtree_counted_per_reference(self):
+        inner = [1.0] * 10
+        assert transitive_size([inner, inner]) > 1.5 * transitive_size([inner])
+
+    def test_dataclass_fields_counted(self):
+        from dataclasses import dataclass
+
+        @dataclass
+        class P:
+            x: float
+            payload: np.ndarray
+
+        p = P(1.0, np.zeros(100))
+        assert transitive_size(p) > 800
+
+    def test_opaque_object_charged_a_cell(self):
+        class Opaque:
+            pass
+
+        assert transitive_size(Opaque()) == BOXED_CELL_BYTES
+
+    def test_big_int(self):
+        assert transitive_size(2**200) > transitive_size(7)

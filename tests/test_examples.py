@@ -1,0 +1,39 @@
+"""Smoke tests: every example script runs to completion in-process.
+
+Examples are documentation that executes; these tests keep them honest.
+Each example module has a ``main()`` that asserts its own numerical
+claims, so "it ran" means "its claims held".
+"""
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+def _load(path: pathlib.Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [str(path)])
+    module = _load(path)
+    module.main()
+    out = capsys.readouterr().out
+    assert len(out) > 50  # it narrated something
+
+
+def test_every_example_has_a_docstring_and_main():
+    assert len(EXAMPLES) >= 5
+    for path in EXAMPLES:
+        text = path.read_text()
+        assert text.lstrip().startswith(('"""', "#!")), path
+        assert "def main(" in text, path
