@@ -23,8 +23,17 @@ from __future__ import annotations
 from repro.apps.common import AppRun
 from repro.apps.cutcp.data import CutcpProblem
 from repro.apps.cutcp.kernel import atom_contribution
+from repro.cluster.faults import FaultPlan
+from repro.cluster.limits import RuntimeLimits, UNLIMITED
 from repro.cluster.machine import MachineSpec
-from repro.runtime import BOEHM_GC, AllocatorModel, CostContext, triolet_runtime
+from repro.runtime import (
+    BOEHM_GC,
+    DEFAULT_RECOVERY,
+    AllocatorModel,
+    CostContext,
+    RecoveryPolicy,
+    triolet_runtime,
+)
 from repro.serial import closure, register_function
 import repro.triolet as tri
 
@@ -39,16 +48,29 @@ def run_triolet(
     machine: MachineSpec,
     costs: CostContext,
     alloc: AllocatorModel = BOEHM_GC,
+    limits: RuntimeLimits = UNLIMITED,
+    faults: FaultPlan | None = None,
+    recovery: RecoveryPolicy | None = DEFAULT_RECOVERY,
 ) -> AppRun:
-    with triolet_runtime(machine, costs=costs, alloc=alloc) as rt:
+    with triolet_runtime(
+        machine,
+        costs=costs,
+        alloc=alloc,
+        limits=limits,
+        faults=faults,
+        recovery=recovery,
+    ) as rt:
         contrib = closure(_contrib, list(p.grid_dim), p.spacing, p.cutoff)
         grid = tri.histogram(
             p.grid_size, tri.map(contrib, tri.par(p.atoms))
         ).reshape(p.grid_dim)
+    detail = {"gc_time": rt.total_gc_time()}
+    if faults is not None or rt.recovery_report.rejected_messages:
+        detail["recovery"] = rt.recovery_report
     return AppRun(
         framework="triolet",
         value=grid,
         elapsed=rt.elapsed,
         bytes_shipped=rt.total_bytes_shipped(),
-        detail={"gc_time": rt.total_gc_time()},
+        detail=detail,
     )

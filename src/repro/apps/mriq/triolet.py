@@ -18,8 +18,17 @@ import numpy as np
 from repro.apps.common import AppRun
 from repro.apps.mriq.data import MriqProblem
 from repro.apps.mriq.kernel import q_for_one_pixel
+from repro.cluster.faults import FaultPlan
+from repro.cluster.limits import RuntimeLimits, UNLIMITED
 from repro.cluster.machine import MachineSpec
-from repro.runtime import BOEHM_GC, AllocatorModel, CostContext, triolet_runtime
+from repro.runtime import (
+    BOEHM_GC,
+    DEFAULT_RECOVERY,
+    AllocatorModel,
+    CostContext,
+    RecoveryPolicy,
+    triolet_runtime,
+)
 from repro.serial import closure, register_function
 import repro.triolet as tri
 
@@ -35,14 +44,27 @@ def run_triolet(
     machine: MachineSpec,
     costs: CostContext,
     alloc: AllocatorModel = BOEHM_GC,
+    limits: RuntimeLimits = UNLIMITED,
+    faults: FaultPlan | None = None,
+    recovery: RecoveryPolicy | None = DEFAULT_RECOVERY,
 ) -> AppRun:
-    with triolet_runtime(machine, costs=costs, alloc=alloc) as rt:
+    with triolet_runtime(
+        machine,
+        costs=costs,
+        alloc=alloc,
+        limits=limits,
+        faults=faults,
+        recovery=recovery,
+    ) as rt:
         pixel_fn = closure(_pixel_q, p.kx, p.ky, p.kz, p.mag)
         Q = tri.build(tri.map(pixel_fn, tri.par(tri.zip(p.x, p.y, p.z))))
+    detail = {"sections": [s.label for s in rt.sections]}
+    if faults is not None or rt.recovery_report.rejected_messages:
+        detail["recovery"] = rt.recovery_report
     return AppRun(
         framework="triolet",
         value=np.asarray(Q),
         elapsed=rt.elapsed,
         bytes_shipped=rt.total_bytes_shipped(),
-        detail={"sections": [s.label for s in rt.sections]},
+        detail=detail,
     )

@@ -17,8 +17,17 @@ import numpy as np
 from repro.apps.common import AppRun
 from repro.apps.sgemm.data import SgemmProblem
 from repro.apps.sgemm.kernel import row_dot
+from repro.cluster.faults import FaultPlan
+from repro.cluster.limits import RuntimeLimits, UNLIMITED
 from repro.cluster.machine import MachineSpec
-from repro.runtime import BOEHM_GC, AllocatorModel, CostContext, triolet_runtime
+from repro.runtime import (
+    BOEHM_GC,
+    DEFAULT_RECOVERY,
+    AllocatorModel,
+    CostContext,
+    RecoveryPolicy,
+    triolet_runtime,
+)
 from repro.serial import closure, register_function
 import repro.triolet as tri
 
@@ -40,8 +49,18 @@ def run_triolet(
     machine: MachineSpec,
     costs: CostContext,
     alloc: AllocatorModel = BOEHM_GC,
+    limits: RuntimeLimits = UNLIMITED,
+    faults: FaultPlan | None = None,
+    recovery: RecoveryPolicy | None = DEFAULT_RECOVERY,
 ) -> AppRun:
-    with triolet_runtime(machine, costs=costs, alloc=alloc) as rt:
+    with triolet_runtime(
+        machine,
+        costs=costs,
+        alloc=alloc,
+        limits=limits,
+        faults=faults,
+        recovery=recovery,
+    ) as rt:
         # Transposition does too little work per byte for distributed
         # memory; localpar uses one node's cores over shared memory.
         BT = tri.build(
@@ -54,14 +73,17 @@ def run_triolet(
 
         zipped_AB = tri.outerproduct(tri.rows(p.A), tri.rows(BT))
         AB = tri.build(tri.map(closure(_dot_elem, p.alpha), tri.par(zipped_AB)))
+    detail = {
+        "transpose_time": transpose_time,
+        "partition": rt.last_section.partition,
+        "gc_time": rt.total_gc_time(),
+    }
+    if faults is not None or rt.recovery_report.rejected_messages:
+        detail["recovery"] = rt.recovery_report
     return AppRun(
         framework="triolet",
         value=np.asarray(AB),
         elapsed=rt.elapsed,
         bytes_shipped=rt.total_bytes_shipped(),
-        detail={
-            "transpose_time": transpose_time,
-            "partition": rt.last_section.partition,
-            "gc_time": rt.total_gc_time(),
-        },
+        detail=detail,
     )

@@ -32,8 +32,17 @@ import numpy as np
 from repro.apps.common import AppRun
 from repro.apps.tpacf.data import TpacfProblem
 from repro.apps.tpacf.kernel import row_bins
+from repro.cluster.faults import FaultPlan
+from repro.cluster.limits import RuntimeLimits, UNLIMITED
 from repro.cluster.machine import MachineSpec
-from repro.runtime import BOEHM_GC, AllocatorModel, CostContext, triolet_runtime
+from repro.runtime import (
+    BOEHM_GC,
+    DEFAULT_RECOVERY,
+    AllocatorModel,
+    CostContext,
+    RecoveryPolicy,
+    triolet_runtime,
+)
 from repro.serial import closure, register_function
 import repro.triolet as tri
 
@@ -95,8 +104,18 @@ def run_triolet(
     machine: MachineSpec,
     costs: CostContext,
     alloc: AllocatorModel = BOEHM_GC,
+    limits: RuntimeLimits = UNLIMITED,
+    faults: FaultPlan | None = None,
+    recovery: RecoveryPolicy | None = DEFAULT_RECOVERY,
 ) -> AppRun:
-    with triolet_runtime(machine, costs=costs, alloc=alloc) as rt:
+    with triolet_runtime(
+        machine,
+        costs=costs,
+        alloc=alloc,
+        limits=limits,
+        faults=faults,
+        recovery=recovery,
+    ) as rt:
         # DD: the observed set against itself, parallel over its rows.
         indexed_obs = tri.zip(tri.indices(tri.domain(p.obs)), tri.iterate(p.obs))
         dd = correlation(
@@ -109,10 +128,13 @@ def run_triolet(
         )
         # RR: each random set against itself.
         rr = random_sets_correlation(p.nbins, closure(_corr1_self, p.nbins), p.rands)
+    detail = {"gc_time": rt.total_gc_time()}
+    if faults is not None or rt.recovery_report.rejected_messages:
+        detail["recovery"] = rt.recovery_report
     return AppRun(
         framework="triolet",
         value={"dd": dd, "dr": dr, "rr": rr},
         elapsed=rt.elapsed,
         bytes_shipped=rt.total_bytes_shipped(),
-        detail={"gc_time": rt.total_gc_time()},
+        detail=detail,
     )

@@ -28,6 +28,7 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from repro.cluster.comm import Comm
+from repro.cluster.faults import FaultPlan
 from repro.cluster.limits import EDEN_LIMITS, RuntimeLimits
 from repro.cluster.machine import MachineSpec
 from repro.cluster.metrics import RunMetrics
@@ -89,12 +90,16 @@ class EdenRuntime:
         alloc: AllocatorModel = GHC_GC,
         limits: RuntimeLimits = EDEN_LIMITS,
         straggler: StragglerModel | None = None,
+        faults: FaultPlan | None = None,
     ):
         self.machine = machine
         self.costs = costs if costs is not None else CostContext()
         self.alloc = alloc
         self.limits = limits
         self.straggler = straggler if straggler is not None else StragglerModel()
+        # Eden installs no recovery policy: injected faults and rejected
+        # messages are fatal, exactly the Fig. 5 posture.
+        self.faults = faults
         self.clock = VirtualClock()
         self.runs: list[EdenRunRecord] = []
 
@@ -258,6 +263,7 @@ class EdenRuntime:
             limits=self.limits,
             alloc_cost=self.alloc,
             wire_scale=self.costs.wire_scale,
+            faults=self.faults,
         )
         self.clock.advance(res.makespan)
         self.runs.append(

@@ -22,6 +22,17 @@ from repro.cluster.machine import MachineSpec, NetworkModel
 from repro.cluster.simclock import VirtualClock
 from repro.cluster.comm import Comm
 from repro.cluster.limits import RuntimeLimits, BufferOverflowError
+from repro.cluster.faults import (
+    FaultPlan,
+    DelaySpike,
+    SendFault,
+    RankCrash,
+    SlowNode,
+    TransientSendError,
+    RankFailure,
+    RankFailureInfo,
+    RankFailureGroup,
+)
 from repro.cluster.process import run_spmd, SpmdResult, SimAborted, SimDeadlockError
 from repro.cluster.metrics import RankMetrics, RunMetrics
 
@@ -32,6 +43,15 @@ __all__ = [
     "Comm",
     "RuntimeLimits",
     "BufferOverflowError",
+    "FaultPlan",
+    "DelaySpike",
+    "SendFault",
+    "RankCrash",
+    "SlowNode",
+    "TransientSendError",
+    "RankFailure",
+    "RankFailureInfo",
+    "RankFailureGroup",
     "run_spmd",
     "SpmdResult",
     "SimAborted",

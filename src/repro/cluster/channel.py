@@ -23,6 +23,11 @@ class Envelope:
     cost_bytes: int  # bytes charged to the cost model (paper-scaled)
     available_at: float  # virtual time the last byte reaches the receiver
     raw: bool  # True if the payload is an unserialized buffer
+    # Fragmentation (graceful degradation under a message-byte cap): an
+    # oversized logical message travels as frag_total > 1 consecutive
+    # envelopes on its channel; the receiver reassembles them in order.
+    frag_index: int = 0
+    frag_total: int = 1
 
 
 class ChannelTable:

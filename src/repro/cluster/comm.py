@@ -18,7 +18,8 @@ from typing import Any, Callable
 import numpy as np
 
 from repro.cluster.channel import ChannelTable, Envelope
-from repro.cluster.limits import RuntimeLimits, UNLIMITED
+from repro.cluster.faults import FaultPlan, RankFailure, TransientSendError
+from repro.cluster.limits import BufferOverflowError, RuntimeLimits, UNLIMITED
 from repro.cluster.trace import CommEvent, TraceLog
 from repro.cluster.machine import MachineSpec
 from repro.cluster.metrics import RankMetrics
@@ -67,6 +68,12 @@ class SimContext:
     wire_scale: float = 1.0
     #: optional communication event log (run_spmd(..., trace=True))
     trace: TraceLog | None = None
+    #: optional deterministic fault schedule (None = zero-cost fast path)
+    faults: FaultPlan | None = None
+    #: optional recovery policy (duck-typed; see repro.runtime.recovery).
+    #: Consulted only when a fault or limit actually fires, so a run with
+    #: a policy but no faults has an unchanged virtual timeline.
+    recovery: Any = None
 
     def node_of(self, rank: int) -> int:
         return rank // self.ranks_per_node
@@ -106,8 +113,80 @@ class Comm:
 
     def compute(self, dt: float) -> None:
         """Advance the local clock by *dt* virtual seconds of computation."""
+        if self.ctx.faults is not None:
+            dt = self._faulted_compute_dt(dt)
         self.clock.advance(dt)
         self.metrics.charge_compute(dt)
+        if self.ctx.faults is not None:
+            self._check_crash()
+
+    # -- fault hooks (no-ops unless a FaultPlan is installed) ----------------
+
+    def _trace_fault(self, kind: str, peer: int = -1, tag: int = 0, nbytes: int = 0) -> None:
+        if self.ctx.trace is not None:
+            self.ctx.trace.record(
+                CommEvent(kind, self.clock.now, self.rank, peer, tag, nbytes)
+            )
+
+    def _check_crash(self) -> None:
+        """Raise this rank's scheduled :class:`RankFailure` if it is due."""
+        try:
+            self.ctx.faults.check_crash(self.rank, self.clock.now)
+        except RankFailure:
+            self.metrics.faults_crash += 1
+            self._trace_fault("rank_crash")
+            raise
+
+    def _faulted_compute_dt(self, dt: float) -> float:
+        """Apply slow-node inflation, capped by speculative re-execution.
+
+        A recovery policy with a ``task_timeout`` models Hadoop-style
+        backup tasks: when a straggled task overruns its normal duration
+        by more than the timeout, a backup copy launched at the timeout
+        on a healthy core finishes first, so the effective duration is
+        ``dt + task_timeout``.
+        """
+        factor = self.ctx.faults.compute_factor(self.node)
+        if factor == 1.0 or dt <= 0.0:
+            return dt
+        inflated = dt * factor
+        rec = self.ctx.recovery
+        timeout = getattr(rec, "task_timeout", None) if rec is not None else None
+        if timeout is not None and inflated > dt + timeout:
+            effective = dt + timeout
+            self.metrics.speculations += 1
+            self._trace_fault("speculation")
+        else:
+            effective = inflated
+        self.metrics.faults_straggler += 1
+        self.metrics.straggler_time += effective - dt
+        return effective
+
+    def _send_fault_gate(self, dest: int, tag: int) -> None:
+        """Consume injected transient send failures, retrying if allowed.
+
+        Each failed attempt raises internally; a recovery policy pays a
+        capped exponential backoff on the virtual clock and retries, a
+        missing policy propagates :class:`TransientSendError`.
+        """
+        faults = self.ctx.faults
+        rec = self.ctx.recovery
+        max_retries = getattr(rec, "max_retries", 0) if rec is not None else 0
+        attempt = 0
+        while True:
+            n = faults.send_fault(self.rank, dest, tag, self.clock.now)
+            if n is None:
+                return
+            self.metrics.faults_send += 1
+            self._trace_fault("send_fault", dest, tag)
+            if attempt >= max_retries:
+                raise TransientSendError(self.rank, dest, tag, n)
+            backoff = rec.backoff(attempt)
+            self.clock.advance(backoff)
+            self.metrics.send_retries += 1
+            self.metrics.backoff_time += backoff
+            self._trace_fault("send_retry", dest, tag)
+            attempt += 1
 
     def alloc(self, nbytes: int) -> None:
         """Charge a heap allocation of *nbytes* (GC/allocator cost model)."""
@@ -123,25 +202,98 @@ class Comm:
     def _post(self, payload: Any, nbytes: int, dest: int, tag: int, raw: bool) -> None:
         if not 0 <= dest < self.size:
             raise ValueError(f"destination rank {dest} out of range")
+        if self.ctx.faults is not None:
+            self._check_crash()
+            self._send_fault_gate(dest, tag)
         cost_bytes = int(nbytes * self.ctx.wire_scale)
         inter_node = self.node != self.ctx.node_of(dest)
-        self.ctx.limits.check_message(cost_bytes, self.rank, dest, inter_node)
+        try:
+            self.ctx.limits.check_message(cost_bytes, self.rank, dest, inter_node)
+        except BufferOverflowError:
+            # Stamp the rejection into metrics and the trace *before*
+            # raising or degrading: Fig. 5's Eden failure is diagnosable
+            # from the run's observability, not just the exception.
+            self.metrics.messages_rejected += 1
+            self._trace_fault("message_rejected", dest, tag, nbytes)
+            rec = self.ctx.recovery
+            if rec is not None and getattr(rec, "fragment", False):
+                self._post_fragments(payload, nbytes, dest, tag, raw)
+                return
+            raise
+        self._post_one(payload, nbytes, cost_bytes, dest, tag, raw)
+
+    def _post_one(
+        self,
+        payload: Any,
+        nbytes: int,
+        cost_bytes: int,
+        dest: int,
+        tag: int,
+        raw: bool,
+        frag_index: int = 0,
+        frag_total: int = 1,
+    ) -> None:
         link = self._link(dest)
         busy = link.injection_time(cost_bytes)
         self.clock.advance(busy)
         self.metrics.charge_send(nbytes, busy)
+        delay = link.availability_delay()
+        if self.ctx.faults is not None:
+            extra = self.ctx.faults.send_delay(self.rank, dest, tag, self.clock.now)
+            if extra > 0.0:
+                self.metrics.faults_delay += 1
+                self._trace_fault("delay_spike", dest, tag, nbytes)
+                delay += extra
         env = Envelope(
             payload=payload,
             nbytes=nbytes,
             cost_bytes=cost_bytes,
-            available_at=self.clock.now + link.availability_delay(),
+            available_at=self.clock.now + delay,
             raw=raw,
+            frag_index=frag_index,
+            frag_total=frag_total,
         )
         if self.ctx.trace is not None:
             self.ctx.trace.record(
                 CommEvent("send", self.clock.now, self.rank, dest, tag, nbytes)
             )
         self.ctx.channels.post(self.rank, dest, tag, env)
+
+    def _post_fragments(
+        self, payload: Any, nbytes: int, dest: int, tag: int, raw: bool
+    ) -> None:
+        """Graceful degradation: split an oversized message into
+        limit-sized fragments (the Triolet path; Eden keeps failing).
+
+        The logical payload is serialized once and travels as consecutive
+        envelopes on its channel; each fragment pays its own injection
+        and receive overhead, which is exactly the degradation cost.
+        """
+        limit = self.ctx.limits.max_message_bytes
+        ws = self.ctx.wire_scale
+        frag_payload = int(limit / ws) if ws > 0 else limit
+        if frag_payload < 1:
+            raise BufferOverflowError(
+                int(nbytes * ws), limit, self.rank, dest
+            )
+        data = serialize(payload) if raw else payload
+        total = len(data)
+        n = (total + frag_payload - 1) // frag_payload
+        self.metrics.messages_fragmented += 1
+        self.metrics.fragments_sent += n
+        self._trace_fault("fragmented", dest, tag, total)
+        for i in range(n):
+            piece = bytes(data[i * frag_payload : (i + 1) * frag_payload])
+            self._post_one(
+                piece,
+                len(piece),
+                int(len(piece) * ws),
+                dest,
+                tag,
+                raw=False,
+                frag_index=i,
+                frag_total=n,
+            )
 
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
         """Send a generic object (serialized; bytes counted for real)."""
@@ -152,9 +304,13 @@ class Comm:
         """Blocking receive of a generic object from an explicit *source*."""
         if not 0 <= source < self.size:
             raise ValueError(f"source rank {source} out of range")
+        if self.ctx.faults is not None:
+            self._check_crash()
         env = self.ctx.channels.take(
             source, self.rank, tag, self.ctx.real_timeout
         )
+        if env.frag_total > 1:
+            return self._recv_fragments(env, source, tag)
         waited = max(0.0, env.available_at - self.clock.now)
         self.clock.merge(env.available_at)
         link = self._link(source)
@@ -170,9 +326,40 @@ class Comm:
             self.ctx.trace.record(
                 CommEvent("recv", self.clock.now, self.rank, source, tag, env.nbytes)
             )
+        if self.ctx.faults is not None:
+            self._check_crash()
         if env.raw:
             return env.payload
         return deserialize(env.payload)
+
+    def _recv_fragments(self, first: Envelope, source: int, tag: int) -> Any:
+        """Reassemble a fragmented logical message (channel order FIFO)."""
+        parts = [first]
+        while len(parts) < first.frag_total:
+            parts.append(
+                self.ctx.channels.take(
+                    source, self.rank, tag, self.ctx.real_timeout
+                )
+            )
+        link = self._link(source)
+        total_nbytes = 0
+        for env in parts:
+            waited = max(0.0, env.available_at - self.clock.now)
+            self.clock.merge(env.available_at)
+            busy = link.receive_time()
+            self.clock.advance(busy)
+            self.alloc(env.cost_bytes)
+            self.metrics.charge_recv(env.nbytes, busy, waited)
+            total_nbytes += env.nbytes
+        if self.ctx.trace is not None:
+            self.ctx.trace.record(
+                CommEvent(
+                    "recv", self.clock.now, self.rank, source, tag, total_nbytes
+                )
+            )
+        if self.ctx.faults is not None:
+            self._check_crash()
+        return deserialize(b"".join(p.payload for p in parts))
 
     def isend(self, obj: Any, dest: int, tag: int = 0) -> "Request":
         """Nonblocking send.

@@ -1,0 +1,275 @@
+"""Deterministic fault injection for the simulated cluster.
+
+The paper's evaluation turns on failure behaviour as much as on speed:
+Eden's sgemm fails outright when a matrix slice exceeds its message
+buffer (§4.3), stragglers flatten Eden's mri-q curve (§4.2), and Triolet
+degrades gracefully by re-partitioning data.  This module supplies the
+*faults*; :mod:`repro.runtime.recovery` supplies the tolerance.
+
+A :class:`FaultPlan` is a seeded, deterministic schedule of injected
+faults keyed on **virtual time** and **(src, dst, tag)** -- never on wall
+time or thread scheduling -- so a plan perturbs a run identically every
+time it is replayed:
+
+* :class:`DelaySpike` -- matching messages arrive late (in-flight delay);
+* :class:`SendFault` -- matching sends raise :class:`TransientSendError`
+  the first ``times`` attempts (a retry-capable runtime recovers, a
+  naive one dies);
+* :class:`RankCrash` -- a rank raises :class:`RankFailure` the first time
+  its virtual clock passes ``at`` (fires once per plan);
+* :class:`SlowNode` -- every compute interval on one node is multiplied
+  (the §4.2 straggler, as a persistent slow node).
+
+Determinism: every piece of mutable plan state (crash fired, per-spec
+occurrence counters) is touched only by the thread of the rank the spec
+names, so the injected schedule is a pure function of the plan and the
+program.  Injection is zero-cost when no plan is installed: every hook
+starts with an ``if plan is None`` branch and the fault-free virtual
+timeline is bit-identical to a run without the subsystem.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "DelaySpike",
+    "SendFault",
+    "RankCrash",
+    "SlowNode",
+    "FaultPlan",
+    "TransientSendError",
+    "RankFailure",
+    "RankFailureInfo",
+    "RankFailureGroup",
+]
+
+
+class TransientSendError(RuntimeError):
+    """An injected, retryable send failure (lost message / NIC hiccup)."""
+
+    def __init__(self, src: int, dst: int, tag: int, attempt: int):
+        super().__init__(
+            f"transient send failure from rank {src} to rank {dst} "
+            f"tag {tag} (attempt {attempt})"
+        )
+        self.src = src
+        self.dst = dst
+        self.tag = tag
+        self.attempt = attempt
+
+
+class RankFailure(RuntimeError):
+    """An injected rank crash at a scheduled virtual time."""
+
+    def __init__(self, rank: int, at: float, now: float):
+        super().__init__(
+            f"rank {rank} crashed at virtual t={now:.6g}s (scheduled at "
+            f"t>={at:.6g}s)"
+        )
+        self.rank = rank
+        self.at = at
+        self.vtime = now
+
+
+@dataclass(frozen=True)
+class RankFailureInfo:
+    """One rank's failure, with virtual-time context (see ``run_spmd``)."""
+
+    rank: int
+    vtime: float  # the rank's virtual clock when it failed
+    error: BaseException
+
+    def describe(self) -> str:
+        return f"rank {self.rank} failed at t={self.vtime:.6g}s: {self.error!r}"
+
+
+class RankFailureGroup(RuntimeError):
+    """Every failing rank of one SPMD run, with virtual times.
+
+    ``run_spmd`` raises the lowest failing rank's original exception (so
+    callers keep matching on the application error type) *chained from*
+    this group, which carries the complete picture -- concurrent failures
+    from other ranks are no longer silently discarded.
+    """
+
+    def __init__(self, failures: list[RankFailureInfo]):
+        self.failures = failures
+        lines = "; ".join(f.describe() for f in failures)
+        super().__init__(f"{len(failures)} rank(s) failed: {lines}")
+
+
+# -- fault specifications ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DelaySpike:
+    """The first ``count`` sends matching (src, dst, tag) arrive late.
+
+    ``dst``/``tag`` of ``None`` match any destination/tag.  The delay is
+    in-flight (added to the availability stamp): the sender's clock is
+    unaffected, the receiver idles longer.
+    """
+
+    src: int
+    delay: float  # virtual seconds added to the message's arrival
+    dst: int | None = None
+    tag: int | None = None
+    count: int = 1
+    after: float = 0.0  # only sends at sender time >= after are delayed
+
+
+@dataclass(frozen=True)
+class SendFault:
+    """The first ``times`` sends matching (src, dst, tag) fail.
+
+    Each failed attempt raises :class:`TransientSendError`; a runtime
+    with a retry policy backs off and tries again (consuming the fault
+    budget), a runtime without one aborts the run.
+    """
+
+    src: int
+    dst: int | None = None
+    tag: int | None = None
+    times: int = 1
+    after: float = 0.0
+
+
+@dataclass(frozen=True)
+class RankCrash:
+    """Rank ``rank`` dies the first time its clock reaches ``at``."""
+
+    rank: int
+    at: float
+
+
+@dataclass(frozen=True)
+class SlowNode:
+    """Node ``node`` computes ``factor``x slower (persistent straggler)."""
+
+    node: int
+    factor: float = 4.0
+
+
+class FaultPlan:
+    """A deterministic schedule of injected faults for one run.
+
+    Mutable occurrence state lives here (how many times each spec has
+    fired, whether each crash has fired); :meth:`reset` rewinds it so the
+    same plan replays identically.  A plan is *consumed* across the
+    sections of one program: a crash fires exactly once even if the
+    runtime re-executes the failed section.
+    """
+
+    def __init__(self, faults: tuple | list = (), seed: int = 0):
+        self.faults = tuple(faults)
+        self.seed = seed
+        self._delay_used: dict[int, int] = {}
+        self._send_used: dict[int, int] = {}
+        self._crash_fired: set[int] = set()
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def chaos(
+        cls,
+        nranks: int,
+        seed: int,
+        crash_at: float = 1e-4,
+        straggle_factor: float = 3.0,
+        send_failures: int = 2,
+    ) -> "FaultPlan":
+        """The chaos-suite plan: one rank crash, one transient send
+        failure burst, one slow node -- all drawn deterministically from
+        *seed*.  The crash never targets rank 0 when there is a choice,
+        so the plan exercises re-execution rather than root loss."""
+        rng = np.random.default_rng(seed)
+        crash_rank = int(rng.integers(1, nranks)) if nranks > 1 else 0
+        flaky_src = int(rng.integers(0, nranks))
+        slow = int(rng.integers(0, nranks))
+        return cls(
+            faults=(
+                RankCrash(rank=crash_rank, at=crash_at * (1.0 + rng.random())),
+                SendFault(src=flaky_src, times=send_failures),
+                SlowNode(node=slow, factor=straggle_factor),
+            ),
+            seed=seed,
+        )
+
+    def reset(self) -> None:
+        """Rewind all occurrence state (replay the plan from scratch)."""
+        self._delay_used.clear()
+        self._send_used.clear()
+        self._crash_fired.clear()
+
+    # -- hooks (called from repro.cluster.comm; None-plan is the fast path) --
+
+    def send_fault(self, src: int, dst: int, tag: int, now: float) -> int | None:
+        """Attempt number (1-based) if this send fails, else ``None``.
+
+        Only the *src* rank's thread reaches a spec naming it, so the
+        counters are race-free and the schedule deterministic.
+        """
+        for i, f in enumerate(self.faults):
+            if not isinstance(f, SendFault) or f.src != src:
+                continue
+            if f.dst is not None and f.dst != dst:
+                continue
+            if f.tag is not None and f.tag != tag:
+                continue
+            if now < f.after:
+                continue
+            used = self._send_used.get(i, 0)
+            if used >= f.times:
+                continue
+            self._send_used[i] = used + 1
+            return used + 1
+        return None
+
+    def send_delay(self, src: int, dst: int, tag: int, now: float) -> float:
+        """Extra in-flight delay for this send (0.0 when none matches)."""
+        extra = 0.0
+        for i, f in enumerate(self.faults):
+            if not isinstance(f, DelaySpike) or f.src != src:
+                continue
+            if f.dst is not None and f.dst != dst:
+                continue
+            if f.tag is not None and f.tag != tag:
+                continue
+            if now < f.after:
+                continue
+            used = self._delay_used.get(i, 0)
+            if used >= f.count:
+                continue
+            self._delay_used[i] = used + 1
+            extra += f.delay
+        return extra
+
+    def compute_factor(self, node: int) -> float:
+        """Straggler multiplier for compute time on *node* (1.0 = healthy)."""
+        factor = 1.0
+        for f in self.faults:
+            if isinstance(f, SlowNode) and f.node == node:
+                factor *= f.factor
+        return factor
+
+    def check_crash(self, rank: int, now: float) -> None:
+        """Raise :class:`RankFailure` if *rank*'s scheduled crash is due."""
+        for i, f in enumerate(self.faults):
+            if (
+                isinstance(f, RankCrash)
+                and f.rank == rank
+                and now >= f.at
+                and i not in self._crash_fired
+            ):
+                self._crash_fired.add(i)
+                raise RankFailure(rank, f.at, now)
+
+    # -- introspection ------------------------------------------------------
+
+    def crashes(self) -> list[RankCrash]:
+        return [f for f in self.faults if isinstance(f, RankCrash)]
+
+    def __repr__(self) -> str:
+        return f"FaultPlan(seed={self.seed}, faults={list(self.faults)!r})"

@@ -25,6 +25,18 @@ class RankMetrics:
     idle_time: float = 0.0
     alloc_bytes: int = 0
     gc_time: float = 0.0
+    # -- robustness counters (all stay 0 on a fault-free, unlimited run) --
+    messages_rejected: int = 0  # sends refused by the runtime's byte cap
+    messages_fragmented: int = 0  # oversized sends split into fragments
+    fragments_sent: int = 0  # total fragments emitted
+    send_retries: int = 0  # retried sends after transient faults
+    backoff_time: float = 0.0  # virtual seconds spent in retry backoff
+    straggler_time: float = 0.0  # extra compute charged by slow-node faults
+    speculations: int = 0  # straggled tasks capped by a backup copy
+    faults_delay: int = 0  # injected message delays
+    faults_send: int = 0  # injected transient send failures
+    faults_crash: int = 0  # injected rank crashes
+    faults_straggler: int = 0  # compute intervals hit by a slow node
 
     def charge_send(self, nbytes: int, busy: float) -> None:
         self.bytes_sent += nbytes
@@ -43,6 +55,15 @@ class RankMetrics:
     def charge_alloc(self, nbytes: int, gc_dt: float = 0.0) -> None:
         self.alloc_bytes += nbytes
         self.gc_time += gc_dt
+
+    @property
+    def faults_injected(self) -> int:
+        return (
+            self.faults_delay
+            + self.faults_send
+            + self.faults_crash
+            + self.faults_straggler
+        )
 
 
 @dataclass
@@ -79,6 +100,63 @@ class RunMetrics:
     def max_compute_time(self) -> float:
         return max((m.compute_time for m in self.per_rank), default=0.0)
 
+    @property
+    def messages_rejected(self) -> int:
+        return sum(m.messages_rejected for m in self.per_rank)
+
+    @property
+    def messages_fragmented(self) -> int:
+        return sum(m.messages_fragmented for m in self.per_rank)
+
+    @property
+    def fragments_sent(self) -> int:
+        return sum(m.fragments_sent for m in self.per_rank)
+
+    @property
+    def send_retries(self) -> int:
+        return sum(m.send_retries for m in self.per_rank)
+
+    @property
+    def backoff_time(self) -> float:
+        return sum(m.backoff_time for m in self.per_rank)
+
+    @property
+    def straggler_time(self) -> float:
+        return sum(m.straggler_time for m in self.per_rank)
+
+    @property
+    def speculations(self) -> int:
+        return sum(m.speculations for m in self.per_rank)
+
+    @property
+    def faults_injected(self) -> int:
+        return sum(m.faults_injected for m in self.per_rank)
+
+    @property
+    def faults_delay(self) -> int:
+        return sum(m.faults_delay for m in self.per_rank)
+
+    @property
+    def faults_send(self) -> int:
+        return sum(m.faults_send for m in self.per_rank)
+
+    @property
+    def faults_crash(self) -> int:
+        return sum(m.faults_crash for m in self.per_rank)
+
+    @property
+    def faults_straggler(self) -> int:
+        return sum(m.faults_straggler for m in self.per_rank)
+
+    def fault_counts(self) -> dict[str, int]:
+        """Injected-fault tallies by kind (all zero on a clean run)."""
+        return {
+            "delay": sum(m.faults_delay for m in self.per_rank),
+            "send": sum(m.faults_send for m in self.per_rank),
+            "crash": sum(m.faults_crash for m in self.per_rank),
+            "straggler": sum(m.faults_straggler for m in self.per_rank),
+        }
+
     def summary(self) -> dict:
         return {
             "ranks": len(self.per_rank),
@@ -88,4 +166,6 @@ class RunMetrics:
             "comm_time": self.comm_time,
             "gc_time": self.gc_time,
             "alloc_bytes": self.alloc_bytes,
+            "messages_rejected": self.messages_rejected,
+            "faults_injected": self.faults_injected,
         }

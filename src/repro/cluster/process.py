@@ -18,10 +18,11 @@ from typing import Any, Callable, Sequence
 
 from repro.cluster.channel import SimAborted, SimDeadlockError
 from repro.cluster.comm import Comm, SimContext
+from repro.cluster.faults import FaultPlan, RankFailureGroup, RankFailureInfo
 from repro.cluster.limits import RuntimeLimits, UNLIMITED
 from repro.cluster.machine import MachineSpec
 from repro.cluster.metrics import RunMetrics
-from repro.cluster.trace import TraceLog
+from repro.cluster.trace import CommEvent, TraceLog
 
 __all__ = ["run_spmd", "SpmdResult", "SimAborted", "SimDeadlockError"]
 
@@ -35,6 +36,9 @@ class SpmdResult:
     metrics: RunMetrics
     final_clocks: list[float]
     trace: "TraceLog | None" = None  # when run_spmd(..., trace=True)
+    #: fault/recovery accounting, present when a FaultPlan or recovery
+    #: policy was installed (see repro.runtime.recovery.RecoveryReport)
+    recovery: Any = None
 
     @property
     def root_result(self) -> Any:
@@ -52,6 +56,8 @@ def run_spmd(
     wire_scale: float = 1.0,
     real_timeout: float = 60.0,
     trace: bool = False,
+    faults: FaultPlan | None = None,
+    recovery: Any = None,
 ) -> SpmdResult:
     """Run ``rank_fn(comm, *args)`` on *nranks* simulated ranks.
 
@@ -73,6 +79,8 @@ def run_spmd(
         alloc_cost=alloc_cost,
         wire_scale=wire_scale,
         trace=TraceLog() if trace else None,
+        faults=faults,
+        recovery=recovery,
     )
     ctx.validate()
 
@@ -107,15 +115,52 @@ def run_spmd(
         for t in threads:
             t.join()
 
+    metrics = RunMetrics(per_rank=[c.metrics for c in comms])
     if errors:
-        rank, exc = min(errors, key=lambda e: e[0])
-        raise exc
+        # Re-raise the lowest failing rank's original exception (callers
+        # keep matching on the application error type), chained from a
+        # RankFailureGroup that carries *every* failing rank with its
+        # virtual time -- concurrent failures are no longer discarded.
+        errors.sort(key=lambda e: e[0])
+        infos = [
+            RankFailureInfo(rank=r, vtime=comms[r].clock.now, error=e)
+            for r, e in errors
+        ]
+        if ctx.trace is not None:
+            for info in infos:
+                ctx.trace.record(
+                    CommEvent("rank_failed", info.vtime, info.rank, -1, 0, 0)
+                )
+        group = RankFailureGroup(infos)
+        rank, exc = errors[0]
+        try:
+            exc.rank_failures = infos
+            if faults is not None or recovery is not None:
+                exc.recovery_report = _build_report(metrics)
+        except (AttributeError, TypeError):
+            pass  # exceptions with __slots__ cannot carry annotations
+        if hasattr(exc, "add_note"):
+            exc.add_note(f"[run_spmd] {group}")
+        raise exc from group
 
     clocks = [c.clock.now for c in comms]
     return SpmdResult(
         results=results,
         makespan=max(clocks),
-        metrics=RunMetrics(per_rank=[c.metrics for c in comms]),
+        metrics=metrics,
         final_clocks=clocks,
         trace=ctx.trace,
+        recovery=(
+            _build_report(metrics)
+            if faults is not None or recovery is not None
+            else None
+        ),
     )
+
+
+def _build_report(metrics: RunMetrics):
+    """Fault/recovery accounting for one run (lazy import: the report
+    type lives in the runtime layer, which depends on this module)."""
+    from repro.runtime.recovery import RecoveryReport
+
+    return RecoveryReport.from_run(metrics)

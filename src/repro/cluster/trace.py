@@ -12,19 +12,42 @@ import threading
 from dataclasses import dataclass, field
 
 
+#: Event kinds beyond plain "send"/"recv": fault injection and recovery
+#: stamps (``peer`` is -1 when there is no other endpoint).
+FAULT_EVENT_KINDS = (
+    "message_rejected",  # send refused by the runtime's message-byte cap
+    "fragmented",  # oversized send split into limit-sized fragments
+    "send_fault",  # injected transient send failure
+    "send_retry",  # a retried send after backoff
+    "delay_spike",  # injected in-flight message delay
+    "rank_crash",  # injected rank crash (RankFailure raised)
+    "rank_failed",  # a rank left the run with an exception
+    "speculation",  # straggled task capped by a backup copy
+)
+
+
 @dataclass(frozen=True)
 class CommEvent:
-    """One traced communication event."""
+    """One traced communication or fault/recovery event."""
 
-    kind: str  # "send" | "recv"
+    kind: str  # "send" | "recv" | one of FAULT_EVENT_KINDS
     time: float  # virtual time at completion of the operation
     rank: int  # the rank performing the operation
-    peer: int  # the other endpoint
+    peer: int  # the other endpoint (-1 when not applicable)
     tag: int
     nbytes: int
 
     def describe(self) -> str:
-        arrow = "->" if self.kind == "send" else "<-"
+        if self.kind == "send":
+            arrow = "->"
+        elif self.kind == "recv":
+            arrow = "<-"
+        else:
+            peer = f" (peer {self.peer})" if self.peer >= 0 else ""
+            return (
+                f"t={self.time * 1e3:10.4f}ms  rank {self.rank} "
+                f"[{self.kind}]{peer}  tag={self.tag}  {self.nbytes}B"
+            )
         return (
             f"t={self.time * 1e3:10.4f}ms  rank {self.rank} {arrow} "
             f"rank {self.peer}  tag={self.tag}  {self.nbytes}B"
@@ -54,6 +77,19 @@ class TraceLog:
     def for_rank(self, rank: int) -> list[CommEvent]:
         return sorted(
             (e for e in self.events if e.rank == rank), key=lambda e: e.time
+        )
+
+    def of_kind(self, kind: str) -> list[CommEvent]:
+        """All events of one kind (e.g. ``"message_rejected"``)."""
+        return sorted(
+            (e for e in self.events if e.kind == kind), key=lambda e: e.time
+        )
+
+    def fault_events(self) -> list[CommEvent]:
+        """Every injected-fault / recovery event, time-ordered."""
+        return sorted(
+            (e for e in self.events if e.kind in FAULT_EVENT_KINDS),
+            key=lambda e: e.time,
         )
 
 

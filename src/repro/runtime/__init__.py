@@ -13,9 +13,19 @@ from repro.runtime.gc_model import (
     GHC_GC,
     FREE_ALLOC,
 )
+from repro.runtime.recovery import (
+    RecoveryPolicy,
+    RecoveryReport,
+    DEFAULT_RECOVERY,
+    NO_RECOVERY,
+)
 from repro.runtime.worksteal import work_stealing_makespan, static_for_makespan
 
 __all__ = [
+    "RecoveryPolicy",
+    "RecoveryReport",
+    "DEFAULT_RECOVERY",
+    "NO_RECOVERY",
     "CostContext",
     "use_costs",
     "current_costs",

@@ -35,6 +35,7 @@ from typing import Any
 import numpy as np
 
 from repro.cluster.comm import Comm
+from repro.cluster.faults import FaultPlan, RankFailure
 from repro.cluster.limits import RuntimeLimits, UNLIMITED
 from repro.cluster.machine import MachineSpec
 from repro.cluster.metrics import RunMetrics
@@ -52,6 +53,7 @@ from repro.core.iterators.iter_type import (
 from repro.partition import block2d_bounds, block_bounds, grid_shape
 from repro.runtime.costs import CostContext, use_costs
 from repro.runtime.gc_model import BOEHM_GC, AllocatorModel
+from repro.runtime.recovery import DEFAULT_RECOVERY, RecoveryPolicy, RecoveryReport
 from repro.runtime.worksteal import work_stealing_makespan
 from repro.serial.sizeof import transitive_size
 
@@ -94,6 +96,7 @@ class SectionRecord:
     metrics: RunMetrics | None = None
     visits: int = 0
     gc_time: float = 0.0
+    recovery: "RecoveryReport | None" = None  # fault/recovery accounting
 
     def utilization(self) -> float:
         """Fraction of node-seconds spent computing (vs waiting/comm).
@@ -130,12 +133,19 @@ class TrioletRuntime:
         topology: str = "two-level",
         scheduler: str = "worksteal",
         label: str = "",
+        faults: FaultPlan | None = None,
+        recovery: RecoveryPolicy | None = DEFAULT_RECOVERY,
     ):
         """``topology``: ``"two-level"`` (the paper's design: message
         passing across nodes, threads within) or ``"flat"`` (one rank per
         core, Eden-style -- the ablation of §1's third problem).
         ``scheduler``: ``"worksteal"`` (TBB-like) or ``"static"``
-        (OpenMP-static-like) intra-node scheduling."""
+        (OpenMP-static-like) intra-node scheduling.
+        ``faults``: optional deterministic fault schedule injected into
+        every distributed section; ``recovery``: what the runtime does
+        about fired faults (retry, re-execute, fragment, speculate) --
+        consulted only when something actually fires, so the fault-free
+        timeline is unchanged."""
         if topology not in ("two-level", "flat"):
             raise ValueError(f"unknown topology: {topology!r}")
         if scheduler not in ("worksteal", "static"):
@@ -148,6 +158,9 @@ class TrioletRuntime:
         self.topology = topology
         self.scheduler = scheduler
         self.label = label
+        self.faults = faults
+        self.recovery = recovery
+        self.recovery_report = RecoveryReport(attempts=0)
         self.clock = VirtualClock()
         self.sections: list[SectionRecord] = []
 
@@ -437,8 +450,32 @@ class TrioletRuntime:
 
     # -- distributed sections ---------------------------------------------
 
+    def _partition(self, it: Iter, nranks_max: int) -> tuple[list[Iter], str, Any]:
+        """Slice *it* into per-rank chunks (2-D grid when the source
+        supports inner slicing, 1-D blocks otherwise)."""
+        if self._can_block_2d(it):
+            dom: Dim2 = it.domain  # type: ignore[assignment]
+            nchunks = min(nranks_max, max(1, dom.size))
+            py, px = grid_shape(nchunks, dom.h, dom.w)
+            blocks = block2d_bounds(dom.h, dom.w, py, px)
+            chunks = [self._reslice_block(it, r, c) for r, c in blocks]
+            return chunks, f"2d {py}x{px}", blocks
+        extent = it.domain.outer_extent
+        nchunks = min(nranks_max, max(1, extent))
+        bounds = block_bounds(extent, nchunks)
+        chunks = [self._reslice(it, lo, hi) for lo, hi in bounds]
+        return chunks, f"1d x{nchunks}", bounds
+
     def _distributed(self, it: Iter, spec: ConsumeSpec) -> Any:
-        """``par``: nodes via simulated MPI, cores via the threads model."""
+        """``par``: nodes via simulated MPI, cores via the threads model.
+
+        Fault tolerance: when an injected rank crash kills an attempt,
+        the section is re-partitioned across the surviving ranks and
+        re-executed -- the sliceable sources re-extract exactly the
+        slices the replacement ranks need (§3.5), so no checkpoint or
+        data shuffle is required.  The failed attempt's virtual time and
+        a backoff are charged to the section's makespan and reported.
+        """
         if not self._partitionable(it):
             # Variable-length outer loops cannot be partitioned (§3.2's
             # whole point is to avoid producing them); run sequentially.
@@ -452,51 +489,84 @@ class TrioletRuntime:
             else self.machine.nodes
         )
 
-        if self._can_block_2d(it):
-            dom: Dim2 = it.domain  # type: ignore[assignment]
-            nchunks = min(nranks_max, max(1, dom.size))
-            py, px = grid_shape(nchunks, dom.h, dom.w)
-            blocks = block2d_bounds(dom.h, dom.w, py, px)
-            chunks = [self._reslice_block(it, r, c) for r, c in blocks]
-            partition = f"2d {py}x{px}"
-            block_meta = blocks
-        else:
-            extent = it.domain.outer_extent
-            nchunks = min(nranks_max, max(1, extent))
-            bounds = block_bounds(extent, nchunks)
-            chunks = [self._reslice(it, lo, hi) for lo, hi in bounds]
-            partition = f"1d x{nchunks}"
-            block_meta = bounds
-
         cores = 1 if flat else self.machine.cores_per_node
         costs = self.costs
         machine = self.machine
+        rec = self.recovery
 
-        def rank_fn(comm: Comm):
-            my_chunk = _distribute_chunks(comm, chunks)
-            result, makespan, gc_time = self._node_execute(my_chunk, spec, cores)
-            comm.compute(makespan)
-            comm.metrics.gc_time += gc_time  # time already inside makespan
-            comm.alloc(_result_bytes(result))
-            if spec.kind == "reduce":
-                charged = _charged_combine(comm, spec.combine, costs)
-                return comm.reduce(result, charged, root=0)
-            gathered = comm.gather(result, root=0)
-            if comm.rank != 0:
-                return None
-            return _assemble_build(gathered, block_meta, partition)
+        attempt = 0
+        dead = 0
+        lost_time = 0.0
+        reexecuted = 0
+        section_acc: RecoveryReport | None = None
+        while True:
+            chunks, partition, block_meta = self._partition(it, nranks_max - dead)
+            if attempt > 0:
+                reexecuted += len(chunks)
 
-        res = run_spmd(
-            machine,
-            rank_fn,
-            nranks=len(chunks),
-            ranks_per_node=self.machine.cores_per_node if flat else 1,
-            limits=self.limits,
-            alloc_cost=self.alloc,
-            wire_scale=self.costs.wire_scale,
-        )
+            def rank_fn(comm: Comm):
+                my_chunk = _distribute_chunks(comm, chunks)
+                result, makespan, gc_time = self._node_execute(my_chunk, spec, cores)
+                comm.compute(makespan)
+                comm.metrics.gc_time += gc_time  # time already inside makespan
+                comm.alloc(_result_bytes(result))
+                if spec.kind == "reduce":
+                    charged = _charged_combine(comm, spec.combine, costs)
+                    return comm.reduce(result, charged, root=0)
+                gathered = comm.gather(result, root=0)
+                if comm.rank != 0:
+                    return None
+                return _assemble_build(gathered, block_meta, partition)
+
+            try:
+                res = run_spmd(
+                    machine,
+                    rank_fn,
+                    nranks=len(chunks),
+                    ranks_per_node=self.machine.cores_per_node if flat else 1,
+                    limits=self.limits,
+                    alloc_cost=self.alloc,
+                    wire_scale=self.costs.wire_scale,
+                    faults=self.faults,
+                    recovery=rec,
+                )
+                break
+            except BaseException as exc:
+                infos = getattr(exc, "rank_failures", None)
+                recoverable = (
+                    rec is not None
+                    and infos is not None
+                    and all(isinstance(i.error, RankFailure) for i in infos)
+                    and attempt < rec.max_reexecutions
+                    and len(chunks) - len(infos) >= 1
+                )
+                if not recoverable:
+                    raise
+                # The crashed attempt ran until the failure; its
+                # survivors' progress is discarded, its time is not.
+                partial = getattr(exc, "recovery_report", None)
+                if partial is not None:
+                    partial.attempts = 1
+                    if section_acc is None:
+                        section_acc = RecoveryReport(attempts=0)
+                    section_acc.merge(partial)
+                lost_time += max(i.vtime for i in infos) + rec.backoff(attempt)
+                dead += len(infos)
+                attempt += 1
+
+        makespan = lost_time + res.makespan
         # The section starts when the main rank reaches it.
-        self.clock.advance(res.makespan)
+        self.clock.advance(makespan)
+        section_report = None
+        if res.recovery is not None or section_acc is not None:
+            # Failed attempts' counters (crashes seen, time lost) belong
+            # to the section alongside the successful attempt's.
+            section_report = section_acc or RecoveryReport(attempts=0)
+            if res.recovery is not None:
+                section_report.merge(res.recovery)
+            section_report.reexecuted_chunks = reexecuted
+            section_report.added_time = lost_time
+            self.recovery_report.merge(section_report)
         self.sections.append(
             SectionRecord(
                 label="par",
@@ -505,11 +575,12 @@ class TrioletRuntime:
                 nodes=len(chunks),
                 cores=len(chunks) * cores,
                 partition=partition,
-                makespan=res.makespan,
+                makespan=makespan,
                 bytes_shipped=res.metrics.bytes_sent,
                 messages=res.metrics.messages_sent,
                 metrics=res.metrics,
                 gc_time=res.metrics.gc_time,
+                recovery=section_report,
             )
         )
         return res.root_result
@@ -579,6 +650,8 @@ def triolet_runtime(
     task_grain: int = 4,
     topology: str = "two-level",
     scheduler: str = "worksteal",
+    faults: FaultPlan | None = None,
+    recovery: RecoveryPolicy | None = DEFAULT_RECOVERY,
 ):
     """Install a :class:`TrioletRuntime` as the skeleton executor."""
     rt = TrioletRuntime(
@@ -589,6 +662,8 @@ def triolet_runtime(
         task_grain=task_grain,
         topology=topology,
         scheduler=scheduler,
+        faults=faults,
+        recovery=recovery,
     )
     with use_executor(rt), use_costs(rt.costs):
         yield rt

@@ -1,0 +1,148 @@
+"""Fault tolerance for the Triolet runtime (policy + accounting).
+
+The cluster substrate (:mod:`repro.cluster.faults`) *injects* faults;
+this module decides what the runtime does about them:
+
+* **retry** -- transient send failures are retried with capped
+  exponential backoff charged to the sender's virtual clock;
+* **re-execution** -- when an injected :class:`~repro.cluster.faults.
+  RankFailure` kills a rank mid-section, the driver re-partitions the
+  section's iterator across the surviving ranks and re-executes it.  The
+  paper's sliceable data sources (§3.5) make this cheap to express: a
+  replacement rank re-extracts exactly the slice it needs, no
+  checkpointing required;
+* **graceful degradation** -- a message rejected by the runtime's
+  byte cap (:class:`~repro.cluster.limits.BufferOverflowError`) is
+  fragmented into limit-sized pieces instead of failing the run.  The
+  Eden baseline installs no policy, so it keeps failing exactly as in
+  Fig. 5;
+* **speculation** -- a straggled task overrunning its ``task_timeout``
+  is capped by a backup copy on a healthy core (Hadoop-style).
+
+Every decision is deterministic: backoffs are a pure function of the
+attempt number, re-execution of the re-sliced sections recomputes the
+same numbers, and the added virtual time is reported, not hidden.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.metrics import RunMetrics
+
+__all__ = ["RecoveryPolicy", "RecoveryReport", "DEFAULT_RECOVERY", "NO_RECOVERY"]
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """What the runtime is allowed to do when a fault fires.
+
+    The policy is consulted *only* when a fault or limit actually fires,
+    so installing one on a fault-free run leaves the virtual timeline
+    bit-identical (the zero-cost-when-disabled guarantee).
+    """
+
+    #: retries per send after a transient failure before giving up
+    max_retries: int = 4
+    #: first backoff (virtual seconds); doubles per attempt
+    backoff_base: float = 1e-4
+    #: backoff ceiling (virtual seconds)
+    backoff_cap: float = 5e-3
+    #: fragment messages rejected by the runtime's byte cap
+    fragment: bool = True
+    #: virtual seconds a straggled task may overrun its normal duration
+    #: before a speculative backup copy caps it; ``None`` disables
+    task_timeout: float | None = 0.05
+    #: how many times a distributed section may be re-executed after
+    #: rank crashes before the failure is propagated
+    max_reexecutions: int = 2
+
+    def backoff(self, attempt: int) -> float:
+        """Capped exponential backoff for 0-based *attempt*."""
+        return min(self.backoff_base * (2.0**attempt), self.backoff_cap)
+
+
+#: The Triolet runtime's default posture: retry, fragment, speculate.
+DEFAULT_RECOVERY = RecoveryPolicy()
+
+#: Explicitly no tolerance (the Eden posture, for ablations).
+NO_RECOVERY: RecoveryPolicy | None = None
+
+
+@dataclass
+class RecoveryReport:
+    """What faults a run saw and what recovering from them cost.
+
+    Attached to :class:`~repro.cluster.process.SpmdResult` whenever a
+    fault plan or recovery policy is installed, and accumulated across
+    sections on :class:`~repro.runtime.driver.TrioletRuntime`.
+    """
+
+    #: injected faults by kind: delay / send / crash / straggler
+    faults: dict[str, int] = field(default_factory=dict)
+    retries: int = 0
+    backoff_time: float = 0.0
+    reexecuted_chunks: int = 0
+    rejected_messages: int = 0
+    fragmented_messages: int = 0
+    fragments_sent: int = 0
+    speculations: int = 0
+    straggler_time: float = 0.0
+    #: virtual seconds lost to failed attempts + re-execution backoff
+    added_time: float = 0.0
+    #: section execution attempts (1 = no re-execution was needed)
+    attempts: int = 1
+
+    @classmethod
+    def from_run(cls, metrics: RunMetrics) -> "RecoveryReport":
+        """Fold one SPMD run's fault counters into a report."""
+        return cls(
+            faults={k: v for k, v in metrics.fault_counts().items() if v},
+            retries=metrics.send_retries,
+            backoff_time=metrics.backoff_time,
+            rejected_messages=metrics.messages_rejected,
+            fragmented_messages=metrics.messages_fragmented,
+            fragments_sent=metrics.fragments_sent,
+            speculations=metrics.speculations,
+            straggler_time=metrics.straggler_time,
+        )
+
+    @property
+    def total_faults(self) -> int:
+        return sum(self.faults.values())
+
+    def merge(self, other: "RecoveryReport") -> None:
+        """Accumulate *other* into this report (all counters add up; an
+        accumulator should therefore start with ``attempts=0``)."""
+        for k, v in other.faults.items():
+            self.faults[k] = self.faults.get(k, 0) + v
+        self.retries += other.retries
+        self.backoff_time += other.backoff_time
+        self.reexecuted_chunks += other.reexecuted_chunks
+        self.rejected_messages += other.rejected_messages
+        self.fragmented_messages += other.fragmented_messages
+        self.fragments_sent += other.fragments_sent
+        self.speculations += other.speculations
+        self.straggler_time += other.straggler_time
+        self.added_time += other.added_time
+        self.attempts += other.attempts
+
+    def describe(self) -> str:
+        """Human-readable summary (used by examples and reports)."""
+        fault_str = (
+            ", ".join(f"{k}={v}" for k, v in sorted(self.faults.items()))
+            or "none"
+        )
+        lines = [
+            f"faults injected: {fault_str}",
+            f"send retries: {self.retries} "
+            f"(backoff {self.backoff_time * 1e3:.3f}ms)",
+            f"re-executed chunks: {self.reexecuted_chunks} "
+            f"over {self.attempts} attempt(s)",
+            f"messages rejected/fragmented: {self.rejected_messages}/"
+            f"{self.fragmented_messages} ({self.fragments_sent} fragments)",
+            f"speculative backups: {self.speculations} "
+            f"(straggler time {self.straggler_time * 1e3:.3f}ms)",
+            f"virtual time added by faults & recovery: "
+            f"{self.added_time * 1e3:.3f}ms",
+        ]
+        return "\n".join(lines)

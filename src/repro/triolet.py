@@ -78,6 +78,18 @@ from repro.core.iterators import treduce as reduce
 from repro.core.iterators import tsum as sum  # noqa: A001
 from repro.core.iterators import tzip as zip  # noqa: A001
 from repro.core.fusion import analyze
+from repro.cluster.faults import (
+    DelaySpike,
+    FaultPlan,
+    RankCrash,
+    SendFault,
+    SlowNode,
+)
+from repro.runtime.recovery import (
+    DEFAULT_RECOVERY,
+    RecoveryPolicy,
+    RecoveryReport,
+)
 
 __all__ = [
     # hints
@@ -119,6 +131,15 @@ __all__ = [
     "mean_variance",
     "argmin",
     "argmax",
+    # fault tolerance
+    "FaultPlan",
+    "DelaySpike",
+    "SendFault",
+    "RankCrash",
+    "SlowNode",
+    "RecoveryPolicy",
+    "RecoveryReport",
+    "DEFAULT_RECOVERY",
     # types & tools
     "Iter",
     "IdxFlat",

@@ -1,0 +1,148 @@
+"""Collectives under a byte-capped network: fail hard, or fragment.
+
+Without a recovery policy a collective whose point-to-point messages
+exceed ``max_message_bytes`` aborts with :class:`BufferOverflowError`
+(the Eden posture, Fig. 5).  With the Triolet recovery policy installed
+the oversized sends are fragmented into limit-sized pieces and every
+collective still produces exactly the right answer.
+"""
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    BufferOverflowError,
+    MachineSpec,
+    RuntimeLimits,
+    run_spmd,
+)
+from repro.runtime.recovery import RecoveryPolicy
+
+MACHINE = MachineSpec(nodes=8, cores_per_node=1)
+# 1000 float64 rows are ~8 kB on the wire; cap below even the smallest
+# per-rank chunk (1000/8 rows = 1 kB) so every collective overflows.
+TIGHT = RuntimeLimits(max_message_bytes=900)
+RECOVER = RecoveryPolicy()
+NROWS = 1000
+
+
+def bcast_fn(comm):
+    obj = np.arange(float(NROWS)) if comm.rank == 0 else None
+    return float(comm.bcast(obj, root=0).sum())
+
+
+def reduce_fn(comm):
+    local = np.full(NROWS, float(comm.rank + 1))
+    out = comm.reduce(local, op=lambda a, b: a + b, root=0)
+    return None if out is None else float(out.sum())
+
+
+def scatterv_fn(comm):
+    counts = [NROWS // comm.size + (1 if i < NROWS % comm.size else 0)
+              for i in range(comm.size)]
+    arr = np.arange(float(NROWS)) if comm.rank == 0 else None
+    return float(comm.scatterv(arr, counts, root=0).sum())
+
+
+def gatherv_fn(comm):
+    local = np.full(NROWS // comm.size, float(comm.rank))
+    out = comm.gatherv(local, root=0)
+    return None if out is None else float(out.sum())
+
+
+def alltoall_fn(comm):
+    chunks = [np.full(NROWS // comm.size, float(comm.rank * 100 + i))
+              for i in range(comm.size)]
+    out = comm.alltoall(chunks)
+    return float(sum(c.sum() for c in out))
+
+
+COLLECTIVES = {
+    "bcast": bcast_fn,
+    "reduce": reduce_fn,
+    "scatterv": scatterv_fn,
+    "gatherv": gatherv_fn,
+    "alltoall": alltoall_fn,
+}
+
+
+def expected(name, size):
+    res = run_spmd(MACHINE, COLLECTIVES[name], nranks=size)
+    return res.results
+
+
+@pytest.mark.parametrize("name", sorted(COLLECTIVES))
+@pytest.mark.parametrize("size", [2, 4, 8])
+class TestCappedCollectives:
+    def test_fails_without_recovery(self, name, size):
+        with pytest.raises(BufferOverflowError):
+            run_spmd(
+                MACHINE,
+                COLLECTIVES[name],
+                nranks=size,
+                limits=TIGHT,
+                real_timeout=15.0,
+            )
+
+    def test_fragments_with_recovery(self, name, size):
+        res = run_spmd(
+            MACHINE,
+            COLLECTIVES[name],
+            nranks=size,
+            limits=TIGHT,
+            recovery=RECOVER,
+        )
+        assert res.results == expected(name, size)
+        assert res.metrics.messages_fragmented >= 1
+        assert res.metrics.fragments_sent > res.metrics.messages_fragmented
+        assert res.recovery is not None
+        assert res.recovery.rejected_messages == res.metrics.messages_rejected
+
+
+class TestFragmentationAccounting:
+    def test_rejection_traced_before_fragmenting(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.Send(np.zeros(NROWS), dest=1)
+                return None
+            return float(comm.Recv(source=0).sum())
+
+        res = run_spmd(
+            MACHINE, main, nranks=2, limits=TIGHT,
+            recovery=RECOVER, trace=True,
+        )
+        assert res.results[1] == 0.0
+        rejected = res.trace.of_kind("message_rejected")
+        fragmented = res.trace.of_kind("fragmented")
+        assert len(rejected) == 1
+        assert len(fragmented) == 1
+        assert res.metrics.messages_rejected == 1
+
+    def test_fragmented_send_costs_more_virtual_time(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.Send(np.zeros(NROWS), dest=1)
+                return None
+            return float(comm.Recv(source=0).sum())
+
+        free = run_spmd(MACHINE, main, nranks=2)
+        frag = run_spmd(
+            MACHINE, main, nranks=2, limits=TIGHT, recovery=RECOVER
+        )
+        # graceful degradation: correct answer, higher per-fragment
+        # overhead than the single unconstrained send
+        assert frag.results == free.results
+        assert frag.makespan > free.makespan
+
+    def test_fragment_policy_disabled_still_fails(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.Send(np.zeros(NROWS), dest=1)
+            else:
+                comm.Recv(source=0)
+
+        no_frag = RecoveryPolicy(fragment=False)
+        with pytest.raises(BufferOverflowError):
+            run_spmd(
+                MACHINE, main, nranks=2, limits=TIGHT,
+                recovery=no_frag, real_timeout=15.0,
+            )

@@ -5,6 +5,8 @@ import pytest
 from repro.cluster import (
     BufferOverflowError,
     MachineSpec,
+    RankFailureGroup,
+    RankFailureInfo,
     RuntimeLimits,
     SimDeadlockError,
     run_spmd,
@@ -55,6 +57,36 @@ class TestRankFailures:
 
         with pytest.raises(RuntimeError, match="late failure"):
             run_spmd(MACHINE, main, nranks=4)
+
+    def test_exception_annotated_with_failure_group(self):
+        """The raised exception carries every failing rank + virtual time."""
+
+        def main(comm):
+            comm.compute(1e-3 * (comm.rank + 1))
+            if comm.rank in (1, 3):
+                raise RuntimeError(f"boom {comm.rank}")
+            comm.barrier()
+
+        with pytest.raises(RuntimeError, match="boom 1") as exc_info:
+            run_spmd(MACHINE, main, nranks=4, real_timeout=10.0)
+        exc = exc_info.value
+        infos = exc.rank_failures
+        assert [i.rank for i in infos] == [1, 3]
+        assert all(isinstance(i, RankFailureInfo) for i in infos)
+        assert all(i.vtime > 0.0 for i in infos)
+        assert isinstance(exc.__cause__, RankFailureGroup)
+        assert len(exc.__cause__.failures) == 2
+        # the add_note() annotation names the failing ranks
+        assert any("run_spmd" in n for n in getattr(exc, "__notes__", []))
+
+    def test_failed_ranks_traced(self):
+        def main(comm):
+            if comm.rank == 2:
+                raise RuntimeError("traced failure")
+            comm.barrier()
+
+        with pytest.raises(RuntimeError):
+            run_spmd(MACHINE, main, nranks=4, real_timeout=10.0, trace=True)
 
 
 class TestDeadlocks:

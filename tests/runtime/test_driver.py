@@ -186,13 +186,31 @@ class TestVirtualTiming:
         assert rt2.elapsed > rt1.elapsed
 
     def test_buffer_limit_enforced_on_scaled_bytes(self):
+        # Without a recovery policy the byte cap is fatal, as in the seed.
         xs = np.arange(10_000.0)  # 80 kB raw; 8 MB at wire_scale=100
         limits = RuntimeLimits(max_message_bytes=1_000_000)
         with triolet_runtime(
-            MACHINE, costs=CostContext(wire_scale=100.0), limits=limits
+            MACHINE,
+            costs=CostContext(wire_scale=100.0),
+            limits=limits,
+            recovery=None,
         ):
             with pytest.raises(BufferOverflowError):
                 tri.sum(tri.par(xs))
+
+    def test_buffer_limit_fragments_under_default_recovery(self):
+        # The default policy degrades gracefully: the oversized message is
+        # fragmented into limit-sized pieces and the run completes.
+        xs = np.arange(10_000.0)
+        limits = RuntimeLimits(max_message_bytes=1_000_000)
+        with triolet_runtime(
+            MACHINE, costs=CostContext(wire_scale=100.0), limits=limits
+        ) as rt:
+            out = tri.sum(tri.par(xs))
+        assert out == pytest.approx(np.sum(xs))
+        report = rt.recovery_report
+        assert report.rejected_messages >= 1
+        assert report.fragments_sent > report.fragmented_messages >= 1
 
     def test_run_sequential_charges_clock(self):
         with triolet_runtime(MACHINE, costs=CostContext(unit_time=1e-3)) as rt:

@@ -1,0 +1,213 @@
+"""The fault-tolerant Triolet runtime: retry, re-execution, degradation."""
+import numpy as np
+import pytest
+
+import repro.triolet as tri
+from repro.cluster import (
+    BufferOverflowError,
+    FaultPlan,
+    MachineSpec,
+    RankCrash,
+    RankFailure,
+    SendFault,
+    SlowNode,
+    TransientSendError,
+)
+from repro.cluster.limits import EDEN_LIMITS
+from repro.runtime import (
+    DEFAULT_RECOVERY,
+    CostContext,
+    RecoveryPolicy,
+    RecoveryReport,
+    triolet_runtime,
+)
+
+MACHINE = MachineSpec(nodes=4, cores_per_node=4)
+XS = np.arange(2000.0)
+EXPECTED = float(np.sum(XS * XS))
+
+
+def squares_sum():
+    return tri.sum(tri.map(lambda x: x * x, tri.par(XS)))
+
+
+class TestRetry:
+    def test_transient_send_fault_is_retried(self):
+        plan = FaultPlan(faults=(SendFault(src=1, times=2),))
+        with triolet_runtime(MACHINE, faults=plan) as rt:
+            out = squares_sum()
+        assert out == pytest.approx(EXPECTED)
+        report = rt.recovery_report
+        assert report.retries == 2
+        assert report.backoff_time > 0.0
+        assert report.faults.get("send") == 2
+
+    def test_exhausted_retries_propagate(self):
+        # more consecutive failures than the policy's retry budget
+        plan = FaultPlan(faults=(SendFault(src=1, times=99),))
+        policy = RecoveryPolicy(max_retries=3)
+        with triolet_runtime(MACHINE, faults=plan, recovery=policy):
+            with pytest.raises(TransientSendError):
+                squares_sum()
+
+    def test_retry_makespan_is_deterministic(self):
+        elapsed = []
+        for _ in range(2):
+            plan = FaultPlan(faults=(SendFault(src=1, times=2),))
+            with triolet_runtime(MACHINE, faults=plan) as rt:
+                squares_sum()
+            elapsed.append(rt.elapsed)
+        assert elapsed[0] == elapsed[1]
+
+
+class TestReexecution:
+    def test_crashed_rank_work_is_redistributed(self):
+        with triolet_runtime(MACHINE) as rt:
+            baseline = squares_sum()
+            clean_elapsed = rt.elapsed
+        plan = FaultPlan(faults=(RankCrash(rank=1, at=1e-6),))
+        with triolet_runtime(MACHINE, faults=plan) as rt:
+            out = squares_sum()
+        assert out == baseline == pytest.approx(EXPECTED)
+        report = rt.recovery_report
+        assert report.faults.get("crash") == 1
+        assert report.attempts == 2
+        assert report.reexecuted_chunks >= 1
+        assert report.added_time > 0.0
+        assert rt.elapsed > clean_elapsed
+
+    def test_section_record_carries_recovery(self):
+        plan = FaultPlan(faults=(RankCrash(rank=1, at=1e-6),))
+        with triolet_runtime(MACHINE, faults=plan) as rt:
+            squares_sum()
+        rec = rt.last_section.recovery
+        assert rec is not None
+        assert rec.faults.get("crash") == 1
+
+    def test_crash_without_recovery_propagates(self):
+        plan = FaultPlan(faults=(RankCrash(rank=1, at=1e-6),))
+        with triolet_runtime(MACHINE, faults=plan, recovery=None):
+            with pytest.raises(RankFailure) as exc_info:
+                squares_sum()
+        infos = exc_info.value.rank_failures
+        assert [i.rank for i in infos] == [1]
+
+    def test_reexecution_budget_exhausted_propagates(self):
+        # every attempt crashes another rank: budget of 1 is not enough
+        plan = FaultPlan(
+            faults=(
+                RankCrash(rank=1, at=1e-6),
+                RankCrash(rank=2, at=1e-6),
+                RankCrash(rank=3, at=1e-6),
+            )
+        )
+        policy = RecoveryPolicy(max_reexecutions=1)
+        with triolet_runtime(MACHINE, faults=plan, recovery=policy):
+            with pytest.raises(RankFailure):
+                squares_sum()
+
+    def test_reexecution_is_deterministic(self):
+        outs, times = [], []
+        for _ in range(2):
+            plan = FaultPlan(faults=(RankCrash(rank=2, at=1e-6),))
+            with triolet_runtime(MACHINE, faults=plan) as rt:
+                outs.append(squares_sum())
+            times.append(rt.elapsed)
+        assert outs[0] == outs[1]
+        assert times[0] == times[1]
+
+
+class TestSpeculation:
+    def test_straggler_capped_by_task_timeout(self):
+        plan = FaultPlan(faults=(SlowNode(node=1, factor=50.0),))
+        capped = RecoveryPolicy(task_timeout=1e-4)
+        with triolet_runtime(MACHINE, faults=plan, recovery=capped) as rt:
+            out = squares_sum()
+        assert out == pytest.approx(EXPECTED)
+        assert rt.recovery_report.speculations > 0
+
+        plan = FaultPlan(faults=(SlowNode(node=1, factor=50.0),))
+        uncapped = RecoveryPolicy(task_timeout=None)
+        with triolet_runtime(MACHINE, faults=plan, recovery=uncapped) as rt2:
+            out2 = squares_sum()
+        assert out2 == pytest.approx(EXPECTED)
+        assert rt2.elapsed > rt.elapsed
+
+
+class TestGracefulDegradation:
+    def test_sgemm_completes_under_eden_limits(self):
+        """The Fig. 5 asymmetry: under Eden's 64 MB message cap at >= 2
+        nodes, Eden still fails while Triolet fragments and completes."""
+        from repro.apps import sgemm
+        from repro.bench.calibrate import costs_for
+        from repro.bench.harness import APPS, make_problem
+        from repro.cluster.machine import PAPER_MACHINE
+
+        p = make_problem("sgemm")
+        machine = PAPER_MACHINE.scaled(nodes=2, cores_per_node=16)
+
+        eden_run = sgemm.run_eden(p, machine, costs_for("sgemm", "eden", p))
+        assert not eden_run.ok
+        assert "buffer" in eden_run.failed
+
+        costs = costs_for("sgemm", "triolet", p)
+        tri_run = sgemm.run_triolet(p, machine, costs, limits=EDEN_LIMITS)
+        assert tri_run.ok
+        assert APPS["sgemm"].same_value(
+            tri_run.value, APPS["sgemm"].solve_ref(p)
+        )
+        report = tri_run.detail["recovery"]
+        assert report.rejected_messages >= 1
+        assert report.fragments_sent >= 2
+
+    def test_triolet_without_recovery_matches_eden_fate(self):
+        from repro.apps import sgemm
+        from repro.bench.calibrate import costs_for
+        from repro.bench.harness import make_problem
+        from repro.cluster.machine import PAPER_MACHINE
+
+        p = make_problem("sgemm")
+        machine = PAPER_MACHINE.scaled(nodes=2, cores_per_node=16)
+        costs = costs_for("sgemm", "triolet", p)
+        with pytest.raises(BufferOverflowError):
+            sgemm.run_triolet(
+                p, machine, costs, limits=EDEN_LIMITS, recovery=None
+            )
+
+
+class TestZeroCost:
+    def test_default_policy_does_not_change_fault_free_timeline(self):
+        with triolet_runtime(MACHINE, recovery=None) as rt_off:
+            out_off = squares_sum()
+        with triolet_runtime(MACHINE, recovery=DEFAULT_RECOVERY) as rt_on:
+            out_on = squares_sum()
+        assert out_off == out_on
+        assert rt_off.elapsed == rt_on.elapsed
+        assert rt_on.recovery_report.total_faults == 0
+        assert rt_on.recovery_report.added_time == 0.0
+
+    def test_installed_empty_plan_reports_all_zero(self):
+        with triolet_runtime(MACHINE, faults=FaultPlan()) as rt:
+            squares_sum()
+        report = rt.recovery_report
+        assert report.total_faults == 0
+        assert report.retries == 0
+        assert report.reexecuted_chunks == 0
+
+
+class TestRecoveryReport:
+    def test_merge_accumulates(self):
+        acc = RecoveryReport(attempts=0)
+        acc.merge(RecoveryReport(faults={"send": 1}, retries=1, attempts=1))
+        acc.merge(RecoveryReport(faults={"send": 2, "crash": 1}, attempts=2))
+        assert acc.faults == {"send": 3, "crash": 1}
+        assert acc.retries == 1
+        assert acc.attempts == 3
+        assert acc.total_faults == 4
+
+    def test_describe_mentions_every_mechanism(self):
+        text = RecoveryReport(
+            faults={"crash": 1}, retries=2, reexecuted_chunks=3
+        ).describe()
+        for needle in ("crash=1", "retries: 2", "re-executed chunks: 3"):
+            assert needle in text
