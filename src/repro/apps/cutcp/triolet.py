@@ -22,7 +22,8 @@ from __future__ import annotations
 
 from repro.apps.common import AppRun
 from repro.apps.cutcp.data import CutcpProblem
-from repro.apps.cutcp.kernel import atom_contribution
+from repro.apps.cutcp.kernel import atom_contribution, atoms_contribution_bulk
+from repro.core.engine import SEGMENTED, register_bulk
 from repro.cluster.faults import FaultPlan
 from repro.cluster.limits import RuntimeLimits, UNLIMITED
 from repro.cluster.machine import MachineSpec
@@ -41,6 +42,13 @@ import repro.triolet as tri
 @register_function
 def _contrib(grid_dim, spacing, cutoff, atom):
     return atom_contribution(atom, tuple(grid_dim), spacing, cutoff)
+
+
+def _contrib_bulk(grid_dim, spacing, cutoff, atoms):
+    return atoms_contribution_bulk(atoms, tuple(grid_dim), spacing, cutoff)
+
+
+register_bulk(_contrib, _contrib_bulk, kind=SEGMENTED)
 
 
 def run_triolet(
@@ -64,7 +72,7 @@ def run_triolet(
         grid = tri.histogram(
             p.grid_size, tri.map(contrib, tri.par(p.atoms))
         ).reshape(p.grid_dim)
-    detail = {"gc_time": rt.total_gc_time()}
+    detail = {"gc_time": rt.total_gc_time(), "meter": rt.meter_total}
     if faults is not None or rt.recovery_report.rejected_messages:
         detail["recovery"] = rt.recovery_report
     return AppRun(

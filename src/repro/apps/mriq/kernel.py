@@ -38,15 +38,37 @@ def q_for_pixels(
     phase = TWO_PI * (
         np.outer(xs, kx) + np.outer(ys, ky) + np.outer(zs, kz)
     )
-    re = np.cos(phase) @ mag
-    im = np.sin(phase) @ mag
+    re = np.sum(np.cos(phase) * mag, axis=1)
+    im = np.sum(np.sin(phase) * mag, axis=1)
     n = len(xs) * len(kx)
     meter.tally_visits(max(0, n - len(xs)))
     return re + 1j * im
 
 
 def q_for_one_pixel(x, y, z, kx, ky, kz, mag) -> complex:
-    """Q value of a single pixel (the Triolet element function)."""
+    """Q value of a single pixel (the Triolet element function).
+
+    The sample sum is ``np.sum`` over elementwise products (not BLAS
+    ``@``) so the batched form below reproduces it bit-for-bit.
+    """
     phase = TWO_PI * (kx * x + ky * y + kz * z)
     meter.tally_inner(len(kx))
-    return complex(np.cos(phase) @ mag, np.sin(phase) @ mag)
+    return complex(
+        np.sum(np.cos(phase) * mag), np.sum(np.sin(phase) * mag)
+    )
+
+
+def q_for_pixels_bulk(
+    kx, ky, kz, mag, xs, ys, zs
+) -> np.ndarray:
+    """Batched :func:`q_for_one_pixel`: same phases, same per-row sums.
+
+    Meters exactly like ``len(xs)`` scalar calls.
+    """
+    n = len(xs)
+    phase = TWO_PI * (kx * np.asarray(xs)[:, None] + ky * np.asarray(ys)[:, None] + kz * np.asarray(zs)[:, None])
+    out = np.empty(n, dtype=complex)
+    out.real = np.sum(np.cos(phase) * mag, axis=1)
+    out.imag = np.sum(np.sin(phase) * mag, axis=1)
+    meter.tally_visits(n * max(len(kx) - 1, 0))
+    return out

@@ -17,7 +17,8 @@ import numpy as np
 
 from repro.apps.common import AppRun
 from repro.apps.mriq.data import MriqProblem
-from repro.apps.mriq.kernel import q_for_one_pixel
+from repro.apps.mriq.kernel import q_for_one_pixel, q_for_pixels_bulk
+from repro.core.engine import register_bulk
 from repro.cluster.faults import FaultPlan
 from repro.cluster.limits import RuntimeLimits, UNLIMITED
 from repro.cluster.machine import MachineSpec
@@ -39,6 +40,14 @@ def _pixel_q(kx, ky, kz, mag, r):
     return q_for_one_pixel(x, y, z, kx, ky, kz, mag)
 
 
+def _pixel_q_bulk(kx, ky, kz, mag, rs):
+    xs, ys, zs = rs
+    return q_for_pixels_bulk(kx, ky, kz, mag, xs, ys, zs)
+
+
+register_bulk(_pixel_q, _pixel_q_bulk)
+
+
 def run_triolet(
     p: MriqProblem,
     machine: MachineSpec,
@@ -58,7 +67,10 @@ def run_triolet(
     ) as rt:
         pixel_fn = closure(_pixel_q, p.kx, p.ky, p.kz, p.mag)
         Q = tri.build(tri.map(pixel_fn, tri.par(tri.zip(p.x, p.y, p.z))))
-    detail = {"sections": [s.label for s in rt.sections]}
+    detail = {
+        "sections": [s.label for s in rt.sections],
+        "meter": rt.meter_total,
+    }
     if faults is not None or rt.recovery_report.rejected_messages:
         detail["recovery"] = rt.recovery_report
     return AppRun(

@@ -16,7 +16,8 @@ import numpy as np
 
 from repro.apps.common import AppRun
 from repro.apps.sgemm.data import SgemmProblem
-from repro.apps.sgemm.kernel import row_dot
+from repro.apps.sgemm.kernel import row_dot, row_dots_bulk
+from repro.core.engine import register_bulk
 from repro.cluster.faults import FaultPlan
 from repro.cluster.limits import RuntimeLimits, UNLIMITED
 from repro.cluster.machine import MachineSpec
@@ -42,6 +43,20 @@ def _transpose_elem(B, yx):
 def _dot_elem(alpha, uv):
     u, v = uv
     return row_dot(u, v, alpha)
+
+
+def _transpose_bulk(B, yx):
+    ys, xs = yx
+    return B[xs, ys]
+
+
+def _dot_bulk(alpha, uvs):
+    us, vs = uvs
+    return row_dots_bulk(us, vs, alpha)
+
+
+register_bulk(_transpose_elem, _transpose_bulk)
+register_bulk(_dot_elem, _dot_bulk)
 
 
 def run_triolet(
@@ -77,6 +92,7 @@ def run_triolet(
         "transpose_time": transpose_time,
         "partition": rt.last_section.partition,
         "gc_time": rt.total_gc_time(),
+        "meter": rt.meter_total,
     }
     if faults is not None or rt.recovery_report.rejected_messages:
         detail["recovery"] = rt.recovery_report

@@ -31,7 +31,12 @@ import numpy as np
 
 from repro.apps.common import AppRun
 from repro.apps.tpacf.data import TpacfProblem
-from repro.apps.tpacf.kernel import row_bins
+from repro.apps.tpacf.kernel import (
+    cross_pairs_bins_bulk,
+    row_bins,
+    self_pairs_bins_bulk,
+)
+from repro.core.engine import SEGMENTED, register_bulk
 from repro.cluster.faults import FaultPlan
 from repro.cluster.limits import RuntimeLimits, UNLIMITED
 from repro.cluster.machine import MachineSpec
@@ -63,6 +68,20 @@ def _cross_pairs_row(nbins, other, iu):
     """Score one row against every row of the *other* set."""
     _i, u = iu
     return row_bins(nbins, u, other)
+
+
+def _self_pairs_rows_bulk(nbins, rand, ius):
+    i_arr, us = ius
+    return self_pairs_bins_bulk(nbins, rand, i_arr, us)
+
+
+def _cross_pairs_rows_bulk(nbins, other, ius):
+    _i_arr, us = ius
+    return cross_pairs_bins_bulk(nbins, other, us)
+
+
+register_bulk(_self_pairs_row, _self_pairs_rows_bulk, kind=SEGMENTED)
+register_bulk(_cross_pairs_row, _cross_pairs_rows_bulk, kind=SEGMENTED)
 
 
 def correlation(size: int, pair_bins_iter) -> np.ndarray:
@@ -128,7 +147,7 @@ def run_triolet(
         )
         # RR: each random set against itself.
         rr = random_sets_correlation(p.nbins, closure(_corr1_self, p.nbins), p.rands)
-    detail = {"gc_time": rt.total_gc_time()}
+    detail = {"gc_time": rt.total_gc_time(), "meter": rt.meter_total}
     if faults is not None or rt.recovery_report.rejected_messages:
         detail["recovery"] = rt.recovery_report
     return AppRun(

@@ -6,6 +6,8 @@ Options::
     python -m repro.bench fig3             # sequential-time table
     python -m repro.bench mriq sgemm       # specific scalability figures
     python -m repro.bench --nodes 1,2,4,8  # node counts (default 1..8)
+    python -m repro.bench --json           # wall-clock engine benchmark
+                                           # -> BENCH_apps.json
 """
 from __future__ import annotations
 
@@ -64,7 +66,25 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="also render ASCII speedup charts",
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="run the wall-clock engine benchmark and write a JSON report",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_apps.json",
+        help="output path for the --json report (default: BENCH_apps.json)",
+    )
     args = parser.parse_args(argv)
+    if args.json:
+        from repro.bench.wallclock import render, run_bench, write_json
+
+        payload = run_bench()
+        write_json(payload, args.out)
+        print(render(payload))
+        print(f"wrote {args.out}")
+        return 0
     try:
         node_counts = tuple(int(n) for n in args.nodes.split(","))
     except ValueError:

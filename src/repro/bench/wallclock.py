@@ -1,0 +1,135 @@
+"""Wall-clock benchmark of the bulk execution engine.
+
+Unlike the rest of :mod:`repro.bench` -- which reports *virtual* seconds
+from the calibrated cost model -- this module measures real wall-clock
+time of the Triolet runner with the vectorized engine on vs. off, and
+verifies on the way that vectorization is unobservable except in wall
+time: bit-identical values, identical cost-meter counters, identical
+virtual makespans and byte counts.
+
+The problem sizes here are larger than the figure-regeneration sandbox
+sizes and deliberately shaped so the scalar path's per-element Python
+dispatch dominates (short inner vectors, many outer elements, wide
+histograms).  The simulated machine uses one core per node: wall-clock
+benchmarking wants the work-stealing model's task splitting to keep bulk
+chunks large, whereas the virtual figures keep the paper's 16 cores.
+
+``python -m repro.bench --json`` runs this and writes ``BENCH_apps.json``.
+"""
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import asdict
+from typing import Any
+
+import numpy as np
+
+from repro.bench.calibrate import costs_for
+from repro.bench.harness import APPS
+from repro.cluster.machine import PAPER_MACHINE
+from repro.core.engine import use_vectorization
+from repro.core.fusion import planner_stats, reset_planner
+
+#: engine-bench instances: many outer elements, short inner vectors.
+BENCH_PARAMS: dict[str, dict] = {
+    "mriq": dict(npix=32768, nk=64, seed=11),
+    "sgemm": dict(n=160, seed=11),
+    "tpacf": dict(m=128, nr=96, nbins=2048, seed=11),
+    "cutcp": dict(na=20000, grid=(48, 48, 48), cutoff=2.0, seed=11),
+}
+
+BENCH_NODES = (1, 2)
+CORES_PER_NODE = 1
+
+
+def _bit_identical(a: Any, b: Any) -> bool:
+    """Bitwise equality of run values (arrays or dicts of arrays)."""
+    if isinstance(a, dict):
+        return set(a) == set(b) and all(_bit_identical(a[k], b[k]) for k in a)
+    return np.asarray(a).tobytes() == np.asarray(b).tobytes()
+
+
+def _timed_run(app: str, problem, nodes: int, vectorize: bool):
+    spec = APPS[app]
+    machine = PAPER_MACHINE.scaled(nodes=nodes, cores_per_node=CORES_PER_NODE)
+    costs = costs_for(app, "triolet", problem)
+    with use_vectorization(vectorize):
+        t0 = time.perf_counter()
+        run = spec.runners["triolet"](problem, machine, costs)
+        wall = time.perf_counter() - t0
+    return wall, run
+
+
+def bench_app(app: str, nodes: int) -> dict:
+    """One (app, node count) cell: vectorized vs. scalar, with parity."""
+    problem = APPS[app].make_problem(**BENCH_PARAMS[app])
+    reset_planner()
+    wall_vec, run_vec = _timed_run(app, problem, nodes, vectorize=True)
+    stats = planner_stats()
+    wall_scalar, run_scalar = _timed_run(app, problem, nodes, vectorize=False)
+    meter_vec = run_vec.detail["meter"]
+    meter_scalar = run_scalar.detail["meter"]
+    return {
+        "app": app,
+        "nodes": nodes,
+        "params": {k: list(v) if isinstance(v, tuple) else v
+                   for k, v in BENCH_PARAMS[app].items()},
+        "wall_seconds_vectorized": wall_vec,
+        "wall_seconds_scalar": wall_scalar,
+        "speedup": wall_scalar / wall_vec,
+        "virtual_seconds": run_vec.elapsed,
+        "virtual_seconds_equal": run_vec.elapsed == run_scalar.elapsed,
+        "bytes_shipped": run_vec.bytes_shipped,
+        "bytes_shipped_equal": run_vec.bytes_shipped == run_scalar.bytes_shipped,
+        "value_bit_identical": _bit_identical(run_vec.value, run_scalar.value),
+        "meter": asdict(meter_vec),
+        "meter_equal": meter_vec == meter_scalar,
+        "plan_cache": asdict(stats),
+    }
+
+
+def run_bench(
+    apps: tuple[str, ...] = ("mriq", "sgemm", "tpacf", "cutcp"),
+    node_counts: tuple[int, ...] = BENCH_NODES,
+) -> dict:
+    """The full wall-clock dataset (the ``BENCH_apps.json`` payload)."""
+    results = [bench_app(app, nodes) for app in apps for nodes in node_counts]
+    return {
+        "benchmark": "bulk-execution-engine wall clock",
+        "cores_per_node": CORES_PER_NODE,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "results": results,
+    }
+
+
+def write_json(payload: dict, path: str) -> None:
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=2)
+        f.write("\n")
+
+
+def render(payload: dict) -> str:
+    lines = [
+        "Bulk engine wall clock (vectorized vs. scalar Triolet runner)",
+        f"{'app':<8}{'nodes':>6}{'vec s':>10}{'scalar s':>10}"
+        f"{'speedup':>9}  parity",
+    ]
+    for r in payload["results"]:
+        parity = (
+            "ok"
+            if r["value_bit_identical"]
+            and r["meter_equal"]
+            and r["virtual_seconds_equal"]
+            and r["bytes_shipped_equal"]
+            else "MISMATCH"
+        )
+        lines.append(
+            f"{r['app']:<8}{r['nodes']:>6}"
+            f"{r['wall_seconds_vectorized']:>10.3f}"
+            f"{r['wall_seconds_scalar']:>10.3f}"
+            f"{r['speedup']:>8.1f}x  {parity}"
+        )
+    return "\n".join(lines)

@@ -40,15 +40,15 @@ class Collector:
 @register_function
 def _run_indexer_coll(extract, ctx, domain, worker):
     for i in domain.iter_indices():
-        meter.tally_visits()
         worker(extract(ctx, i))
+    meter.tally_visits(domain.size)
 
 
 @register_function
 def _run_list_coll(xs, worker):
     for x in xs:
-        meter.tally_visits()
         worker(x)
+    meter.tally_visits(len(xs))
 
 
 @register_function

@@ -40,8 +40,8 @@ def _append_worker(acc: list, value) -> list:
 def _run_indexer_fold(extract, ctx, domain, worker, z):
     acc = z
     for i in domain.iter_indices():
-        meter.tally_visits()
         acc = worker(acc, extract(ctx, i))
+    meter.tally_visits(domain.size)
     return acc
 
 
@@ -49,8 +49,8 @@ def _run_indexer_fold(extract, ctx, domain, worker, z):
 def _run_list_fold(xs, worker, z):
     acc = z
     for x in xs:
-        meter.tally_visits()
         acc = worker(acc, x)
+    meter.tally_visits(len(xs))
     return acc
 
 

@@ -1,4 +1,22 @@
 """Fusion observation tools (the analogue of the paper's §3.2 optimizer)."""
+from repro.core.fusion.planner import (
+    PlannerStats,
+    plan_for,
+    planner_stats,
+    reset_planner,
+    structural_key,
+    warm,
+)
 from repro.core.fusion.report import FusionReport, analyze, closure_depth
 
-__all__ = ["FusionReport", "analyze", "closure_depth"]
+__all__ = [
+    "FusionReport",
+    "analyze",
+    "closure_depth",
+    "PlannerStats",
+    "plan_for",
+    "planner_stats",
+    "reset_planner",
+    "structural_key",
+    "warm",
+]

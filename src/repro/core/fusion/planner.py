@@ -1,0 +1,114 @@
+"""Fusion-plan cache: compile each pipeline *structure* exactly once.
+
+The vectorized engine (:mod:`repro.core.engine.plan`) compiles a fused
+pipeline by walking its extractor closure tree.  That walk is pure
+structure -- code ids, tuple shapes, domain kind -- and never touches
+closure environments, so every slice of a partitioned pipeline, every
+SPMD rank, and every re-execution after a crash shares one plan.  This
+module provides the cache keyed on that structure, plus counters the
+parity tests use to prove a re-executed task *hits* the cache instead of
+recompiling.
+
+Unsupported pipelines are cached too (negative caching): deciding "use
+the scalar loop" costs one dict lookup on every later encounter.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.engine.plan import Plan, compile_iter
+from repro.core.iterators.iter_type import IdxFlat, IdxNest
+from repro.serial.closures import Closure
+
+_OPAQUE = "·"  # env entry that is data, not structure
+
+
+@dataclass
+class PlannerStats:
+    """Cache traffic counters (reset with :func:`reset_planner`)."""
+
+    hits: int = 0
+    misses: int = 0
+    compiled: int = 0  # misses that produced a plan
+    unsupported: int = 0  # misses that fell back to the scalar loop
+
+
+_cache: dict = {}
+_stats = PlannerStats()
+
+
+def _env_key(entry):
+    if isinstance(entry, Closure):
+        return _closure_key(entry)
+    if isinstance(entry, tuple):
+        return ("T",) + tuple(_env_key(e) for e in entry)
+    return _OPAQUE
+
+
+def _closure_key(cl: Closure):
+    return ("C", cl.code_id) + tuple(_env_key(e) for e in cl.env)
+
+
+def structural_key(it) -> tuple | None:
+    """The pipeline's structure: constructor, domain kind, closure tree.
+
+    ``None`` for stepper iterators (never bulk-evaluated).  Environment
+    *data* (arrays, scalars) is reduced to an opaque marker: two
+    pipelines over different data share a key, which is exactly what
+    makes the cache useful across slices, ranks, and re-executions.
+    """
+    if not isinstance(it, (IdxFlat, IdxNest)):
+        return None
+    idx = it.idx
+    return (
+        type(it).__name__,
+        type(idx.domain).__name__,
+        _closure_key(idx.extract),
+        _closure_key(idx.bulk) if idx.bulk is not None else None,
+    )
+
+
+def plan_for(it) -> Plan | None:
+    """The cached plan for *it*'s structure (compiling on first sight)."""
+    key = structural_key(it)
+    if key is None:
+        return None
+    try:
+        plan = _cache[key]
+    except KeyError:
+        _stats.misses += 1
+        plan = compile_iter(it)
+        _cache[key] = plan
+        if plan is None:
+            _stats.unsupported += 1
+        else:
+            _stats.compiled += 1
+        return plan
+    _stats.hits += 1
+    return plan
+
+
+def warm(it) -> Plan | None:
+    """Compile (or look up) *it*'s plan ahead of task execution.
+
+    The runtime calls this once per parallel section before
+    partitioning, so per-rank and re-executed tasks always hit the
+    cache.
+    """
+    return plan_for(it)
+
+
+def planner_stats() -> PlannerStats:
+    """A snapshot of the cache counters."""
+    return PlannerStats(
+        hits=_stats.hits,
+        misses=_stats.misses,
+        compiled=_stats.compiled,
+        unsupported=_stats.unsupported,
+    )
+
+
+def reset_planner() -> None:
+    """Clear the cache and zero the counters (test isolation)."""
+    _cache.clear()
+    _stats.hits = _stats.misses = _stats.compiled = _stats.unsupported = 0

@@ -23,6 +23,7 @@ from repro.core import meter
 from repro.core.domains import Dim2
 from repro.core.encodings.indexer import as_closure
 from repro.core.encodings.stepper import fold_step
+from repro.core.engine import execute as _engine
 from repro.core.iterators.executor import ConsumeSpec, dispatch
 from repro.core.iterators.iter_type import (
     IdxFlat,
@@ -52,16 +53,22 @@ def _seq_reduce(op, combine, init, bulk_consume, it: Iter):
         if bulk_consume is not None and idx.bulk is not None:
             values = idx.eval_all()
             return combine(init, bulk_consume(values))
+        handled, out = _engine.try_reduce(it, op, combine, init, bulk_consume)
+        if handled:
+            return out
         ctx = idx.source.context()
         extract = idx.extract
         acc = init
         for i in idx.domain.iter_indices():
-            meter.tally_visits()
             acc = op(acc, extract(ctx, i))
+        meter.tally_visits(idx.domain.size)
         return acc
     if isinstance(it, StepFlat):
         return fold_step(op, init, it.step)
     if isinstance(it, IdxNest):
+        handled, out = _engine.try_reduce(it, op, combine, init, bulk_consume)
+        if handled:
+            return out
         idx = it.idx
         ctx = idx.source.context()
         extract = idx.extract
@@ -180,7 +187,15 @@ def _hist_scatter(hist, value):
             hist[b] += w
     else:
         if isinstance(value, np.ndarray):
-            np.add.at(hist, value, 1)
+            # Unweighted counts: per-bin totals are small integers, so
+            # float accumulation is exact under any grouping and the
+            # (much faster) bincount sum equals element-order np.add.at
+            # bit for bit.  Weighted scatters above must keep np.add.at:
+            # regrouping float weights would change the rounding.
+            if value.size:
+                hist += np.bincount(value, minlength=len(hist)).astype(
+                    hist.dtype, copy=False
+                )
         else:
             hist[value] += 1
     return hist
@@ -189,7 +204,17 @@ def _hist_scatter(hist, value):
 @register_function
 def _seq_histogram(nbins, dtype_str, it: Iter):
     hist = np.zeros(nbins, dtype=np.dtype(dtype_str))
-    return _seq_reduce(closure(_hist_scatter), closure(_add), hist, None, it)
+    scatter = closure(_hist_scatter)
+    if isinstance(it, (IdxFlat, IdxNest)):
+        # The scatter is order-equivalent over a whole chunk (np.add.at
+        # performs the per-element additions in element order), so the
+        # engine consumes entire chunks with one scatter call.
+        handled, out = _engine.try_reduce(
+            it, scatter, closure(_add), hist, None, chunk_op=scatter
+        )
+        if handled:
+            return out
+    return _seq_reduce(scatter, closure(_add), hist, None, it)
 
 
 def histogram(nbins: int, it: Any, dtype=np.float64) -> np.ndarray:
@@ -227,8 +252,16 @@ def _append(acc: list, x):
 def _seq_collect(it: Iter) -> list:
     """Flatten into a list (the pack-into-array collector consumer)."""
     if isinstance(it, IdxFlat):
+        if it.idx.bulk is None:
+            handled, out = _engine.try_collect(it)
+            if handled:
+                return out
         values = it.idx.eval_all()
         return list(values)
+    if isinstance(it, IdxNest):
+        handled, out = _engine.try_collect(it)
+        if handled:
+            return out
     return _seq_reduce(closure(_append), closure(_add), [], None, it)
 
 
@@ -248,6 +281,10 @@ def _seq_build(it: Iter):
     """Materialize an iterator as a numpy array shaped by its domain."""
     if isinstance(it, IdxFlat):
         dom = it.idx.domain
+        if it.idx.bulk is None:
+            handled, out = _engine.try_build(it)
+            if handled:
+                return out
         values = it.idx.eval_all()
         arr = np.asarray(values)
         if isinstance(dom, Dim2) and arr.ndim >= 1 and arr.shape[0] == dom.size:

@@ -43,6 +43,8 @@ from repro.cluster.process import run_spmd
 from repro.cluster.simclock import VirtualClock
 from repro.core import meter
 from repro.core.domains import Dim2
+from repro.core.engine import execute as _engine
+from repro.core.fusion import planner
 from repro.core.iterators.executor import ConsumeSpec, use_executor
 from repro.core.iterators.iter_type import (
     IdxFlat,
@@ -97,6 +99,11 @@ class SectionRecord:
     visits: int = 0
     gc_time: float = 0.0
     recovery: "RecoveryReport | None" = None  # fault/recovery accounting
+    plan: str | None = None  # compiled bulk-execution plan, if vectorized
+
+    @property
+    def vectorized(self) -> bool:
+        return self.plan is not None
 
     def utilization(self) -> float:
         """Fraction of node-seconds spent computing (vs waiting/comm).
@@ -163,6 +170,10 @@ class TrioletRuntime:
         self.recovery_report = RecoveryReport(attempts=0)
         self.clock = VirtualClock()
         self.sections: list[SectionRecord] = []
+        # Union of every metered region this runtime executed (task loops,
+        # sequential glue).  Nested regions shadow the installed meter, so
+        # merging each region once counts every tally exactly once.
+        self.meter_total = meter.CostMeter()
 
     # -- bookkeeping -----------------------------------------------------
 
@@ -205,6 +216,7 @@ class TrioletRuntime:
         """Run plain code at the main rank, charging its metered time."""
         with meter.metered() as m:
             out = fn(*args, **kwargs)
+        self.meter_total.merge(m)
         dt = self.costs.task_seconds(m)
         self.clock.advance(dt)
         self.sections.append(
@@ -335,6 +347,7 @@ class TrioletRuntime:
                     partials.append(spec.seq_fn(sub))
             finally:
                 _node_ctx.reset(token)
+            self.meter_total.merge(m)
             if i < alloc_cap:
                 gc_time += self.alloc(
                     int(_result_bytes(partials[-1]) * self.costs.wire_scale)
@@ -400,10 +413,23 @@ class TrioletRuntime:
         if not self._partitionable(it):
             with meter.metered() as m:
                 out = spec.seq_fn(it)
+            self.meter_total.merge(m)
             return out, self.costs.task_seconds(m)
         partials, serial, nested, gc_time = self._run_tasks(it, spec, cores)
         result, combine_dt = self._combine_partials(spec, partials)
         return result, sum(serial) + sum(nested) + gc_time + combine_dt
+
+    def _warm_plan(self, it: Iter) -> str | None:
+        """Compile (or fetch) the bulk-execution plan before partitioning.
+
+        Sliced chunks share the parent pipeline's structural key, so every
+        rank's tasks -- and post-crash re-executions -- hit the fusion-plan
+        cache instead of recompiling.
+        """
+        if not _engine.vectorization_enabled():
+            return None
+        p = planner.plan_for(it)
+        return p.describe() if p is not None else None
 
     # -- top-level localpar ---------------------------------------------------
 
@@ -411,6 +437,7 @@ class TrioletRuntime:
         """``localpar`` at top level: the main node's cores, no network."""
         if not self._partitionable(it):
             return self._sequential_fallback(it, spec, "localpar-unpartitionable")
+        plan = self._warm_plan(it)
         result, makespan, gc_time = self._node_execute(
             it, spec, self.machine.cores_per_node
         )
@@ -425,6 +452,7 @@ class TrioletRuntime:
                 partition=f"1d x{min(it.domain.outer_extent, self.machine.cores_per_node * self.task_grain)}",
                 makespan=makespan,
                 gc_time=gc_time,
+                plan=plan,
             )
         )
         return result
@@ -432,6 +460,7 @@ class TrioletRuntime:
     def _sequential_fallback(self, it: Iter, spec: ConsumeSpec, label: str) -> Any:
         with meter.metered() as m:
             out = spec.seq_fn(it)
+        self.meter_total.merge(m)
         dt = self.costs.task_seconds(m)
         self.clock.advance(dt)
         self.sections.append(
@@ -493,6 +522,7 @@ class TrioletRuntime:
         costs = self.costs
         machine = self.machine
         rec = self.recovery
+        plan = self._warm_plan(it)
 
         attempt = 0
         dead = 0
@@ -581,6 +611,7 @@ class TrioletRuntime:
                 metrics=res.metrics,
                 gc_time=res.metrics.gc_time,
                 recovery=section_report,
+                plan=plan,
             )
         )
         return res.root_result

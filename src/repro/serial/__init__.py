@@ -24,6 +24,7 @@ from repro.serial.serializer import (
     serializable,
     SerializationError,
 )
+from repro.serial.arrays import copy_stats, reset_copy_stats
 from repro.serial.sizeof import transitive_size
 from repro.serial.closures import (
     Closure,
@@ -38,6 +39,8 @@ __all__ = [
     "deserialize",
     "serializable",
     "SerializationError",
+    "copy_stats",
+    "reset_copy_stats",
     "transitive_size",
     "Closure",
     "closure",

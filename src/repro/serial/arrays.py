@@ -5,9 +5,13 @@ in pointer-free arrays, such arrays are serialized using a block copy to
 minimize serialization time."
 
 An array is encoded as a small fixed header (dtype string, number of
-dimensions, shape) followed by the raw C-contiguous buffer.  Fortran-ordered
-and strided views are made contiguous first; the extra copy is charged to
-the caller through :func:`array_payload_bytes` so the cost model sees it.
+dimensions, shape) followed by the raw C-contiguous buffer.  A
+C-contiguous array -- in particular the row-slice views the §3.5
+partition layer produces -- is appended to the output buffer as a
+zero-copy ``memoryview`` of its data (no ``tobytes()`` intermediate);
+Fortran-ordered and strided views are made contiguous first, and that
+compaction is counted in :func:`copy_stats` and charged to the caller
+through :func:`array_payload_bytes` so the cost model sees it.
 """
 from __future__ import annotations
 
@@ -18,15 +22,48 @@ import numpy as np
 # Header layout: dtype-string length (H), ndim (B), then shape as q's.
 _HEADER_FMT = "<HB"
 
+_stats = {
+    "arrays": 0,  # arrays packed
+    "zero_copy_bytes": 0,  # payload bytes appended as buffer views
+    "compacted": 0,  # non-contiguous arrays that needed a copy
+    "compacted_bytes": 0,
+}
+
+
+def copy_stats() -> dict:
+    """Serialization copy counters (see :func:`reset_copy_stats`)."""
+    return dict(_stats)
+
+
+def reset_copy_stats() -> None:
+    for k in _stats:
+        _stats[k] = 0
+
+
+def pack_array_into(arr: np.ndarray, out: bytearray) -> None:
+    """Append *arr*'s encoding to *out*, zero-copy for contiguous data.
+
+    The payload of a C-contiguous array is appended directly from its
+    buffer; only non-contiguous views pay a compaction copy first.
+    """
+    a = arr if arr.flags.c_contiguous else np.ascontiguousarray(arr)
+    _stats["arrays"] += 1
+    if a is not arr:
+        _stats["compacted"] += 1
+        _stats["compacted_bytes"] += a.nbytes
+    dt = a.dtype.str.encode("ascii")
+    out += struct.pack(_HEADER_FMT, len(dt), a.ndim) + dt
+    out += struct.pack("<%dq" % a.ndim, *a.shape)
+    if a.nbytes:
+        out += memoryview(a).cast("B")
+        _stats["zero_copy_bytes"] += a.nbytes
+
 
 def pack_array(arr: np.ndarray) -> bytes:
     """Serialize *arr* to bytes: header + one block copy of the buffer."""
-    # ascontiguousarray promotes 0-d arrays to 1-d; preserve the rank.
-    a = arr if arr.flags.c_contiguous else np.ascontiguousarray(arr)
-    dt = a.dtype.str.encode("ascii")
-    header = struct.pack(_HEADER_FMT, len(dt), a.ndim) + dt
-    header += struct.pack("<%dq" % a.ndim, *a.shape)
-    return header + a.tobytes()
+    out = bytearray()
+    pack_array_into(arr, out)
+    return bytes(out)
 
 
 def unpack_array(buf: memoryview, offset: int = 0) -> tuple[np.ndarray, int]:

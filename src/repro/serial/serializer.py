@@ -19,7 +19,7 @@ from typing import Any, Callable
 
 import numpy as np
 
-from repro.serial.arrays import pack_array, unpack_array
+from repro.serial.arrays import pack_array_into, unpack_array
 
 
 class SerializationError(TypeError):
@@ -181,11 +181,10 @@ def _encode(obj: Any, out: bytearray) -> None:
         _encode(obj.step, out)
     elif isinstance(obj, np.ndarray):
         out.append(_T_ARRAY)
-        out += pack_array(obj)
+        pack_array_into(obj, out)
     elif isinstance(obj, np.generic):
         out.append(_T_NPSCALAR)
-        arr = np.asarray(obj)
-        out += pack_array(arr)
+        pack_array_into(np.asarray(obj), out)
     else:
         name = _TYPE_TO_NAME.get(type(obj))
         if name is None:

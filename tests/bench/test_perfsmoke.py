@@ -1,0 +1,49 @@
+"""Perf smoke tests: the bulk engine must stay meaningfully faster.
+
+These guard the wall-clock win of the vectorized engine on the two
+irregular pipelines (tpacf's triangular pair loop, cutcp's variable-size
+atom expansion).  Budgets are deliberately generous -- min-of-3 timings
+and a 2x ratio floor against the ~5-9x measured on an idle machine -- so
+they fail on real regressions (engine silently disabled, plan cache
+broken, a scalar fallback sneaking in), not on noisy CI neighbors.
+"""
+import time
+
+import pytest
+
+from repro.bench.calibrate import costs_for
+from repro.bench.harness import APPS
+from repro.bench.wallclock import BENCH_PARAMS, CORES_PER_NODE
+from repro.cluster.machine import PAPER_MACHINE
+from repro.core.engine import use_vectorization
+
+MACHINE = PAPER_MACHINE.scaled(nodes=2, cores_per_node=CORES_PER_NODE)
+MIN_RATIO = 2.0
+MAX_VEC_SECONDS = 10.0  # measured ~0.1s; an order of magnitude of headroom
+
+
+def _min_wall(app, problem, vectorize, repeats=3):
+    spec = APPS[app]
+    costs = costs_for(app, "triolet", problem)
+    best = float("inf")
+    with use_vectorization(vectorize):
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            run = spec.runners["triolet"](problem, MACHINE, costs)
+            best = min(best, time.perf_counter() - t0)
+    return best, run
+
+
+@pytest.mark.perfsmoke
+@pytest.mark.parametrize("app", ["tpacf", "cutcp"])
+class TestPerfSmoke:
+    def test_vectorized_beats_scalar(self, app):
+        problem = APPS[app].make_problem(**BENCH_PARAMS[app])
+        vec_s, vec_run = _min_wall(app, problem, vectorize=True)
+        scalar_s, scalar_run = _min_wall(app, problem, vectorize=False)
+        assert vec_s < MAX_VEC_SECONDS
+        assert scalar_s / vec_s >= MIN_RATIO, (
+            f"{app}: vectorized {vec_s:.3f}s vs scalar {scalar_s:.3f}s "
+            f"({scalar_s / vec_s:.1f}x < {MIN_RATIO}x floor)"
+        )
+        assert vec_run.elapsed == scalar_run.elapsed  # virtual time unchanged

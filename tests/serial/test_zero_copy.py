@@ -1,0 +1,69 @@
+"""Zero-copy array shipping in the serial layer."""
+import numpy as np
+import pytest
+
+from repro.serial import copy_stats, deserialize, reset_copy_stats, serialize
+from repro.serial.arrays import pack_array, pack_array_into, unpack_array
+
+
+@pytest.fixture(autouse=True)
+def _fresh_stats():
+    reset_copy_stats()
+    yield
+    reset_copy_stats()
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "arr",
+        [
+            np.arange(17.0),
+            np.arange(12).reshape(3, 4),
+            np.zeros((0, 5)),
+            np.array(3.5),  # 0-d
+            np.arange(6, dtype=np.int32).reshape(2, 3),
+            np.array([1 + 2j, 3 - 4j]),
+        ],
+    )
+    def test_pack_unpack(self, arr):
+        buf = pack_array(arr)
+        out, end = unpack_array(memoryview(buf))
+        assert end == len(buf)
+        assert out.dtype == arr.dtype
+        assert out.shape == arr.shape
+        assert out.tobytes() == arr.tobytes()
+
+    def test_serializer_uses_same_encoding(self):
+        arr = np.linspace(0.0, 1.0, 33)
+        assert np.array_equal(deserialize(serialize(arr)), arr)
+        assert np.float32(2.5) == deserialize(serialize(np.float32(2.5)))
+
+
+class TestZeroCopy:
+    def test_contiguous_slice_ships_without_copy(self):
+        base = np.arange(100.0).reshape(20, 5)
+        view = base[3:11]  # row slice of a C-contiguous array: still contiguous
+        assert view.flags.c_contiguous and view.base is not None
+        out = bytearray()
+        pack_array_into(view, out)
+        stats = copy_stats()
+        assert stats["compacted"] == 0
+        assert stats["zero_copy_bytes"] == view.nbytes
+        restored, _ = unpack_array(memoryview(bytes(out)))
+        assert restored.tobytes() == view.tobytes()
+
+    def test_strided_view_is_compacted(self):
+        base = np.arange(100.0).reshape(10, 10)
+        view = base.T
+        assert not view.flags.c_contiguous
+        out = bytearray()
+        pack_array_into(view, out)
+        stats = copy_stats()
+        assert stats["compacted"] == 1
+        assert stats["compacted_bytes"] == view.nbytes
+        restored, _ = unpack_array(memoryview(bytes(out)))
+        assert restored.tobytes() == np.ascontiguousarray(view).tobytes()
+
+    def test_serialize_counts_arrays(self):
+        serialize({"a": np.arange(10.0), "b": (np.ones(3), 2)})
+        assert copy_stats()["arrays"] == 2
