@@ -68,11 +68,19 @@ def run_triolet(
         faults=faults,
         recovery=recovery,
     ) as rt:
+        # Atoms shard by rows on the data plane; each rank's block stays
+        # resident across sections (and across re-executions, modulo
+        # crash invalidation).
+        atoms = rt.distribute(p.atoms)
         contrib = closure(_contrib, list(p.grid_dim), p.spacing, p.cutoff)
         grid = tri.histogram(
-            p.grid_size, tri.map(contrib, tri.par(p.atoms))
+            p.grid_size, tri.map(contrib, tri.par(atoms))
         ).reshape(p.grid_dim)
-    detail = {"gc_time": rt.total_gc_time(), "meter": rt.meter_total}
+    detail = {
+        "gc_time": rt.total_gc_time(),
+        "meter": rt.meter_total,
+        "data_plane": rt.plane.stats_dict(),
+    }
     if faults is not None or rt.recovery_report.rejected_messages:
         detail["recovery"] = rt.recovery_report
     return AppRun(

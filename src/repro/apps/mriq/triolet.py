@@ -65,11 +65,20 @@ def run_triolet(
         faults=faults,
         recovery=recovery,
     ) as rt:
-        pixel_fn = closure(_pixel_q, p.kx, p.ky, p.kz, p.mag)
-        Q = tri.build(tri.map(pixel_fn, tri.par(tri.zip(p.x, p.y, p.z))))
+        # Pixel coordinates shard by rows; the k-space arrays ride in the
+        # closure environment, i.e. replicated -- all as resident handles,
+        # shipped to each rank at most once.
+        x, y, z = rt.distribute(p.x), rt.distribute(p.y), rt.distribute(p.z)
+        kx = rt.distribute(p.kx, layout="replicated")
+        ky = rt.distribute(p.ky, layout="replicated")
+        kz = rt.distribute(p.kz, layout="replicated")
+        mag = rt.distribute(p.mag, layout="replicated")
+        pixel_fn = closure(_pixel_q, kx, ky, kz, mag)
+        Q = tri.build(tri.map(pixel_fn, tri.par(tri.zip(x, y, z))))
     detail = {
         "sections": [s.label for s in rt.sections],
         "meter": rt.meter_total,
+        "data_plane": rt.plane.stats_dict(),
     }
     if faults is not None or rt.recovery_report.rejected_messages:
         detail["recovery"] = rt.recovery_report

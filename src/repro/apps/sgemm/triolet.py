@@ -86,13 +86,19 @@ def run_triolet(
         )
         transpose_time = rt.elapsed
 
-        zipped_AB = tri.outerproduct(tri.rows(p.A), tri.rows(BT))
+        # A and the locally built BT become resident handles: the 2-D
+        # block grid's row/column slices resolve against rank shards (or
+        # the slice cache, when grid blocks straddle shard boundaries).
+        A = rt.distribute(p.A)
+        BTh = rt.distribute(BT)
+        zipped_AB = tri.outerproduct(tri.rows(A), tri.rows(BTh))
         AB = tri.build(tri.map(closure(_dot_elem, p.alpha), tri.par(zipped_AB)))
     detail = {
         "transpose_time": transpose_time,
         "partition": rt.last_section.partition,
         "gc_time": rt.total_gc_time(),
         "meter": rt.meter_total,
+        "data_plane": rt.plane.stats_dict(),
     }
     if faults is not None or rt.recovery_report.rejected_messages:
         detail["recovery"] = rt.recovery_report

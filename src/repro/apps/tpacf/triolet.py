@@ -135,19 +135,29 @@ def run_triolet(
         faults=faults,
         recovery=recovery,
     ) as rt:
+        # Resident placement: obs rides in closure environments (every
+        # rank needs all of it), rands is sharded by rows.  The three
+        # correlation phases below share the placement -- DR and RR ship
+        # zero input bytes for arrays DD already placed.
+        obs = rt.distribute(p.obs, layout="replicated")
+        rands = rt.distribute(p.rands)
         # DD: the observed set against itself, parallel over its rows.
-        indexed_obs = tri.zip(tri.indices(tri.domain(p.obs)), tri.iterate(p.obs))
+        indexed_obs = tri.zip(tri.indices(tri.domain(obs)), tri.iterate(obs))
         dd = correlation(
             p.nbins,
-            tri.map(closure(_self_pairs_row, p.nbins, p.obs), tri.par(indexed_obs)),
+            tri.map(closure(_self_pairs_row, p.nbins, obs), tri.par(indexed_obs)),
         )
         # DR: each random set against the observed set.
         dr = random_sets_correlation(
-            p.nbins, closure(_corr1_cross, p.nbins, p.obs), p.rands
+            p.nbins, closure(_corr1_cross, p.nbins, obs), rands
         )
         # RR: each random set against itself.
-        rr = random_sets_correlation(p.nbins, closure(_corr1_self, p.nbins), p.rands)
-    detail = {"gc_time": rt.total_gc_time(), "meter": rt.meter_total}
+        rr = random_sets_correlation(p.nbins, closure(_corr1_self, p.nbins), rands)
+    detail = {
+        "gc_time": rt.total_gc_time(),
+        "meter": rt.meter_total,
+        "data_plane": rt.plane.stats_dict(),
+    }
     if faults is not None or rt.recovery_report.rejected_messages:
         detail["recovery"] = rt.recovery_report
     return AppRun(

@@ -31,6 +31,7 @@ from repro.bench.harness import APPS
 from repro.cluster.machine import PAPER_MACHINE
 from repro.core.engine import use_vectorization
 from repro.core.fusion import planner_stats, reset_planner
+from repro.serial import copy_stats, reset_copy_stats
 
 #: engine-bench instances: many outer elements, short inner vectors.
 BENCH_PARAMS: dict[str, dict] = {
@@ -52,25 +53,33 @@ def _bit_identical(a: Any, b: Any) -> bool:
 
 
 def _timed_run(app: str, problem, nodes: int, vectorize: bool):
+    """One timed run with fresh per-run counters, so every cell's plan
+    cache, serialization copies, and data-plane stats are deltas for
+    *this* run rather than accumulations over the whole bench sweep."""
     spec = APPS[app]
     machine = PAPER_MACHINE.scaled(nodes=nodes, cores_per_node=CORES_PER_NODE)
     costs = costs_for(app, "triolet", problem)
+    reset_planner()
+    reset_copy_stats()
     with use_vectorization(vectorize):
         t0 = time.perf_counter()
         run = spec.runners["triolet"](problem, machine, costs)
         wall = time.perf_counter() - t0
-    return wall, run
+    return wall, run, copy_stats()
 
 
 def bench_app(app: str, nodes: int) -> dict:
     """One (app, node count) cell: vectorized vs. scalar, with parity."""
     problem = APPS[app].make_problem(**BENCH_PARAMS[app])
-    reset_planner()
-    wall_vec, run_vec = _timed_run(app, problem, nodes, vectorize=True)
+    wall_vec, run_vec, copies_vec = _timed_run(app, problem, nodes,
+                                               vectorize=True)
     stats = planner_stats()
-    wall_scalar, run_scalar = _timed_run(app, problem, nodes, vectorize=False)
+    wall_scalar, run_scalar, copies_scalar = _timed_run(app, problem, nodes,
+                                                        vectorize=False)
     meter_vec = run_vec.detail["meter"]
     meter_scalar = run_scalar.detail["meter"]
+    plane_vec = run_vec.detail.get("data_plane")
+    plane_scalar = run_scalar.detail.get("data_plane")
     return {
         "app": app,
         "nodes": nodes,
@@ -87,6 +96,10 @@ def bench_app(app: str, nodes: int) -> dict:
         "meter": asdict(meter_vec),
         "meter_equal": meter_vec == meter_scalar,
         "plan_cache": asdict(stats),
+        "serial_copies": copies_vec,
+        "serial_copies_equal": copies_vec == copies_scalar,
+        "data_plane": plane_vec,
+        "data_plane_equal": plane_vec == plane_scalar,
     }
 
 
@@ -124,6 +137,7 @@ def render(payload: dict) -> str:
             and r["meter_equal"]
             and r["virtual_seconds_equal"]
             and r["bytes_shipped_equal"]
+            and r["data_plane_equal"]
             else "MISMATCH"
         )
         lines.append(

@@ -33,6 +33,10 @@ def rows(A: np.ndarray) -> Iter:
     Each element is a row (a numpy view); the iterator's source slices by
     rows, so a distributed task receives exactly its rows.
     """
+    if hasattr(A, "__triolet_idx__"):
+        if A.ndim < 2:
+            raise ValueError(f"rows() needs a >=2-D array, got {A.ndim}-D")
+        return IdxFlat(A.__triolet_idx__())
     A = np.asarray(A)
     if A.ndim < 2:
         raise ValueError(f"rows() needs a >=2-D array, got {A.ndim}-D")
@@ -98,6 +102,8 @@ def domain(x: Any) -> Domain:
         return Seq(len(x))
     if isinstance(x, Iter):
         return x.domain
+    if hasattr(x, "__triolet_idx__"):
+        return x.__triolet_idx__().domain
     if isinstance(x, (list, tuple)):
         return Seq(len(x))
     raise TypeError(f"no domain for {type(x).__name__}")

@@ -57,7 +57,7 @@ from repro.core.engine.bulk_forms import (
 )
 from repro.core.iterators import transforms as _tr
 from repro.core.iterators.iter_type import IdxFlat, IdxNest
-from repro.serial.closures import _FUNC_TO_ID, Closure
+from repro.serial.closures import _FUNC_TO_ID, Closure, resolve_env
 
 
 class Unsupported(Exception):
@@ -153,7 +153,7 @@ class _MapNode:
 
     def eval(self, ctx, cl, pos):
         f_cl, g_cl = cl.env[0], cl.env[1]
-        return self.bulk.fn(*f_cl.env, self.child.eval(ctx, g_cl, pos))
+        return self.bulk.fn(*resolve_env(f_cl.env), self.child.eval(ctx, g_cl, pos))
 
 
 @dataclass(frozen=True)
@@ -316,16 +316,18 @@ class Plan:
             n = hi - lo
             base = self.root.eval(ctx, base_cl, slice(lo, hi))
             if self.producer_kind == "filter":
-                mask = np.asarray(self.producer.fn(*prod_cl.env, base), dtype=bool)
+                mask = np.asarray(
+                    self.producer.fn(*resolve_env(prod_cl.env), base), dtype=bool
+                )
                 vals = select_vals(base, mask)
                 lengths = mask.astype(np.int64)
                 visits, steps = int(mask.sum()), 2 * n
             else:
-                vals, lengths = self.producer.fn(*prod_cl.env, base)
+                vals, lengths = self.producer.fn(*resolve_env(prod_cl.env), base)
                 lengths = np.asarray(lengths, dtype=np.int64)
                 visits, steps = int(lengths.sum()), 0
             for stage_cl, bf in zip(reversed(stage_cls), reversed(self.stage_bulks)):
-                vals = bf.fn(*stage_cl.env, vals)
+                vals = bf.fn(*resolve_env(stage_cl.env), vals)
             yield Batch(
                 vals,
                 lengths,

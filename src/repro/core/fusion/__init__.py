@@ -1,6 +1,8 @@
 """Fusion observation tools (the analogue of the paper's §3.2 optimizer)."""
 from repro.core.fusion.planner import (
+    NEGATIVE_CACHE_MAX,
     PlannerStats,
+    negative_cache_size,
     plan_for,
     planner_stats,
     reset_planner,
@@ -13,7 +15,9 @@ __all__ = [
     "FusionReport",
     "analyze",
     "closure_depth",
+    "NEGATIVE_CACHE_MAX",
     "PlannerStats",
+    "negative_cache_size",
     "plan_for",
     "planner_stats",
     "reset_planner",

@@ -14,6 +14,7 @@ the scalar loop" costs one dict lookup on every later encounter.
 """
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.core.engine.plan import Plan, compile_iter
@@ -21,6 +22,12 @@ from repro.core.iterators.iter_type import IdxFlat, IdxNest
 from repro.serial.closures import Closure
 
 _OPAQUE = "·"  # env entry that is data, not structure
+
+#: Upper bound on remembered unsupported-pipeline structures.  Positive
+#: entries are bounded by the program's pipeline count, but a workload
+#: generating many distinct unsupported shapes would otherwise grow the
+#: negative set without limit.
+NEGATIVE_CACHE_MAX = 256
 
 
 @dataclass
@@ -31,9 +38,11 @@ class PlannerStats:
     misses: int = 0
     compiled: int = 0  # misses that produced a plan
     unsupported: int = 0  # misses that fell back to the scalar loop
+    negative_evictions: int = 0  # unsupported entries dropped by the LRU bound
 
 
 _cache: dict = {}
+_negative: OrderedDict = OrderedDict()  # structural key -> None, LRU-bounded
 _stats = PlannerStats()
 
 
@@ -76,15 +85,25 @@ def plan_for(it) -> Plan | None:
     try:
         plan = _cache[key]
     except KeyError:
-        _stats.misses += 1
-        plan = compile_iter(it)
-        _cache[key] = plan
-        if plan is None:
-            _stats.unsupported += 1
-        else:
-            _stats.compiled += 1
+        pass
+    else:
+        _stats.hits += 1
         return plan
-    _stats.hits += 1
+    if key in _negative:
+        _negative.move_to_end(key)
+        _stats.hits += 1
+        return None
+    _stats.misses += 1
+    plan = compile_iter(it)
+    if plan is None:
+        _stats.unsupported += 1
+        _negative[key] = None
+        while len(_negative) > NEGATIVE_CACHE_MAX:
+            _negative.popitem(last=False)
+            _stats.negative_evictions += 1
+    else:
+        _stats.compiled += 1
+        _cache[key] = plan
     return plan
 
 
@@ -105,10 +124,23 @@ def planner_stats() -> PlannerStats:
         misses=_stats.misses,
         compiled=_stats.compiled,
         unsupported=_stats.unsupported,
+        negative_evictions=_stats.negative_evictions,
     )
 
 
+def negative_cache_size() -> int:
+    """Number of remembered unsupported structures (bounded by
+    :data:`NEGATIVE_CACHE_MAX`)."""
+    return len(_negative)
+
+
 def reset_planner() -> None:
-    """Clear the cache and zero the counters (test isolation)."""
+    """Clear both caches and zero the counters (test/bench isolation)."""
     _cache.clear()
-    _stats.hits = _stats.misses = _stats.compiled = _stats.unsupported = 0
+    _negative.clear()
+    _stats.hits = _stats.misses = _stats.compiled = 0
+    _stats.unsupported = _stats.negative_evictions = 0
+
+
+#: Per-run reset alias, mirroring :func:`repro.serial.reset`.
+reset = reset_planner

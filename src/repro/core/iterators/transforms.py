@@ -59,6 +59,10 @@ def iterate(source: Any) -> Iter:
         return IdxFlat(source)
     if isinstance(source, Step):
         return StepFlat(source)
+    if hasattr(source, "__triolet_idx__"):
+        # Data-plane handles (and anything else indexer-shaped) supply
+        # their own indexer, whose source resolves on the executing rank.
+        return IdxFlat(source.__triolet_idx__())
     if isinstance(source, np.ndarray):
         return IdxFlat(array_indexer(source))
     if isinstance(source, range):

@@ -1,0 +1,301 @@
+"""The data plane: placement planning at parallel-section boundaries.
+
+The :class:`DataPlane` lives on the main rank inside the runtime.  It
+owns the handle registry, a metadata mirror of every rank store's
+resident shard, and a per-rank :class:`~repro.data.store.SliceCache`
+policy.  Just before a distributed section launches, the driver asks the
+plane what handle rows each rank's chunk needs (walking the chunk's data
+sources *and* its closure environments) and the plane emits explicit
+shipping operations:
+
+* first use of an array on a rank ships the rank's layout shard (plus
+  whatever the section needs beyond it) and records the placement;
+* later sections whose requirements fall inside the recorded shard ship
+  **zero** input bytes -- the iterator slices resolve against resident
+  rows;
+* requirements that only partially overlap the shard go through the
+  byte-bounded LRU slice cache: a containing cached slice is a hit (zero
+  bytes), otherwise only the missing rows are shipped;
+* when the driver repartitions from cost feedback, the shard boundary
+  itself migrates (the resident hull grows to the new block);
+* a rank crash invalidates all placement and cache state -- lost shards
+  re-materialize from the master copy on the next section, and the
+  re-shipped bytes are attributed to recovery.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.sources import (
+    OuterProductSource,
+    ReplicatedSource,
+    TupleSource,
+    WholeObjectSource,
+)
+from repro.data.handle import DistArray, HandleSource, bind_store, lookup_handle
+from repro.data.rebalance import Rebalancer
+from repro.data.store import (
+    DEFAULT_CACHE_BYTES,
+    RankStore,
+    SliceCache,
+    aid_wire,
+)
+from repro.partition import block_bounds, missing_intervals
+from repro.serial.closures import Closure
+
+# A requirement is aid -> [lo, hi, replicated]; replicated means "the
+# rank needs the whole array resident" (closure-environment use).
+
+
+@dataclass
+class SectionShipment:
+    """One section's planned shipping: per-destination ops + stats."""
+
+    ops: list[list]  # indexed by destination rank; ops[0] is always []
+    stats: dict = field(default_factory=dict)
+
+
+def _req_add(reqs: dict, aid: int, lo: int, hi: int, replicated: bool) -> None:
+    if hi <= lo and not replicated:
+        return
+    ent = reqs.get(aid)
+    if ent is None:
+        reqs[aid] = [lo, hi, replicated]
+    else:
+        ent[0] = min(ent[0], lo)
+        ent[1] = max(ent[1], hi)
+        ent[2] = ent[2] or replicated
+
+
+def _walk_env(obj: Any, reqs: dict) -> None:
+    if isinstance(obj, DistArray):
+        _req_add(reqs, obj.array_id, 0, len(obj), replicated=True)
+    elif isinstance(obj, Closure):
+        for e in obj.env:
+            _walk_env(e, reqs)
+    elif isinstance(obj, tuple):
+        for e in obj:
+            _walk_env(e, reqs)
+
+
+def _walk_source(src: Any, reqs: dict) -> None:
+    if isinstance(src, HandleSource):
+        _req_add(reqs, src.array_id, src.lo, src.hi, replicated=False)
+    elif isinstance(src, TupleSource):
+        for m in src.members:
+            _walk_source(m, reqs)
+    elif isinstance(src, OuterProductSource):
+        _walk_source(src.u, reqs)
+        _walk_source(src.v, reqs)
+    elif isinstance(src, (ReplicatedSource, WholeObjectSource)):
+        _walk_env(src.value, reqs)
+
+
+def chunk_requirements(chunk) -> dict:
+    """Handle rows one rank's chunk touches: sources + closure envs."""
+    reqs: dict = {}
+    idx = getattr(chunk, "idx", None)
+    if idx is None:
+        return reqs
+    _walk_source(idx.source, reqs)
+    _walk_env(idx.extract, reqs)
+    if idx.bulk is not None:
+        _walk_env(idx.bulk, reqs)
+    return reqs
+
+
+_STAT_KEYS = (
+    "input_bytes", "placements", "placed_bytes", "resident_hits",
+    "cache_hits", "cache_misses", "cache_evictions", "migrated_bytes",
+)
+
+
+class DataPlane:
+    """Main-rank placement planner + per-rank store registry."""
+
+    def __init__(self, cache_bytes: int = DEFAULT_CACHE_BYTES,
+                 rebalancer: Rebalancer | None = None):
+        self.cache_bytes = cache_bytes
+        self.rebalancer = rebalancer if rebalancer is not None else Rebalancer()
+        self.handles: dict[int, DistArray] = {}
+        # (rank, aid) -> (lo, hi): planner's mirror of resident shards.
+        self._placement: dict[tuple[int, int], tuple[int, int]] = {}
+        self._caches: dict[int, SliceCache] = {}
+        self._stores: dict[int, RankStore] = {}
+        self.section_log: list[dict] = []
+        self.invalidations = 0
+        self.totals = {k: 0 for k in _STAT_KEYS}
+        self.totals["sections"] = 0
+        self.totals["invalidated_entries"] = 0
+
+    # -- handle lifecycle ---------------------------------------------------
+    def register(self, array, layout: str = "block") -> DistArray:
+        """Wrap *array* in a handle managed by this plane."""
+        if isinstance(array, DistArray):
+            return array
+        handle = DistArray(array, layout=layout)
+        self.handles[handle.array_id] = handle
+        return handle
+
+    def has_state(self) -> bool:
+        return bool(self._placement) or any(
+            len(c) for c in self._caches.values()
+        )
+
+    # -- store access -------------------------------------------------------
+    def worker_store(self, rank: int) -> RankStore:
+        return self._stores[rank]
+
+    def bound_store(self, rank: int):
+        """Context manager binding rank *rank*'s store (rank 0: master)."""
+        return bind_store(self._stores.get(rank) if rank != 0 else None)
+
+    def _ensure_rank(self, rank: int) -> None:
+        if rank not in self._stores:
+            self._stores[rank] = RankStore(rank)
+            self._caches[rank] = SliceCache(self.cache_bytes)
+
+    # -- partitioning hook --------------------------------------------------
+    def partition_bounds(self, extent: int,
+                         nchunks: int) -> list[tuple[int, int]] | None:
+        """Cost-feedback bounds for a 1-D split, or None for uniform."""
+        return self.rebalancer.bounds(extent, nchunks)
+
+    def feedback(self, bounds: list[tuple[int, int]],
+                 costs: list[float]) -> None:
+        self.rebalancer.observe(bounds, costs)
+
+    # -- section planning ---------------------------------------------------
+    def requirements(self, chunks: list) -> list[dict]:
+        return [chunk_requirements(c) for c in chunks]
+
+    def plan_section(self, reqs: list[dict], *,
+                     migrated: bool = False) -> SectionShipment | None:
+        """Plan shipping for one section (one requirement dict per rank).
+
+        Returns None when no chunk references a handle -- the driver then
+        uses the legacy ship-the-slice path untouched.  Rank 0 never
+        ships to itself (it resolves against the master copy).
+        """
+        if not any(reqs):
+            return None
+        nranks = len(reqs)
+        stats = {k: 0 for k in _STAT_KEYS}
+        ops: list[list] = [[] for _ in range(nranks)]
+        for dst in range(1, nranks):
+            self._ensure_rank(dst)
+            for aid in sorted(reqs[dst]):
+                lo, hi, replicated = reqs[dst][aid]
+                self._plan_one(dst, aid, lo, hi, replicated, nranks,
+                               migrated, ops[dst], stats)
+        self.totals["sections"] += 1
+        for k in _STAT_KEYS:
+            self.totals[k] += stats[k]
+        self.section_log.append(dict(stats))
+        return SectionShipment(ops=ops, stats=stats)
+
+    def _plan_one(self, dst: int, aid: int, lo: int, hi: int,
+                  replicated: bool, nranks: int, migrated: bool,
+                  out_ops: list, stats: dict) -> None:
+        handle = lookup_handle(aid)
+        n = len(handle)
+        row_nbytes = handle.row_nbytes()
+        if replicated or handle.layout == "replicated":
+            lo, hi = 0, n
+            replicated = True
+        hull = self._placement.get((dst, aid))
+        if hull is not None and hull[0] <= lo and hi <= hull[1]:
+            stats["resident_hits"] += 1
+            return
+        if hull is None or replicated or migrated:
+            # First placement, replication upgrade, or cost-feedback
+            # boundary migration: grow the resident hull.  The initial
+            # hull is the union of the layout shard and the requirement,
+            # so a compatible later partition lands resident.
+            if hull is None:
+                slo, shi = self._layout_shard(handle, dst, nranks)
+                tlo, thi = min(slo, lo), max(shi, hi)
+                stats["placements"] += 1
+            else:
+                tlo, thi = min(hull[0], lo), max(hull[1], hi)
+            pieces = [
+                (plo, phi, handle.array[plo:phi])
+                for plo, phi in missing_intervals(tlo, thi, hull)
+            ]
+            shipped = sum((phi - plo) * row_nbytes for plo, phi, _ in pieces)
+            out_ops.append(["resident", aid_wire(aid), tlo, thi, pieces])
+            self._placement[(dst, aid)] = (tlo, thi)
+            stats["input_bytes"] += shipped
+            stats["placed_bytes"] += shipped
+            if hull is not None:
+                stats["migrated_bytes"] += shipped
+            return
+        # Partial overlap with a recorded shard and no reason to migrate:
+        # the work partition differs from the data partition.  Serve from
+        # the slice cache.
+        cache = self._caches[dst]
+        if cache.lookup(aid, lo, hi) is not None:
+            stats["cache_hits"] += 1
+            return
+        stats["cache_misses"] += 1
+        for old in cache.put(aid, lo, hi, (hi - lo) * row_nbytes):
+            stats["cache_evictions"] += 1
+            out_ops.append(["evict", aid_wire(old[0]), old[1], old[2]])
+        pieces = [
+            (plo, phi, handle.array[plo:phi])
+            for plo, phi in missing_intervals(lo, hi, hull)
+        ]
+        out_ops.append(["cache", aid_wire(aid), lo, hi, pieces])
+        stats["input_bytes"] += sum(
+            (phi - plo) * row_nbytes for plo, phi, _ in pieces
+        )
+
+    @staticmethod
+    def _layout_shard(handle: DistArray, dst: int,
+                      nranks: int) -> tuple[int, int]:
+        if handle.layout == "replicated":
+            return 0, len(handle)
+        # block and block2d both shard the outer (row) axis here; block2d
+        # sections additionally slice rows per grid column, which the
+        # slice cache absorbs.
+        return block_bounds(len(handle), nranks)[dst]
+
+    # -- failure handling ---------------------------------------------------
+    def invalidate(self) -> dict:
+        """Drop all placement and cache state (rank-crash recovery).
+
+        Stores are cleared too, so a later section re-materializes every
+        shard from the master copy -- nothing stale can survive a crash.
+        Returns counts for the recovery report.
+        """
+        dropped_entries = sum(
+            c.invalidate() for c in self._caches.values()
+        )
+        dropped_shards = len(self._placement)
+        self._placement.clear()
+        for store in self._stores.values():
+            store.clear()
+        self.invalidations += 1
+        self.totals["invalidated_entries"] += dropped_entries
+        return {"shards": dropped_shards, "cache_entries": dropped_entries}
+
+    # -- reporting ----------------------------------------------------------
+    def cache_stats(self) -> dict:
+        return {
+            "hits": sum(c.hits for c in self._caches.values()),
+            "misses": sum(c.misses for c in self._caches.values()),
+            "evictions": sum(c.evictions for c in self._caches.values()),
+            "entries": sum(len(c) for c in self._caches.values()),
+            "bytes_used": sum(c.bytes_used for c in self._caches.values()),
+        }
+
+    def stats_dict(self) -> dict:
+        out = dict(self.totals)
+        out["arrays"] = len(self.handles)
+        out["invalidations"] = self.invalidations
+        out["rebalance_activations"] = self.rebalancer.activations
+        out["cache"] = self.cache_stats()
+        return out

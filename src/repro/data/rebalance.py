@@ -1,0 +1,91 @@
+"""Cost-feedback repartitioning.
+
+After every handle-backed 1-D section the driver reports the per-rank
+block bounds and per-rank compute time (virtual seconds from the
+``CostMeter``/work-stealing execution, so stragglers and heterogeneous
+nodes show up as cost).  The rebalancer maintains an EWMA processing
+*rate* (rows per virtual second) per rank; once observed imbalance
+exceeds the threshold it activates, and subsequent sections partition by
+:func:`repro.partition.weighted_bounds` over those rates instead of the
+uniform split -- migrating shard boundaries toward faster ranks.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.partition import weighted_bounds
+
+
+@dataclass
+class Rebalancer:
+    """Per-rank rate tracking + threshold-gated weighted repartitioning.
+
+    Activation needs the imbalance to *persist* for ``patience``
+    consecutive sections: a single lopsided section usually means the
+    workload's cost structure is uneven (a triangular pair loop gives its
+    first block more work on any machine), not that a rank is slow.  A
+    straggling or throttled node shows up section after section; that is
+    the signal worth migrating shard boundaries for.
+    """
+
+    threshold: float = 1.25  # activate when max/mean cost exceeds this
+    smoothing: float = 0.5  # EWMA weight of the newest observation
+    patience: int = 2  # consecutive imbalanced sections before acting
+    enabled: bool = True
+    _rates: dict[int, float] = field(default_factory=dict)
+    _streak: int = 0
+    active: bool = False
+    activations: int = 0
+    observations: int = 0
+
+    def observe(self, bounds: list[tuple[int, int]],
+                costs: list[float]) -> None:
+        """Record one section's per-rank (rows, virtual cost) feedback."""
+        if not self.enabled or len(bounds) != len(costs) or len(costs) < 2:
+            return
+        self.observations += 1
+        for rank, ((lo, hi), cost) in enumerate(zip(bounds, costs)):
+            rows = hi - lo
+            if rows <= 0 or cost <= 0.0:
+                continue
+            rate = rows / cost
+            prev = self._rates.get(rank)
+            self._rates[rank] = (
+                rate if prev is None
+                else self.smoothing * rate + (1.0 - self.smoothing) * prev
+            )
+        loaded = [c for (lo, hi), c in zip(bounds, costs) if hi > lo and c > 0.0]
+        imbalanced = False
+        if len(loaded) >= 2:
+            mean = sum(loaded) / len(loaded)
+            imbalanced = mean > 0.0 and max(loaded) / mean > self.threshold
+        if not imbalanced:
+            # Once active, staying balanced means the weighting works;
+            # only pre-activation streaks reset.
+            self._streak = 0
+            return
+        self._streak += 1
+        if self._streak >= self.patience and not self.active:
+            self.active = True
+            self.activations += 1
+
+    def weights(self, nchunks: int) -> list[float] | None:
+        """Per-rank weights for the next split, or None for the uniform
+        split (not active yet, or no rate data for these ranks)."""
+        if not (self.enabled and self.active):
+            return None
+        known = [self._rates[r] for r in range(nchunks) if r in self._rates]
+        if not known:
+            return None
+        default = sum(known) / len(known)
+        return [self._rates.get(r, default) for r in range(nchunks)]
+
+    def bounds(self, extent: int, nchunks: int) -> list[tuple[int, int]] | None:
+        w = self.weights(nchunks)
+        if w is None:
+            return None
+        return weighted_bounds(extent, w)
+
+    def reset(self) -> None:
+        self._rates.clear()
+        self.active = False

@@ -5,7 +5,19 @@ distribution strategies".  This package provides the work-side block
 math; the data side is the ``slice`` interface of
 :mod:`repro.core.sources`, driven in lockstep by the runtime.
 """
-from repro.partition.block import block_bounds, chunk_bounds
+from repro.partition.block import (
+    block_bounds,
+    chunk_bounds,
+    missing_intervals,
+    weighted_bounds,
+)
 from repro.partition.block2d import grid_shape, block2d_bounds
 
-__all__ = ["block_bounds", "chunk_bounds", "grid_shape", "block2d_bounds"]
+__all__ = [
+    "block_bounds",
+    "chunk_bounds",
+    "weighted_bounds",
+    "missing_intervals",
+    "grid_shape",
+    "block2d_bounds",
+]

@@ -20,3 +20,57 @@ def chunk_bounds(n: int, chunk: int) -> list[tuple[int, int]]:
     if chunk < 1:
         raise ValueError(f"chunk size must be positive, got {chunk}")
     return [(lo, min(lo + chunk, n)) for lo in range(0, n, chunk)] or [(0, 0)]
+
+
+def weighted_bounds(n: int, weights: list[float]) -> list[tuple[int, int]]:
+    """Split ``range(n)`` into ``len(weights)`` contiguous blocks whose
+    sizes are proportional to *weights*.
+
+    Used by cost-feedback repartitioning: a rank observed to be twice as
+    fast gets (about) twice the rows.  Bounds are monotone, cover
+    ``[0, n)`` exactly, and zero-weight (or heavily outweighed) parts
+    degenerate to valid empty blocks -- the same contract as
+    :func:`block_bounds`.  Non-finite or non-positive total weight falls
+    back to the uniform split.
+    """
+    if n < 0:
+        raise ValueError(f"cannot partition negative extent {n}")
+    nparts = len(weights)
+    if nparts < 1:
+        raise ValueError("need at least one weight")
+    total = float(sum(max(0.0, w) for w in weights))
+    if not (total > 0.0) or total != total or total == float("inf"):
+        return block_bounds(n, nparts)
+    bounds: list[tuple[int, int]] = []
+    acc = 0.0
+    lo = 0
+    for k, w in enumerate(weights):
+        acc += max(0.0, w)
+        hi = n if k == nparts - 1 else min(n, max(lo, round(n * acc / total)))
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+def missing_intervals(
+    lo: int, hi: int, have: tuple[int, int] | None
+) -> list[tuple[int, int]]:
+    """The parts of ``[lo, hi)`` not covered by the interval *have*.
+
+    Returns zero, one, or two non-empty intervals; the data plane ships
+    exactly these pieces when a requested slice partially overlaps a
+    rank's resident shard.
+    """
+    if hi <= lo:
+        return []
+    if have is None:
+        return [(lo, hi)]
+    alo, ahi = have
+    if ahi <= alo or ahi <= lo or hi <= alo:
+        return [(lo, hi)]
+    out = []
+    if lo < alo:
+        out.append((lo, alo))
+    if ahi < hi:
+        out.append((ahi, hi))
+    return out

@@ -52,6 +52,8 @@ from repro.core.iterators.iter_type import (
     Iter,
     ParHint,
 )
+from repro.data.handle import bind_store
+from repro.data.plane import DataPlane, chunk_requirements
 from repro.partition import block2d_bounds, block_bounds, grid_shape
 from repro.runtime.costs import CostContext, use_costs
 from repro.runtime.gc_model import BOEHM_GC, AllocatorModel
@@ -100,6 +102,7 @@ class SectionRecord:
     gc_time: float = 0.0
     recovery: "RecoveryReport | None" = None  # fault/recovery accounting
     plan: str | None = None  # compiled bulk-execution plan, if vectorized
+    data_plane: dict | None = None  # shipping stats when handles were used
 
     @property
     def vectorized(self) -> bool:
@@ -142,6 +145,7 @@ class TrioletRuntime:
         label: str = "",
         faults: FaultPlan | None = None,
         recovery: RecoveryPolicy | None = DEFAULT_RECOVERY,
+        plane: DataPlane | None = None,
     ):
         """``topology``: ``"two-level"`` (the paper's design: message
         passing across nodes, threads within) or ``"flat"`` (one rank per
@@ -167,6 +171,7 @@ class TrioletRuntime:
         self.label = label
         self.faults = faults
         self.recovery = recovery
+        self.plane = plane if plane is not None else DataPlane()
         self.recovery_report = RecoveryReport(attempts=0)
         self.clock = VirtualClock()
         self.sections: list[SectionRecord] = []
@@ -193,6 +198,19 @@ class TrioletRuntime:
 
     def total_bytes_shipped(self) -> int:
         return sum(s.bytes_shipped for s in self.sections)
+
+    # -- the data plane ----------------------------------------------------
+
+    def distribute(self, array, layout: str = "block"):
+        """Place *array* on the data plane; returns a resident
+        :class:`~repro.data.handle.DistArray` handle.
+
+        Sections iterating (or closing) over the handle ship each rank
+        its shard at most once; later compatible sections ship zero
+        input bytes.  ``layout`` is ``"block"``, ``"block2d"`` or
+        ``"replicated"``.
+        """
+        return self.plane.register(array, layout)
 
     def report(self) -> str:
         """Human-readable ledger of every section this runtime ran."""
@@ -479,21 +497,35 @@ class TrioletRuntime:
 
     # -- distributed sections ---------------------------------------------
 
-    def _partition(self, it: Iter, nranks_max: int) -> tuple[list[Iter], str, Any]:
+    def _partition(
+        self, it: Iter, nranks_max: int
+    ) -> tuple[list[Iter], str, Any, bool]:
         """Slice *it* into per-rank chunks (2-D grid when the source
-        supports inner slicing, 1-D blocks otherwise)."""
+        supports inner slicing, 1-D blocks otherwise).
+
+        The last element of the returned tuple flags cost-feedback
+        repartitioning: for handle-backed 1-D sections the data plane's
+        rebalancer may supply weighted bounds, migrating shard
+        boundaries toward faster ranks.
+        """
         if self._can_block_2d(it):
             dom: Dim2 = it.domain  # type: ignore[assignment]
             nchunks = min(nranks_max, max(1, dom.size))
             py, px = grid_shape(nchunks, dom.h, dom.w)
             blocks = block2d_bounds(dom.h, dom.w, py, px)
             chunks = [self._reslice_block(it, r, c) for r, c in blocks]
-            return chunks, f"2d {py}x{px}", blocks
+            return chunks, f"2d {py}x{px}", blocks, False
         extent = it.domain.outer_extent
         nchunks = min(nranks_max, max(1, extent))
-        bounds = block_bounds(extent, nchunks)
+        bounds = None
+        if nchunks > 1 and chunk_requirements(it):
+            bounds = self.plane.partition_bounds(extent, nchunks)
+        rebalanced = bounds is not None
+        if bounds is None:
+            bounds = block_bounds(extent, nchunks)
         chunks = [self._reslice(it, lo, hi) for lo, hi in bounds]
-        return chunks, f"1d x{nchunks}", bounds
+        label = f"1d x{nchunks}" + (" rebal" if rebalanced else "")
+        return chunks, label, bounds, rebalanced
 
     def _distributed(self, it: Iter, spec: ConsumeSpec) -> Any:
         """``par``: nodes via simulated MPI, cores via the threads model.
@@ -528,25 +560,50 @@ class TrioletRuntime:
         dead = 0
         lost_time = 0.0
         reexecuted = 0
+        reshipped = 0
         section_acc: RecoveryReport | None = None
         while True:
-            chunks, partition, block_meta = self._partition(it, nranks_max - dead)
+            chunks, partition, block_meta, rebalanced = self._partition(
+                it, nranks_max - dead
+            )
             if attempt > 0:
                 reexecuted += len(chunks)
+            # Section-boundary placement planning: what handle rows does
+            # each rank's chunk (sources + closure environments) need, and
+            # which of them are already resident or cached there?  None
+            # when the section touches no handles -- the legacy
+            # ship-the-slice path below is then byte-for-byte unchanged.
+            ship = self.plane.plan_section(
+                self.plane.requirements(chunks), migrated=rebalanced
+            )
+            if ship is not None and attempt > 0:
+                # Bytes shipped again because a crash invalidated
+                # placement: recovery traffic, not steady-state traffic.
+                reshipped += ship.stats["input_bytes"]
 
             def rank_fn(comm: Comm):
-                my_chunk = _distribute_chunks(comm, chunks)
-                result, makespan, gc_time = self._node_execute(my_chunk, spec, cores)
-                comm.compute(makespan)
-                comm.metrics.gc_time += gc_time  # time already inside makespan
-                comm.alloc(_result_bytes(result))
-                if spec.kind == "reduce":
-                    charged = _charged_combine(comm, spec.combine, costs)
-                    return comm.reduce(result, charged, root=0)
-                gathered = comm.gather(result, root=0)
-                if comm.rank != 0:
-                    return None
-                return _assemble_build(gathered, block_meta, partition)
+                if ship is None:
+                    my_chunk = _distribute_chunks(comm, chunks)
+                    store_cm = bind_store(None)
+                else:
+                    my_chunk = _distribute_plane_chunks(
+                        comm, chunks, ship.ops, self.plane
+                    )
+                    store_cm = self.plane.bound_store(comm.rank)
+                with store_cm:
+                    result, makespan, gc_time = self._node_execute(
+                        my_chunk, spec, cores
+                    )
+                    comm.compute(makespan)
+                    comm.metrics.gc_time += gc_time  # already inside makespan
+                    comm.alloc(_result_bytes(result))
+                    if spec.kind == "reduce":
+                        charged = _charged_combine(comm, spec.combine, costs)
+                        return comm.reduce(result, charged, root=0)
+                    gathered = comm.gather(result, root=0)
+                    if comm.rank != 0:
+                        return None
+                    return _assemble_build(gathered, block_meta, partition)
 
             try:
                 res = run_spmd(
@@ -580,6 +637,13 @@ class TrioletRuntime:
                     if section_acc is None:
                         section_acc = RecoveryReport(attempts=0)
                     section_acc.merge(partial)
+                # A node died: every resident shard and cached slice is
+                # suspect (the re-partition also renumbers ranks), so the
+                # data plane forgets all placement.  The next attempt --
+                # and later sections -- re-materialize from the master
+                # copy, and those bytes are attributed to recovery.
+                if self.plane.has_state():
+                    self.plane.invalidate()
                 lost_time += max(i.vtime for i in infos) + rec.backoff(attempt)
                 dead += len(infos)
                 attempt += 1
@@ -588,7 +652,7 @@ class TrioletRuntime:
         # The section starts when the main rank reaches it.
         self.clock.advance(makespan)
         section_report = None
-        if res.recovery is not None or section_acc is not None:
+        if res.recovery is not None or section_acc is not None or reshipped:
             # Failed attempts' counters (crashes seen, time lost) belong
             # to the section alongside the successful attempt's.
             section_report = section_acc or RecoveryReport(attempts=0)
@@ -596,7 +660,18 @@ class TrioletRuntime:
                 section_report.merge(res.recovery)
             section_report.reexecuted_chunks = reexecuted
             section_report.added_time = lost_time
+            section_report.reshipped_bytes = reshipped
             self.recovery_report.merge(section_report)
+        data_plane = None
+        if ship is not None:
+            data_plane = dict(ship.stats)
+            if not partition.startswith("2d"):
+                # Cost feedback: per-rank virtual compute time for the
+                # blocks just executed feeds the rebalancer.
+                self.plane.feedback(
+                    block_meta,
+                    [m.compute_time for m in res.metrics.per_rank],
+                )
         self.sections.append(
             SectionRecord(
                 label="par",
@@ -612,6 +687,7 @@ class TrioletRuntime:
                 gc_time=res.metrics.gc_time,
                 recovery=section_report,
                 plan=plan,
+                data_plane=data_plane,
             )
         )
         return res.root_result
@@ -624,6 +700,27 @@ def _distribute_chunks(comm: Comm, chunks: list[Iter]) -> Iter:
             comm.send(chunks[dst], dst, _CHUNK_TAG)
         return chunks[0]
     return comm.recv(0, _CHUNK_TAG)
+
+
+def _distribute_plane_chunks(
+    comm: Comm, chunks: list[Iter], ops: list[list], plane: DataPlane
+) -> Iter:
+    """Ship each rank its chunk plus its data-plane shipping ops.
+
+    The chunk's handle-backed sources serialize as ids (a few bytes);
+    the ops carry the rows a rank is actually missing -- nothing when the
+    section's requirements are already resident, which is what makes the
+    second compatible section ship zero input bytes.  Still one message
+    per rank on the same tag, so message counts match the legacy path.
+    """
+    if comm.rank == 0:
+        for dst in range(1, comm.size):
+            comm.send((ops[dst], chunks[dst]), dst, _CHUNK_TAG)
+        return chunks[0]
+    my_ops, chunk = comm.recv(0, _CHUNK_TAG)
+    if my_ops:
+        plane.worker_store(comm.rank).apply(my_ops)
+    return chunk
 
 
 def _charged_combine(comm: Comm, combine, costs: CostContext):
@@ -683,6 +780,7 @@ def triolet_runtime(
     scheduler: str = "worksteal",
     faults: FaultPlan | None = None,
     recovery: RecoveryPolicy | None = DEFAULT_RECOVERY,
+    plane: DataPlane | None = None,
 ):
     """Install a :class:`TrioletRuntime` as the skeleton executor."""
     rt = TrioletRuntime(
@@ -695,6 +793,7 @@ def triolet_runtime(
         scheduler=scheduler,
         faults=faults,
         recovery=recovery,
+        plane=plane,
     )
     with use_executor(rt), use_costs(rt.costs):
         yield rt

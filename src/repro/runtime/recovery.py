@@ -89,6 +89,9 @@ class RecoveryReport:
     straggler_time: float = 0.0
     #: virtual seconds lost to failed attempts + re-execution backoff
     added_time: float = 0.0
+    #: data-plane bytes shipped again because a crash invalidated
+    #: resident placement (recovery traffic, not steady-state traffic)
+    reshipped_bytes: int = 0
     #: section execution attempts (1 = no re-execution was needed)
     attempts: int = 1
 
@@ -124,6 +127,7 @@ class RecoveryReport:
         self.speculations += other.speculations
         self.straggler_time += other.straggler_time
         self.added_time += other.added_time
+        self.reshipped_bytes += other.reshipped_bytes
         self.attempts += other.attempts
 
     def describe(self) -> str:
@@ -138,6 +142,8 @@ class RecoveryReport:
             f"(backoff {self.backoff_time * 1e3:.3f}ms)",
             f"re-executed chunks: {self.reexecuted_chunks} "
             f"over {self.attempts} attempt(s)",
+            f"data-plane bytes re-shipped for recovery: "
+            f"{self.reshipped_bytes:,}",
             f"messages rejected/fragmented: {self.rejected_messages}/"
             f"{self.fragmented_messages} ({self.fragments_sent} fragments)",
             f"speculative backups: {self.speculations} "

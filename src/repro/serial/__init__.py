@@ -30,9 +30,22 @@ from repro.serial.closures import (
     Closure,
     closure,
     register_function,
+    resolve_env,
+    set_env_resolver,
     GlobalSegment,
     GlobalRef,
 )
+
+
+def reset() -> None:
+    """Reset per-run serialization statistics.
+
+    ``copy_stats()`` counters otherwise accumulate across benchmark
+    repetitions; :mod:`repro.bench` calls this between runs so reported
+    deltas are per-run.
+    """
+    reset_copy_stats()
+
 
 __all__ = [
     "serialize",
@@ -41,10 +54,13 @@ __all__ = [
     "SerializationError",
     "copy_stats",
     "reset_copy_stats",
+    "reset",
     "transitive_size",
     "Closure",
     "closure",
     "register_function",
+    "resolve_env",
+    "set_env_resolver",
     "GlobalSegment",
     "GlobalRef",
 ]

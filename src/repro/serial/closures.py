@@ -80,20 +80,50 @@ def lookup_function(code_id: str) -> Callable:
     return fn
 
 
+# Environment-entry resolver hook.  The data plane (repro.data) registers
+# its DistArray handle type here so that closure environments carrying
+# handles are resolved to rank-local array views at call time, on whichever
+# rank the closure actually runs.  Kept as a hook to avoid a serial -> data
+# import cycle.
+_ENV_TYPES: tuple = ()
+_ENV_RESOLVER: Callable[[Any], Any] | None = None
+
+
+def set_env_resolver(types: tuple, fn: Callable[[Any], Any]) -> None:
+    """Register *fn* to resolve environment entries of the given *types*."""
+    global _ENV_TYPES, _ENV_RESOLVER
+    _ENV_TYPES, _ENV_RESOLVER = types, fn
+
+
+def resolve_env(env: tuple) -> tuple:
+    """Resolve handle-typed entries of a closure environment in place.
+
+    Identity (and allocation-free) when no resolver is registered or the
+    environment carries no handles -- the overwhelmingly common case.
+    """
+    if _ENV_RESOLVER is None or not env:
+        return env
+    if not any(isinstance(e, _ENV_TYPES) for e in env):
+        return env
+    fn = _ENV_RESOLVER
+    return tuple(fn(e) if isinstance(e, _ENV_TYPES) else e for e in env)
+
+
 @dataclass(frozen=True)
 class Closure:
     """A serializable function: code pointer + captured environment.
 
     Calling the closure applies the underlying function to the environment
     followed by the call arguments, i.e. ``Closure(f, (a, b))(x)`` computes
-    ``f(a, b, x)``.
+    ``f(a, b, x)``.  Environment entries that are data-plane handles are
+    resolved to local data at call time (see :func:`set_env_resolver`).
     """
 
     code_id: str
     env: tuple = ()
 
     def __call__(self, *args: Any) -> Any:
-        return lookup_function(self.code_id)(*self.env, *args)
+        return lookup_function(self.code_id)(*resolve_env(self.env), *args)
 
     def bind(self, *extra: Any) -> "Closure":
         """Partially apply: extend the captured environment."""

@@ -47,3 +47,33 @@ class TestPerfSmoke:
             f"({scalar_s / vec_s:.1f}x < {MIN_RATIO}x floor)"
         )
         assert vec_run.elapsed == scalar_run.elapsed  # virtual time unchanged
+
+
+@pytest.mark.perfsmoke
+@pytest.mark.dataplane
+class TestResidencySmoke:
+    """Shipping-cost guard: once a DistArray is placed, a second section
+    with a compatible partition must move zero input bytes."""
+
+    def test_second_section_ships_no_input(self):
+        import numpy as np
+
+        import repro.triolet as tri
+        from repro.runtime import triolet_runtime
+        from repro.serial import register_function
+
+        xs = np.arange(20_000.0)
+        with triolet_runtime(MACHINE) as rt:
+            h = rt.distribute(xs)
+            a = tri.sum(tri.par(h))
+            b = tri.sum(tri.par(h))
+        assert a == b
+        plane_sections = [s for s in rt.sections if s.data_plane is not None]
+        assert len(plane_sections) >= 2
+        first, second = plane_sections[0], plane_sections[1]
+        assert first.data_plane["input_bytes"] > 0
+        assert second.data_plane["input_bytes"] == 0, (
+            "residency broken: second section re-shipped "
+            f"{second.data_plane['input_bytes']:,} input bytes"
+        )
+        assert second.data_plane["resident_hits"] == MACHINE.nodes - 1

@@ -1,0 +1,93 @@
+"""Cost-feedback rebalancer: patience gating and weighted splits."""
+import numpy as np
+import pytest
+
+import repro.triolet as tri
+from repro.cluster import MachineSpec
+from repro.data import DataPlane, Rebalancer
+from repro.runtime import CostContext, triolet_runtime
+from repro.serial import register_function
+
+
+@register_function
+def _noop(x):
+    return x
+
+
+class TestPatience:
+    BOUNDS = [(0, 50), (50, 100)]
+
+    def test_single_lopsided_section_does_not_activate(self):
+        r = Rebalancer(patience=2)
+        r.observe(self.BOUNDS, [10.0, 1.0])
+        assert not r.active
+        assert r.weights(2) is None
+
+    def test_balanced_section_resets_the_streak(self):
+        r = Rebalancer(patience=2)
+        r.observe(self.BOUNDS, [10.0, 1.0])
+        r.observe(self.BOUNDS, [5.0, 5.0])  # balanced: workload shape, not a
+        r.observe(self.BOUNDS, [10.0, 1.0])  # straggler -- streak restarts
+        assert not r.active
+
+    def test_persistent_imbalance_activates(self):
+        r = Rebalancer(patience=2)
+        r.observe(self.BOUNDS, [10.0, 1.0])
+        r.observe(self.BOUNDS, [10.0, 1.0])
+        assert r.active
+        assert r.activations == 1
+
+    def test_weighted_bounds_favor_the_fast_rank(self):
+        r = Rebalancer(patience=1)
+        r.observe(self.BOUNDS, [10.0, 1.0])  # rank 1 is 10x faster
+        bounds = r.bounds(100, 2)
+        assert bounds is not None
+        (alo, ahi), (blo, bhi) = bounds
+        assert ahi - alo < bhi - blo  # slow rank gets fewer rows
+        assert alo == 0 and bhi == 100 and ahi == blo
+
+    def test_staying_balanced_keeps_it_active(self):
+        r = Rebalancer(patience=1)
+        r.observe(self.BOUNDS, [10.0, 1.0])
+        assert r.active
+        r.observe(self.BOUNDS, [5.0, 5.0])
+        assert r.active  # balance under weighting means it is working
+
+    def test_disabled_never_activates(self):
+        r = Rebalancer(patience=1, enabled=False)
+        r.observe(self.BOUNDS, [10.0, 1.0])
+        assert not r.active and r.observations == 0
+
+    def test_reset(self):
+        r = Rebalancer(patience=1)
+        r.observe(self.BOUNDS, [10.0, 1.0])
+        r.reset()
+        assert not r.active and r.weights(2) is None
+
+
+@pytest.mark.dataplane
+class TestRuntimeRebalancing:
+    def test_active_rebalancer_migrates_the_shard_boundary(self):
+        """Once cost feedback marks rank 0 slow, the driver splits by
+        rate, labels the section, and the plane migrates the boundary."""
+        xs = np.arange(2000.0)
+        machine = MachineSpec(nodes=2, cores_per_node=1)
+        plane = DataPlane(rebalancer=Rebalancer(patience=2))
+        with triolet_runtime(machine, plane=plane) as rt:
+            h = rt.distribute(xs)
+            first = tri.sum(tri.map(_noop, tri.par(h)))  # uniform placement
+            # Feed the rebalancer a persistent straggler signal (rank 0
+            # processes its rows 10x slower), as a throttled node would.
+            # Reset first so section 1's balanced rates don't dilute it.
+            plane.rebalancer.reset()
+            for _ in range(plane.rebalancer.patience):
+                plane.feedback([(0, 1000), (1000, 2000)], [10.0, 1.0])
+            assert plane.rebalancer.active
+            second = tri.sum(tri.map(_noop, tri.par(h)))  # weighted split
+        assert first == second == pytest.approx(float(np.sum(xs)))
+        rebal = [s for s in rt.sections if "rebal" in s.partition]
+        assert rebal, "driver never used the weighted split"
+        # Rank 1's shard grew past the uniform boundary: the missing rows
+        # were shipped and counted as migration, and stay resident after.
+        assert plane.totals["migrated_bytes"] > 0
+        assert plane._placement[(1, h.array_id)][0] < 1000

@@ -1,0 +1,145 @@
+"""End-to-end data-plane behaviour through the Triolet runtime.
+
+The acceptance bar for the resident data plane: a two-section run over
+the same DistArray ships each rank its shard at most once -- the second
+section moves **zero** input bytes -- and produces values bit-identical
+to the legacy ship-every-section path, including under an injected rank
+crash (where the re-shipped bytes are attributed to recovery).
+"""
+import numpy as np
+import pytest
+
+import repro.triolet as tri
+from repro.cluster import FaultPlan, MachineSpec, RankCrash
+from repro.runtime import triolet_runtime
+from repro.serial import register_function
+
+pytestmark = pytest.mark.dataplane
+
+MACHINE = MachineSpec(nodes=4, cores_per_node=2)
+
+
+@register_function
+def _sq(x):
+    return x * x
+
+
+@register_function
+def _cube(x):
+    return x * x * x
+
+
+def _plane_sections(rt):
+    return [s for s in rt.sections if s.data_plane is not None]
+
+
+class TestResidentShipping:
+    def test_second_section_ships_zero_input_bytes(self):
+        xs = np.arange(4000.0)
+        with triolet_runtime(MACHINE) as rt:
+            h = rt.distribute(xs)
+            s1 = tri.sum(tri.map(_sq, tri.par(h)))
+            s2 = tri.sum(tri.map(_cube, tri.par(h)))
+        assert s1 == pytest.approx(float(np.sum(xs**2)))
+        assert s2 == pytest.approx(float(np.sum(xs**3)))
+
+        first, second = _plane_sections(rt)[:2]
+        assert first.data_plane["placements"] == MACHINE.nodes - 1
+        assert first.data_plane["input_bytes"] > 0
+        assert second.data_plane["input_bytes"] == 0
+        assert second.data_plane["resident_hits"] == MACHINE.nodes - 1
+        # Residency saves wire time too, not just a counter.
+        assert second.bytes_shipped < first.bytes_shipped
+
+    def test_values_match_ship_every_section_path(self):
+        xs = np.arange(3000.0) * 0.5
+        with triolet_runtime(MACHINE) as rt:
+            h = rt.distribute(xs)
+            handle_vals = (tri.sum(tri.map(_sq, tri.par(h))),
+                           tri.build(tri.map(_sq, tri.par(h))))
+        with triolet_runtime(MACHINE):
+            plain_vals = (tri.sum(tri.map(_sq, tri.par(xs))),
+                          tri.build(tri.map(_sq, tri.par(xs))))
+        assert handle_vals[0] == plain_vals[0]  # bit-identical scalar
+        assert handle_vals[1].tobytes() == plain_vals[1].tobytes()
+
+    def test_replicated_closure_env_ships_once(self):
+        from repro.serial.closures import closure
+
+        xs = np.arange(600.0)
+        weights = np.arange(5.0)
+
+        def _wsum(w, x):
+            return float(np.sum(w)) * x
+
+        with triolet_runtime(MACHINE) as rt:
+            wh = rt.distribute(weights, layout="replicated")
+            fn = closure(_wsum, wh)
+            a = tri.sum(tri.map(fn, tri.par(xs)))
+            b = tri.sum(tri.map(fn, tri.par(xs)))
+        assert a == b == pytest.approx(float(np.sum(weights)) * float(np.sum(xs)))
+        first, second = _plane_sections(rt)[:2]
+        assert first.data_plane["input_bytes"] == \
+            (MACHINE.nodes - 1) * weights.nbytes
+        assert second.data_plane["input_bytes"] == 0
+
+    def test_handles_survive_more_ranks_than_rows(self):
+        # Empty trailing blocks must execute (zero-length store views).
+        xs = np.arange(2.0)
+        with triolet_runtime(MACHINE) as rt:
+            h = rt.distribute(xs)
+            out = tri.sum(tri.par(h))
+        assert out == pytest.approx(float(np.sum(xs)))
+
+
+class TestCrashRecovery:
+    def _crash(self):
+        return FaultPlan(faults=(RankCrash(rank=1, at=1e-6),))
+
+    def test_reshipped_bytes_attributed_to_recovery(self):
+        xs = np.arange(4000.0)
+        with triolet_runtime(MACHINE) as rt:
+            h = rt.distribute(xs)
+            tri.sum(tri.map(_sq, tri.par(h)))  # place shards
+        clean_value = float(np.sum(xs**2))
+
+        with triolet_runtime(MACHINE, faults=self._crash()) as frt:
+            h = frt.distribute(xs)
+            first = tri.sum(tri.map(_sq, tri.par(h)))
+            second = tri.sum(tri.map(_cube, tri.par(h)))
+        assert first == pytest.approx(clean_value)
+        assert second == pytest.approx(float(np.sum(xs**3)))
+        rep = frt.recovery_report
+        assert rep.reshipped_bytes > 0
+        assert f"{rep.reshipped_bytes:,}" in rep.describe()
+        # The crash wiped placement; the plane records the invalidation
+        # and the next attempt re-materialized shards from the master.
+        assert frt.plane.invalidations >= 1
+
+    def test_crash_invalidates_slice_cache(self):
+        xs = np.arange(1000.0)
+        plan = FaultPlan(faults=(RankCrash(rank=1, at=1e-6),))
+        with triolet_runtime(MachineSpec(nodes=2, cores_per_node=2),
+                             faults=plan) as rt:
+            h = rt.distribute(xs)
+            # Warm a cached slice on rank 1: place the layout shard, then
+            # request a misaligned interval (applying ops as the driver
+            # would, so store contents match the plane's metadata).
+            for reqs in ([{}, {h.array_id: [500, 1000, False]}],
+                         [{}, {h.array_id: [100, 600, False]}]):
+                ship = rt.plane.plan_section(reqs)
+                rt.plane.worker_store(1).apply(ship.ops[1])
+            assert rt.plane.cache_stats()["entries"] == 1
+            tri.sum(tri.par(h))  # crash fires here
+        assert rt.plane.invalidations >= 1
+        assert rt.plane.cache_stats()["entries"] == 0
+        assert rt.plane.totals["invalidated_entries"] >= 1
+
+    def test_crash_values_bit_identical_to_plain_path(self):
+        xs = np.arange(2500.0)
+        with triolet_runtime(MACHINE, faults=self._crash()) as rt:
+            h = rt.distribute(xs)
+            hv = tri.build(tri.map(_sq, tri.par(h)))
+        with triolet_runtime(MACHINE, faults=self._crash()):
+            pv = tri.build(tri.map(_sq, tri.par(xs)))
+        assert hv.tobytes() == pv.tobytes()

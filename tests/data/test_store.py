@@ -1,0 +1,126 @@
+"""Unit tests for the data plane's rank stores and slice cache."""
+import numpy as np
+import pytest
+
+from repro.data import MissingShardError, RankStore, SliceCache
+from repro.data.store import _aid_of, aid_wire
+
+
+class TestAidWire:
+    def test_fixed_width(self):
+        # Ids grow for the life of the process; wire size must not.
+        assert len(aid_wire(0)) == 8
+        assert len(aid_wire(1 << 40)) == 8
+
+    def test_roundtrip(self):
+        for aid in (0, 1, 127, 128, 1 << 33):
+            assert _aid_of(aid_wire(aid)) == aid
+
+    def test_accepts_int_and_memoryview(self):
+        assert _aid_of(7) == 7
+        assert _aid_of(memoryview(aid_wire(9))) == 9
+
+
+class TestSliceCache:
+    def test_miss_then_hit(self):
+        c = SliceCache(max_bytes=1000)
+        assert c.lookup(1, 0, 10) is None
+        c.put(1, 0, 10, 80)
+        assert c.lookup(1, 0, 10) == (1, 0, 10)
+        assert (c.hits, c.misses) == (1, 1)
+
+    def test_containment_is_a_hit(self):
+        c = SliceCache(max_bytes=1000)
+        c.put(1, 0, 100, 800)
+        assert c.lookup(1, 25, 75) == (1, 0, 100)
+        assert c.lookup(1, 50, 150) is None  # overhang is a miss
+        assert c.lookup(2, 25, 75) is None  # different array is a miss
+
+    def test_byte_bound_evicts_lru(self):
+        c = SliceCache(max_bytes=100)
+        c.put(1, 0, 10, 60)
+        c.put(1, 10, 20, 60)  # over budget: (1, 0, 10) goes
+        assert c.lookup(1, 0, 10) is None
+        assert c.lookup(1, 10, 20) is not None
+        assert c.evictions == 1
+        assert c.bytes_used == 60
+
+    def test_hit_refreshes_lru_position(self):
+        c = SliceCache(max_bytes=120)
+        c.put(1, 0, 10, 60)
+        c.put(1, 10, 20, 60)
+        c.lookup(1, 0, 10)  # refresh the older entry
+        c.put(1, 20, 30, 60)  # now (1, 10, 20) is the LRU victim
+        assert c.lookup(1, 0, 10) is not None
+        assert c.lookup(1, 10, 20) is None
+
+    def test_oversized_entry_still_admitted(self):
+        c = SliceCache(max_bytes=50)
+        c.put(1, 0, 10, 40)
+        evicted = c.put(1, 0, 1000, 9999)  # bigger than the whole budget
+        assert (1, 0, 10) in evicted
+        assert c.lookup(1, 0, 1000) is not None
+        assert len(c) == 1
+
+    def test_invalidate_one_array(self):
+        c = SliceCache(max_bytes=1000)
+        c.put(1, 0, 10, 10)
+        c.put(2, 0, 10, 10)
+        assert c.invalidate(1) == 1
+        assert c.lookup(2, 0, 10) is not None
+        assert c.invalidate() == 1
+        assert len(c) == 0
+
+
+class TestRankStore:
+    def _rows(self, lo, hi):
+        return np.arange(lo, hi, dtype=np.float64).reshape(-1, 1) * [1.0, 10.0]
+
+    def test_resident_view_is_zero_copy(self):
+        s = RankStore(rank=1)
+        s.apply([["resident", aid_wire(5), 10, 20, [(10, 20, self._rows(10, 20))]]])
+        v = s.view(5, 12, 15)
+        np.testing.assert_array_equal(v, self._rows(12, 15))
+        assert v.base is not None  # a view, not a copy
+
+    def test_missing_rows_raise(self):
+        s = RankStore(rank=1)
+        s.apply([["resident", aid_wire(5), 10, 20, [(10, 20, self._rows(10, 20))]]])
+        with pytest.raises(MissingShardError):
+            s.view(5, 5, 15)
+        with pytest.raises(MissingShardError):
+            s.view(6, 10, 12)
+
+    def test_hull_growth_reuses_resident_rows(self):
+        s = RankStore(rank=1)
+        s.apply([["resident", aid_wire(5), 10, 20, [(10, 20, self._rows(10, 20))]]])
+        # Grow to [5, 25) shipping only the missing edges.
+        s.apply([["resident", aid_wire(5), 5, 25,
+                  [(5, 10, self._rows(5, 10)), (20, 25, self._rows(20, 25))]]])
+        np.testing.assert_array_equal(s.view(5, 5, 25), self._rows(5, 25))
+        assert s.resident_bounds(5) == (5, 25)
+
+    def test_cache_and_evict(self):
+        s = RankStore(rank=2)
+        s.apply([["cache", aid_wire(7), 30, 40, [(30, 40, self._rows(30, 40))]]])
+        np.testing.assert_array_equal(s.view(7, 33, 37), self._rows(33, 37))
+        s.apply([["evict", aid_wire(7), 30, 40]])
+        with pytest.raises(MissingShardError):
+            s.view(7, 33, 37)
+
+    def test_assemble_from_nothing_raises(self):
+        s = RankStore(rank=1)
+        with pytest.raises(MissingShardError):
+            s.apply([["resident", aid_wire(1), 0, 10, []]])
+
+    def test_unknown_op_rejected(self):
+        s = RankStore(rank=1)
+        with pytest.raises(ValueError):
+            s.apply([["teleport", aid_wire(1), 0, 10]])
+
+    def test_clear(self):
+        s = RankStore(rank=1)
+        s.apply([["resident", aid_wire(5), 0, 10, [(0, 10, self._rows(0, 10))]]])
+        s.clear()
+        with pytest.raises(MissingShardError):
+            s.view(5, 0, 10)

@@ -2,7 +2,14 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.partition import block2d_bounds, block_bounds, chunk_bounds, grid_shape
+from repro.partition import (
+    block2d_bounds,
+    block_bounds,
+    chunk_bounds,
+    grid_shape,
+    missing_intervals,
+    weighted_bounds,
+)
 
 
 class TestBlockBounds:
@@ -98,3 +105,92 @@ class TestGrid:
         blocks = block2d_bounds(h, w, py, px)
         total = sum((yhi - ylo) * (xhi - xlo) for (ylo, yhi), (xlo, xhi) in blocks)
         assert total == h * w
+
+
+class TestEmptyTrailingBlocks:
+    """More parts than items: trailing blocks are valid zero-length
+    slices, never out-of-range and never negative."""
+
+    @given(st.integers(0, 20), st.integers(1, 64))
+    def test_every_bound_is_a_valid_slice(self, n, p):
+        for lo, hi in block_bounds(n, p):
+            assert 0 <= lo <= hi <= n
+
+    def test_trailing_blocks_are_empty_not_missing(self):
+        bounds = block_bounds(3, 8)
+        assert len(bounds) == 8
+        assert sum(hi - lo for lo, hi in bounds) == 3
+        assert sum(1 for lo, hi in bounds if lo == hi) == 5
+        # The empty blocks index real positions: slicing executes.
+        import numpy as np
+
+        xs = np.arange(3.0)
+        parts = [xs[lo:hi] for lo, hi in bounds]
+        assert sum(len(x) for x in parts) == 3
+        assert all(len(xs[lo:hi]) == hi - lo for lo, hi in bounds)
+
+
+class TestWeightedBounds:
+    def test_proportional_split(self):
+        bounds = weighted_bounds(100, [1.0, 3.0])
+        assert bounds == [(0, 25), (25, 100)]
+
+    def test_degenerate_weights_fall_back_to_uniform(self):
+        for w in ([0.0, 0.0], [-1.0, -2.0], [float("inf"), 1.0]):
+            assert weighted_bounds(100, w) == block_bounds(100, len(w))
+
+    def test_nan_weight_is_a_zero_weight(self):
+        assert weighted_bounds(100, [float("nan"), 1.0]) == [(0, 0), (0, 100)]
+
+    @given(
+        st.integers(0, 5000),
+        st.lists(st.floats(0.0, 1e6, allow_nan=False), min_size=1, max_size=16),
+    )
+    def test_cover_exactly_and_monotone(self, n, weights):
+        bounds = weighted_bounds(n, weights)
+        assert len(bounds) == len(weights)
+        assert bounds[0][0] == 0 and bounds[-1][1] == n
+        for (lo, hi), (nlo, _nhi) in zip(bounds, bounds[1:]):
+            assert lo <= hi == nlo
+
+    @given(st.integers(1, 5000), st.integers(1, 16), st.integers(2, 50))
+    def test_heavier_rank_never_gets_fewer_rows_in_two_way_split(
+        self, n, light, ratio
+    ):
+        heavy = light * ratio
+        (alo, ahi), (blo, bhi) = weighted_bounds(n, [light, heavy])
+        assert ahi - alo <= bhi - blo
+
+
+class TestMissingIntervals:
+    def test_no_overlap(self):
+        assert missing_intervals(0, 10, None) == [(0, 10)]
+        assert missing_intervals(0, 10, (20, 30)) == [(0, 10)]
+
+    def test_full_containment(self):
+        assert missing_intervals(2, 8, (0, 10)) == []
+
+    def test_partial_overlaps(self):
+        assert missing_intervals(0, 10, (5, 15)) == [(0, 5)]
+        assert missing_intervals(5, 15, (0, 10)) == [(10, 15)]
+        assert missing_intervals(0, 20, (5, 15)) == [(0, 5), (15, 20)]
+
+    def test_empty_request(self):
+        assert missing_intervals(5, 5, (0, 10)) == []
+
+    @given(
+        st.integers(0, 100), st.integers(0, 100),
+        st.integers(0, 100), st.integers(0, 100),
+    )
+    def test_missing_plus_have_covers_request(self, a, b, c, d):
+        lo, hi = min(a, b), max(a, b)
+        have = (min(c, d), max(c, d))
+        missing = missing_intervals(lo, hi, have)
+        covered = set()
+        for mlo, mhi in missing:
+            assert lo <= mlo < mhi <= hi  # non-empty, in range
+            for i in range(mlo, mhi):
+                assert i not in covered  # disjoint
+                covered.add(i)
+        for i in range(lo, hi):
+            assert (i in covered) != (have[0] <= i < have[1])
