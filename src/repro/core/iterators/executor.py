@@ -39,11 +39,18 @@ class ConsumeSpec:
         slices gives per-task partials.
     combine
         Associative merge of two partials (reduce kinds only).
+    ordered
+        The combine is associative but *not* commutative (list concat,
+        string append): partials must merge in ascending outer-position
+        order.  The runtime then restricts itself to partitions whose
+        rank order is element order (1-D outer blocks), never a 2-D
+        grid, whose row-major block order interleaves rows.
     """
 
     kind: str
     seq_fn: Closure
     combine: Closure | None = None
+    ordered: bool = False
 
     def __post_init__(self):
         if self.kind not in ("reduce", "build"):

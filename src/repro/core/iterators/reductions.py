@@ -270,7 +270,10 @@ def collect_list(it: Any) -> list:
     it = iterate(it)
     if it.hint.value:  # parallel collect routes through the runtime
         spec = ConsumeSpec(
-            kind="reduce", seq_fn=closure(_seq_collect), combine=closure(_add)
+            kind="reduce",
+            seq_fn=closure(_seq_collect),
+            combine=closure(_add),
+            ordered=True,  # list concat: associative, not commutative
         )
         return dispatch(it, spec)
     return _seq_collect(it)

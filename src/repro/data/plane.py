@@ -110,7 +110,14 @@ def chunk_requirements(chunk) -> dict:
 _STAT_KEYS = (
     "input_bytes", "placements", "placed_bytes", "resident_hits",
     "cache_hits", "cache_misses", "cache_evictions", "migrated_bytes",
+    "requests", "migrations",
 )
+
+# Conservation law (checked by repro.testing.invariants): every non-root
+# chunk requirement is served by exactly one of the five outcomes, so
+#   requests == resident_hits + placements + migrations
+#               + cache_hits + cache_misses
+# must hold per section and for the running totals.
 
 
 class DataPlane:
@@ -189,6 +196,7 @@ class DataPlane:
             self._ensure_rank(dst)
             for aid in sorted(reqs[dst]):
                 lo, hi, replicated = reqs[dst][aid]
+                stats["requests"] += 1
                 self._plan_one(dst, aid, lo, hi, replicated, nranks,
                                migrated, ops[dst], stats)
         self.totals["sections"] += 1
@@ -221,6 +229,7 @@ class DataPlane:
                 stats["placements"] += 1
             else:
                 tlo, thi = min(hull[0], lo), max(hull[1], hi)
+                stats["migrations"] += 1
             pieces = [
                 (plo, phi, handle.array[plo:phi])
                 for plo, phi in missing_intervals(tlo, thi, hull)
@@ -283,6 +292,14 @@ class DataPlane:
         return {"shards": dropped_shards, "cache_entries": dropped_entries}
 
     # -- reporting ----------------------------------------------------------
+    def placement_map(self) -> dict[tuple[int, int], tuple[int, int]]:
+        """Copy of the planner's shard mirror: ``(rank, aid) -> (lo, hi)``.
+
+        Read-only view for invariant checkers (placement must never
+        reference a rank outside the live set, hulls must stay inside
+        the handle's bounds)."""
+        return dict(self._placement)
+
     def cache_stats(self) -> dict:
         return {
             "hits": sum(c.hits for c in self._caches.values()),

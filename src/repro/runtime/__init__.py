@@ -5,6 +5,9 @@ from repro.runtime.driver import (
     SectionRecord,
     NodeContext,
     triolet_runtime,
+    add_section_observer,
+    remove_section_observer,
+    observing_sections,
 )
 from repro.runtime.gc_model import (
     AllocatorModel,
@@ -33,6 +36,9 @@ __all__ = [
     "SectionRecord",
     "NodeContext",
     "triolet_runtime",
+    "add_section_observer",
+    "remove_section_observer",
+    "observing_sections",
     "AllocatorModel",
     "BOEHM_GC",
     "LIBC_MALLOC",

@@ -63,6 +63,45 @@ from repro.serial.sizeof import transitive_size
 
 _CHUNK_TAG = 99
 
+# ---------------------------------------------------------------------------
+# Section observers: callbacks fired at every distributed section boundary
+# with the section's full context (runtime, record, partition bounds,
+# shipping plan).  This is how external invariant checkers -- notably
+# ``repro.testing.invariants`` -- see inside the driver without the driver
+# importing them.  Observers must not mutate the payload.
+
+_SECTION_OBSERVERS: list = []
+
+
+def add_section_observer(fn) -> None:
+    """Register *fn* to be called with a payload dict after every
+    distributed section.  Payload keys: ``runtime``, ``record``,
+    ``iterator``, ``partition``, ``bounds``, ``nchunks``, ``ship``,
+    ``spec``, ``attempts``, ``dead_ranks``."""
+    _SECTION_OBSERVERS.append(fn)
+
+
+def remove_section_observer(fn) -> None:
+    try:
+        _SECTION_OBSERVERS.remove(fn)
+    except ValueError:
+        pass
+
+
+@contextmanager
+def observing_sections(fn):
+    """Scoped :func:`add_section_observer` (what test fixtures want)."""
+    add_section_observer(fn)
+    try:
+        yield fn
+    finally:
+        remove_section_observer(fn)
+
+
+def _notify_section(payload: dict) -> None:
+    for fn in list(_SECTION_OBSERVERS):
+        fn(payload)
+
 
 @dataclass
 class NodeContext:
@@ -498,17 +537,22 @@ class TrioletRuntime:
     # -- distributed sections ---------------------------------------------
 
     def _partition(
-        self, it: Iter, nranks_max: int
+        self, it: Iter, nranks_max: int, *, allow_2d: bool = True
     ) -> tuple[list[Iter], str, Any, bool]:
         """Slice *it* into per-rank chunks (2-D grid when the source
         supports inner slicing, 1-D blocks otherwise).
+
+        ``allow_2d=False`` forces 1-D outer blocks even for grid-sliceable
+        Dim2 iterators -- required for order-sensitive consumers, whose
+        partials must merge in element order (a 2-D grid's row-major
+        block order interleaves rows).
 
         The last element of the returned tuple flags cost-feedback
         repartitioning: for handle-backed 1-D sections the data plane's
         rebalancer may supply weighted bounds, migrating shard
         boundaries toward faster ranks.
         """
-        if self._can_block_2d(it):
+        if allow_2d and self._can_block_2d(it):
             dom: Dim2 = it.domain  # type: ignore[assignment]
             nchunks = min(nranks_max, max(1, dom.size))
             py, px = grid_shape(nchunks, dom.h, dom.w)
@@ -556,6 +600,15 @@ class TrioletRuntime:
         rec = self.recovery
         plan = self._warm_plan(it)
 
+        # 2-D grid partitioning reorders partials (row-major blocks, not
+        # element order): forbid it for order-sensitive reduces, and for
+        # builds over nested iterators whose blocks are not rectangular.
+        allow_2d = (
+            isinstance(it, IdxFlat)
+            if spec.kind == "build"
+            else not spec.ordered
+        )
+
         attempt = 0
         dead = 0
         lost_time = 0.0
@@ -564,7 +617,7 @@ class TrioletRuntime:
         section_acc: RecoveryReport | None = None
         while True:
             chunks, partition, block_meta, rebalanced = self._partition(
-                it, nranks_max - dead
+                it, nranks_max - dead, allow_2d=allow_2d
             )
             if attempt > 0:
                 reexecuted += len(chunks)
@@ -690,6 +743,21 @@ class TrioletRuntime:
                 data_plane=data_plane,
             )
         )
+        if _SECTION_OBSERVERS:
+            _notify_section(
+                {
+                    "runtime": self,
+                    "record": self.sections[-1],
+                    "iterator": it,
+                    "partition": partition,
+                    "bounds": block_meta,
+                    "nchunks": len(chunks),
+                    "ship": ship,
+                    "spec": spec,
+                    "attempts": attempt + 1,
+                    "dead_ranks": dead,
+                }
+            )
         return res.root_result
 
 
@@ -744,6 +812,18 @@ def _concat_build(partials: list[Any]) -> Any:
     if len(partials) == 1:
         return partials[0]
     if all(isinstance(p, np.ndarray) for p in partials):
+        # Nested (variable-length) blocks whose elements were all
+        # filtered out materialize as 0-element 1-D arrays whatever the
+        # element shape, so ragged ndims can appear next to (k, ...)
+        # blocks and a plain concatenate raises.  Only then drop the
+        # empty partials (value-preserving; all-empty matches the
+        # sequential result).  Rectangular partials of equal ndim --
+        # including legitimately empty (0, w) row blocks -- concatenate
+        # unfiltered so degenerate domain extents survive.
+        if len({p.ndim for p in partials}) > 1:
+            partials = [p for p in partials if p.size] or partials[:1]
+        if len(partials) == 1:
+            return partials[0]
         return np.concatenate(partials, axis=0)
     out = []
     for p in partials:
@@ -754,18 +834,39 @@ def _concat_build(partials: list[Any]) -> Any:
 def _assemble_build(gathered: list[Any], block_meta, partition: str) -> Any:
     """Assemble per-node build partials at the root."""
     if partition.startswith("2d"):
-        # gathered[k] is the (rows x cols) block for block_meta[k],
-        # row-major over the process grid.
+        # gathered[k] is the (rows x cols[, elem...]) block for
+        # block_meta[k], row-major over the process grid.  Concatenate
+        # explicitly along the two *domain* axes -- np.block joins along
+        # the trailing axes, which scrambles element values that are
+        # themselves arrays (pair-valued builds).
+        # A zero-size block has no elements to infer the element shape
+        # from, so it arrives as a bare (rows x cols) array even when the
+        # elements are themselves arrays; restore the trailing dims from
+        # any non-empty block before concatenating.
+        proto = next((g for g in gathered if g.size), None)
+        if proto is not None and proto.ndim > 2:
+            gathered = [
+                g.reshape(g.shape[:2] + proto.shape[2:])
+                if g.size == 0 and g.ndim < proto.ndim
+                else g
+                for g in gathered
+            ]
         row_starts = sorted({r[0] for r, _c in block_meta})
-        grid_rows: list[list[np.ndarray]] = []
+        grid_rows: list[np.ndarray] = []
         for rs in row_starts:
             row_blocks = [
                 g
                 for g, (r, _c) in zip(gathered, block_meta)
                 if r[0] == rs
             ]
-            grid_rows.append(row_blocks)
-        return np.block(grid_rows)
+            grid_rows.append(
+                row_blocks[0]
+                if len(row_blocks) == 1
+                else np.concatenate(row_blocks, axis=1)
+            )
+        if len(grid_rows) == 1:
+            return grid_rows[0]
+        return np.concatenate(grid_rows, axis=0)
     return _concat_build(gathered)
 
 

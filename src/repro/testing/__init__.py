@@ -1,0 +1,51 @@
+"""Differential pipeline fuzzer + runtime invariant checker.
+
+This package is the generative correctness harness for the four
+execution paths the codebase now carries:
+
+1. a plain-Python sequential reference (the oracle);
+2. the fused scalar interpreter (vectorization off);
+3. the vectorized bulk engine (vectorization on);
+4. the distributed Triolet runtime -- 1..8 ranks, with and without
+   ``rt.distribute`` data-plane handles, and under sampled FaultPlans.
+
+:mod:`repro.testing.gen` composes random ``Iter`` programs from the four
+constructors plus map/zip/filter/concatMap/fold/outerproduct over random
+1-D/2-D domains (empty and single-element domains included);
+:mod:`repro.testing.runner` executes every generated program down all
+four paths and asserts bit-identical values plus reconciled
+CostMeter/bytes-shipped/cache counters; :mod:`repro.testing.invariants`
+hooks the driver's section-boundary observer and validates conservation
+laws while any runtime -- fuzzed or hand-written-test -- executes.
+
+Generated values are small integers stored as float64, so every
+reduction order is exact and cross-partition bit-identity is an honest
+claim rather than a tolerance.
+
+Replay a failure deterministically::
+
+    python -m repro.testing --seed N --cases K --only CASE
+"""
+from repro.testing.gen import Program, build_iter, generate_program, ref_value
+from repro.testing.invariants import (
+    InvariantChecker,
+    InvariantViolation,
+    check_plane,
+    checking,
+)
+from repro.testing.runner import CaseResult, crash_drill, run_case, run_suite
+
+__all__ = [
+    "Program",
+    "generate_program",
+    "build_iter",
+    "ref_value",
+    "InvariantChecker",
+    "InvariantViolation",
+    "checking",
+    "check_plane",
+    "CaseResult",
+    "run_case",
+    "run_suite",
+    "crash_drill",
+]

@@ -1,0 +1,87 @@
+"""CLI for the differential pipeline fuzzer.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.testing --seed 0 --cases 100
+    PYTHONPATH=src python -m repro.testing --seed 0 --cases 18 --only 17
+
+Exit code 0 when every case (and the deterministic crash drill) passes,
+1 otherwise.  On failure each failing case prints its pipeline, the
+specific checks that failed, and a copy-pasteable replay line; pass
+``--out FILE`` to also write the replay lines to a file (CI uploads it
+as the failure artifact).
+"""
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.testing.runner import run_suite
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.testing",
+        description="Differential pipeline fuzzer: generated Iter programs "
+        "run through scalar, vectorized, and distributed(+handles, +faults) "
+        "paths with bit-identity and invariant checks.",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base seed")
+    parser.add_argument(
+        "--cases", type=int, default=50, help="number of generated cases"
+    )
+    parser.add_argument(
+        "--only",
+        type=int,
+        default=None,
+        help="run a single case index (failure replay)",
+    )
+    parser.add_argument(
+        "--fail-fast", action="store_true", help="stop at the first failure"
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-case progress"
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="write failing-case replay lines to this file",
+    )
+    args = parser.parse_args(argv)
+
+    def progress(r):
+        if args.quiet:
+            return
+        mark = "ok  " if r.ok else "FAIL"
+        crash = " [crash-reexec]" if r.crash_exercised else ""
+        print(f"  {mark} {r.desc}{crash}", flush=True)
+
+    suite = run_suite(
+        args.seed,
+        args.cases,
+        only=args.only,
+        fail_fast=args.fail_fast,
+        progress=progress,
+    )
+
+    print(suite.summary())
+    repro_lines = []
+    for r in suite.failures:
+        print(f"\nFAIL {r.desc}")
+        for f in r.failures:
+            print(f"  - {f}")
+        line = r.repro_line()
+        repro_lines.append(f"{line}  # {r.desc}")
+        print(f"  replay: {line}")
+    if args.only is None and not suite.crash_exercised:
+        print("ERROR: no case exercised crash re-execution")
+        return 1
+    if args.out and repro_lines:
+        with open(args.out, "w") as fh:
+            fh.write("\n".join(repro_lines) + "\n")
+        print(f"replay lines written to {args.out}")
+    return 0 if suite.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,567 @@
+"""Seed-driven pipeline generator + plain-Python oracle.
+
+A :class:`Program` is a small AST over the library's own algebra:
+sources (1-D arrays, 2-D row iteration, ``outerproduct``) composed with
+``map``/``zip``/``filter``/``concatMap`` and finished by one consumer
+(``sum``/``min``/``max``/``count``/``fold``/``histogram``/``collect``/
+``build``).  Generation tracks the same constructor transitions the
+library performs (Fig. 2 of the paper): map preserves the constructor,
+filter/concatMap push indexable inputs to ``IdxNest``, and zipping any
+variable-length operand forces the stepper constructors -- so the fuzzer
+provably reaches all four of ``IdxFlat``/``IdxNest``/``StepFlat``/
+``StepNest``.
+
+Element values are integers 0..9 stored as float64 and every kernel is
+integrality-preserving, so all reduction orders are exact and the
+differential runner can demand *bit* identity across partitionings.
+
+Everything is derived from ``(seed, case)``: the same pair always yields
+the same program, including its data arrays -- that is the replay
+contract behind ``python -m repro.testing --seed N --only CASE``.
+"""
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.domains.multi import outerproduct, rows
+from repro.core.hints import localpar, par
+from repro.core.iterators.reductions import (
+    build,
+    collect_list,
+    count,
+    histogram,
+    tmax,
+    tmin,
+    treduce,
+    tsum,
+)
+from repro.core.iterators.transforms import concat_map, iterate, tfilter, tmap, tzip
+from repro.testing import kernels as K
+
+# Constructor-shape labels (tracked, then asserted by tests/coverage).
+IDXFLAT, IDXNEST, STEPFLAT, STEPNEST = (
+    "IdxFlat",
+    "IdxNest",
+    "StepFlat",
+    "StepNest",
+)
+
+_LENS = [0, 1, 2, 3, 5, 8, 13, 21, 34, 48]
+_DIMS = [0, 1, 2, 3, 5, 8]
+
+
+@dataclass(eq=False)
+class Node:
+    """One AST node; ``elem``/``shape``/``dom`` mirror the library's
+    constructor algebra for the iterator this node builds."""
+
+    op: str  # array | rows | outer | zip | map | filter | concat
+    arrays: tuple = ()
+    fn: Any = None  # registered fn / closure (map, filter, concat)
+    ref: Any = None  # plain-python form of fn
+    label: str = ""
+    children: tuple = ()
+    elem: str = "num"  # num | pair | row
+    shape: str = IDXFLAT
+    dom: tuple = ("seq", 0)  # ("seq", n) | ("dim2", h, w)
+
+
+@dataclass(eq=False)
+class Program:
+    seed: int
+    case: int
+    root: Node
+    consumer: str
+    cargs: tuple = ()
+    pipeline: list = field(default_factory=list)  # labels, source->consumer
+
+    def describe(self) -> str:
+        chain = " |> ".join(self.pipeline + [self.consumer_label()])
+        return f"case {self.case} (seed {self.seed}): {chain} [{self.root.shape}]"
+
+    def consumer_label(self) -> str:
+        if self.cargs:
+            return f"{self.consumer}{list(self.cargs)}"
+        return self.consumer
+
+
+def _values(data, n: int) -> np.ndarray:
+    return data.integers(0, 10, size=n).astype(np.float64)
+
+
+def _draw_len(rng: random.Random, case: int) -> int:
+    # Force the edge domains on fixed residues so every sweep of >=13
+    # cases provably exercises empty and single-element sources.
+    if case % 13 == 5:
+        return 0
+    if case % 13 == 6:
+        return 1
+    return rng.choice(_LENS)
+
+
+def _source(rng: random.Random, data, case: int) -> Node:
+    roll = rng.random()
+    if roll < 0.55:
+        n = _draw_len(rng, case)
+        return Node(
+            op="array",
+            arrays=(_values(data, n),),
+            label=f"array[{n}]",
+            elem="num",
+            shape=IDXFLAT,
+            dom=("seq", n),
+        )
+    if roll < 0.72:
+        h, w = _draw_len(rng, case) % 9, rng.choice([1, 2, 3, 5, 8])
+        A = _values(data, h * w).reshape(h, w)
+        return Node(
+            op="rows",
+            arrays=(A,),
+            label=f"rows[{h}x{w}]",
+            elem="row",
+            shape=IDXFLAT,
+            dom=("seq", h),
+        )
+    h, w = _draw_len(rng, case) % 9, rng.choice(_DIMS)
+    u, v = _values(data, h), _values(data, w)
+    return Node(
+        op="outer",
+        arrays=(u, v),
+        label=f"outer[{h}x{w}]",
+        elem="pair",
+        shape=IDXFLAT,
+        dom=("dim2", h, w),
+    )
+
+
+def _filter_shape(shape: str) -> str:
+    return {
+        IDXFLAT: IDXNEST,
+        IDXNEST: IDXNEST,
+        STEPFLAT: STEPFLAT,
+        STEPNEST: STEPNEST,
+    }[shape]
+
+
+def _concat_shape(shape: str) -> str:
+    return {
+        IDXFLAT: IDXNEST,
+        IDXNEST: IDXNEST,
+        STEPFLAT: STEPNEST,
+        STEPNEST: STEPNEST,
+    }[shape]
+
+
+def _zip_operand(rng: random.Random, data, case: int, nested: bool) -> Node:
+    """A second num pipeline to zip against; ``nested`` forces a
+    variable-length operand (so the zip becomes a stepper)."""
+    n = _draw_len(rng, case)
+    node = Node(
+        op="array",
+        arrays=(_values(data, n),),
+        label=f"array[{n}]",
+        elem="num",
+        shape=IDXFLAT,
+        dom=("seq", n),
+    )
+    if nested:
+        fn, ref, label = K.draw_num_pred(rng)
+        node = Node(
+            op="filter",
+            fn=fn,
+            ref=ref,
+            label=f"filter:{label}",
+            children=(node,),
+            elem="num",
+            shape=IDXNEST,
+            dom=node.dom,
+        )
+    elif rng.random() < 0.5:
+        fn, ref, label = K.draw_num_map(rng)
+        node = Node(
+            op="map",
+            fn=fn,
+            ref=ref,
+            label=f"map:{label}",
+            children=(node,),
+            elem="num",
+            shape=IDXFLAT,
+            dom=node.dom,
+        )
+    return node
+
+
+def _forced_stepper(rng: random.Random, data, case: int, nest: bool):
+    """A pipeline guaranteed to land on ``StepFlat`` (or ``StepNest``).
+
+    Random composition reaches the stepper constructors only through a
+    low-probability chain (zip with a variable-length operand, then --
+    for ``StepNest`` -- a pair map followed by a concatMap), so coverage
+    of all four constructors is forced on fixed case residues instead of
+    hoped for.
+    """
+    n = _draw_len(rng, case)
+    node = Node(
+        op="array",
+        arrays=(_values(data, n),),
+        label=f"array[{n}]",
+        elem="num",
+        shape=IDXFLAT,
+        dom=("seq", n),
+    )
+    labels = [node.label]
+    other = _zip_operand(rng, data, case, nested=True)
+    labels.append(f"({other.label})")
+    node = Node(
+        op="zip",
+        children=(node, other),
+        label="zip",
+        elem="pair",
+        shape=STEPFLAT,
+        dom=("seq", -1),
+    )
+    labels.append(node.label)
+    if nest:
+        fn, ref, label = K.draw_pair_map(rng)
+        node = Node(
+            op="map",
+            fn=fn,
+            ref=ref,
+            label=f"map:{label}",
+            children=(node,),
+            elem="num",
+            shape=STEPFLAT,
+            dom=node.dom,
+        )
+        labels.append(node.label)
+        fn, ref, label = K.draw_expander(rng)
+        node = Node(
+            op="concat",
+            fn=fn,
+            ref=ref,
+            label=f"concat:{label}",
+            children=(node,),
+            elem="num",
+            shape=STEPNEST,
+            dom=node.dom,
+        )
+        labels.append(node.label)
+    return node, labels
+
+
+def generate_program(seed: int, case: int) -> Program:
+    rng = random.Random(seed * 1_000_003 + case)
+    data = np.random.default_rng([seed, case])
+
+    if case % 17 in (7, 8):
+        node, labels = _forced_stepper(rng, data, case, nest=case % 17 == 7)
+        consumer, cargs = _draw_consumer(rng, node)
+        if consumer == "hist":
+            fn, ref, label = K.bin_kernel(cargs[0])
+            node = Node(
+                op="map",
+                fn=fn,
+                ref=ref,
+                label=f"map:{label}",
+                children=(node,),
+                elem="num",
+                shape=node.shape,
+                dom=node.dom,
+            )
+            labels.append(node.label)
+        return Program(
+            seed=seed,
+            case=case,
+            root=node,
+            consumer=consumer,
+            cargs=cargs,
+            pipeline=labels,
+        )
+
+    node = _source(rng, data, case)
+    labels = [node.label]
+    zipped = False
+
+    for _ in range(rng.randrange(4)):
+        if node.elem == "row":
+            fn, ref, label = K.draw_row_map(rng)
+            node = Node(
+                op="map",
+                fn=fn,
+                ref=ref,
+                label=f"map:{label}",
+                children=(node,),
+                elem="num",
+                shape=node.shape,
+                dom=node.dom,
+            )
+        elif node.elem == "pair":
+            if rng.random() < 0.6:
+                fn, ref, label = K.draw_pair_map(rng)
+                node = Node(
+                    op="map",
+                    fn=fn,
+                    ref=ref,
+                    label=f"map:{label}",
+                    children=(node,),
+                    elem="num",
+                    shape=node.shape,
+                    dom=node.dom,
+                )
+            else:
+                fn, ref, label = K.draw_pair_pred(rng)
+                node = Node(
+                    op="filter",
+                    fn=fn,
+                    ref=ref,
+                    label=f"filter:{label}",
+                    children=(node,),
+                    elem="pair",
+                    shape=_filter_shape(node.shape),
+                    dom=node.dom,
+                )
+        else:  # num
+            roll = rng.random()
+            if (
+                roll < 0.12
+                and not zipped
+                and node.dom[0] == "seq"
+            ):
+                nested = rng.random() < 0.35
+                other = _zip_operand(rng, data, case, nested)
+                labels.append(f"({other.label})")
+                if node.shape == IDXFLAT and other.shape == IDXFLAT:
+                    shape = IDXFLAT
+                    dom = ("seq", min(node.dom[1], other.dom[1]))
+                else:
+                    shape = STEPFLAT
+                    dom = ("seq", -1)  # extent unknown to the partitioner
+                node = Node(
+                    op="zip",
+                    children=(node, other),
+                    label="zip",
+                    elem="pair",
+                    shape=shape,
+                    dom=dom,
+                )
+                zipped = True
+            elif roll < 0.45:
+                fn, ref, label = K.draw_num_map(rng)
+                node = Node(
+                    op="map",
+                    fn=fn,
+                    ref=ref,
+                    label=f"map:{label}",
+                    children=(node,),
+                    elem="num",
+                    shape=node.shape,
+                    dom=node.dom,
+                )
+            elif roll < 0.72:
+                fn, ref, label = K.draw_num_pred(rng)
+                node = Node(
+                    op="filter",
+                    fn=fn,
+                    ref=ref,
+                    label=f"filter:{label}",
+                    children=(node,),
+                    elem="num",
+                    shape=_filter_shape(node.shape),
+                    dom=node.dom,
+                )
+            else:
+                fn, ref, label = K.draw_expander(rng)
+                node = Node(
+                    op="concat",
+                    fn=fn,
+                    ref=ref,
+                    label=f"concat:{label}",
+                    children=(node,),
+                    elem="num",
+                    shape=_concat_shape(node.shape),
+                    dom=node.dom,
+                )
+        labels.append(node.label)
+
+    # Pick a consumer legal for the final element type.
+    consumer, cargs = _draw_consumer(rng, node)
+    if consumer == "hist":
+        fn, ref, label = K.bin_kernel(cargs[0])
+        node = Node(
+            op="map",
+            fn=fn,
+            ref=ref,
+            label=f"map:{label}",
+            children=(node,),
+            elem="num",
+            shape=node.shape,
+            dom=node.dom,
+        )
+        labels.append(node.label)
+
+    return Program(
+        seed=seed,
+        case=case,
+        root=node,
+        consumer=consumer,
+        cargs=cargs,
+        pipeline=labels,
+    )
+
+
+def _draw_consumer(rng: random.Random, node: Node) -> tuple[str, tuple]:
+    if node.elem == "num":
+        c = rng.choice(
+            ["sum", "sum", "min", "max", "count", "fold", "hist", "collect", "build"]
+        )
+        if c == "hist":
+            return "hist", (rng.randrange(3, 9),)
+        return c, ()
+    if node.elem == "pair":
+        return rng.choice(["count", "collect", "build"]), ()
+    # rows: reduce over array elements is ambiguous; stick to shape-safe
+    # consumers (generation appends a row->num map most of the time).
+    return rng.choice(["count", "build"]), ()
+
+
+# -- building the real iterator ---------------------------------------------
+
+
+def build_iter(program: Program, distribute=None, hint: str | None = None):
+    """Construct the library iterator for *program*.
+
+    ``distribute`` is ``rt.distribute`` (or None): source ndarrays become
+    resident DistArray handles, exercising the data plane.  ``hint`` is
+    None, ``"par"`` or ``"localpar"``.
+    """
+    it = _build_node(program.root, distribute)
+    if hint == "par":
+        it = par(it)
+    elif hint == "localpar":
+        it = localpar(it)
+    return it
+
+
+def _build_node(node: Node, dist):
+    if node.op == "array":
+        src = dist(node.arrays[0]) if dist is not None else node.arrays[0]
+        return iterate(src)
+    if node.op == "rows":
+        src = dist(node.arrays[0]) if dist is not None else node.arrays[0]
+        return rows(src)
+    if node.op == "outer":
+        u, v = node.arrays
+        if dist is not None:
+            u, v = dist(u), dist(v)
+        return outerproduct(u, v)
+    if node.op == "zip":
+        return tzip(
+            _build_node(node.children[0], dist),
+            _build_node(node.children[1], dist),
+        )
+    child = _build_node(node.children[0], dist)
+    if node.op == "map":
+        return tmap(node.fn, child)
+    if node.op == "filter":
+        return tfilter(node.fn, child)
+    if node.op == "concat":
+        return concat_map(node.fn, child)
+    raise ValueError(f"unknown node op: {node.op!r}")
+
+
+def run_consumer(program: Program, it) -> Any:
+    c = program.consumer
+    if c == "sum":
+        return tsum(it)
+    if c == "min":
+        return tmin(it)
+    if c == "max":
+        return tmax(it)
+    if c == "count":
+        return count(it)
+    if c == "fold":
+        return treduce(K.k_fold, 0.0, it, bulk=K.k_fold_bulk, combine=K.k_merge)
+    if c == "hist":
+        return histogram(program.cargs[0], it)
+    if c == "collect":
+        return collect_list(it)
+    if c == "build":
+        return build(it)
+    raise ValueError(f"unknown consumer: {c!r}")
+
+
+# -- the oracle --------------------------------------------------------------
+
+
+def _elements(node: Node) -> list:
+    if node.op == "array":
+        return [float(v) for v in node.arrays[0]]
+    if node.op == "rows":
+        A = node.arrays[0]
+        return [A[i] for i in range(A.shape[0])]
+    if node.op == "outer":
+        u, v = node.arrays
+        return [(float(a), float(b)) for a in u for b in v]
+    if node.op == "zip":
+        return list(
+            zip(_elements(node.children[0]), _elements(node.children[1]))
+        )
+    xs = _elements(node.children[0])
+    if node.op == "map":
+        return [node.ref(x) for x in xs]
+    if node.op == "filter":
+        return [x for x in xs if node.ref(x)]
+    if node.op == "concat":
+        return [float(y) for x in xs for y in node.ref(x)]
+    raise ValueError(f"unknown node op: {node.op!r}")
+
+
+def ref_value(program: Program) -> Any:
+    """Plain-Python evaluation -- the semantic oracle for every path."""
+    xs = _elements(program.root)
+    c = program.consumer
+    if c == "sum":
+        acc = 0.0
+        for x in xs:
+            acc = acc + x
+        return acc
+    if c == "min":
+        acc = np.inf
+        for x in xs:
+            acc = min(acc, x)
+        return acc
+    if c == "max":
+        acc = -np.inf
+        for x in xs:
+            acc = max(acc, x)
+        return acc
+    if c == "count":
+        return len(xs)
+    if c == "fold":
+        acc = 0.0
+        for x in xs:
+            acc = acc + 2.0 * x
+        return acc
+    if c == "hist":
+        hist = np.zeros(program.cargs[0], dtype=np.float64)
+        for x in xs:
+            hist[x] += 1
+        return hist
+    if c == "collect":
+        return xs
+    if c == "build":
+        arr = np.asarray(xs)
+        root = program.root
+        if (
+            root.shape == IDXFLAT
+            and root.dom[0] == "dim2"
+            and arr.ndim >= 1
+            and arr.shape[0] == root.dom[1] * root.dom[2]
+        ):
+            return arr.reshape(root.dom[1], root.dom[2], *arr.shape[1:])
+        return arr
+    raise ValueError(f"unknown consumer: {c!r}")

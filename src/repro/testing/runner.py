@@ -1,0 +1,381 @@
+"""The differential runner: one generated program, every execution path.
+
+For each ``(seed, case)`` program the runner executes:
+
+* the plain-Python oracle (:func:`repro.testing.gen.ref_value`);
+* the fused scalar interpreter (vectorization forced off);
+* the vectorized bulk engine (vectorization forced on);
+* the distributed runtime on a sampled 1..8-node machine, four ways:
+  scalar tasks, vectorized tasks, vectorized over ``rt.distribute``
+  handles (two sections, to check residency), and under a sampled
+  :class:`~repro.cluster.faults.FaultPlan`.
+
+Checks: the oracle match is semantic (value equality); everything else
+is *bitwise* -- generated values are integral float64, so no partition
+or fusion choice is allowed to flip a single bit.  CostMeter triples
+(visits/steps/lookups) must agree between scalar, vectorized and every
+fault-free distributed run; byte/message counts must agree between the
+scalar and vectorized distributed runs; handle-backed second sections
+must ship zero input bytes unless the rebalancer migrated boundaries.
+The invariant checker observes every distributed section throughout.
+
+:func:`crash_drill` is the deterministic guarantee that at least one run
+per suite exercises crash re-execution (random fault sampling alone
+could miss it when the crash rank exceeds the chunk count).
+"""
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.faults import (
+    DelaySpike,
+    FaultPlan,
+    RankCrash,
+    SendFault,
+    SlowNode,
+)
+from repro.cluster.machine import MachineSpec
+from repro.core import meter
+from repro.core.engine.execute import use_vectorization
+from repro.core.fusion.planner import reset_planner
+from repro.data.handle import drop_handles
+from repro.data.plane import DataPlane
+from repro.runtime import triolet_runtime
+from repro.serial import reset as reset_copy_stats
+from repro.testing import kernels as K
+from repro.testing.gen import build_iter, generate_program, ref_value, run_consumer
+from repro.testing.invariants import InvariantViolation, check_plane, checking
+
+import repro.triolet as tri
+
+
+@dataclass
+class CaseResult:
+    seed: int
+    case: int
+    desc: str
+    failures: list = field(default_factory=list)
+    crash_exercised: bool = False
+    sections: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def repro_line(self) -> str:
+        return (
+            f"PYTHONPATH=src python -m repro.testing "
+            f"--seed {self.seed} --cases {self.case + 1} --only {self.case}"
+        )
+
+
+@dataclass
+class SuiteResult:
+    seed: int
+    results: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    @property
+    def failures(self) -> list:
+        return [r for r in self.results if not r.ok]
+
+    @property
+    def crash_exercised(self) -> bool:
+        return any(r.crash_exercised for r in self.results)
+
+    def summary(self) -> str:
+        n = len(self.results)
+        nf = len(self.failures)
+        ncrash = sum(1 for r in self.results if r.crash_exercised)
+        nsec = sum(r.sections for r in self.results)
+        status = "OK" if self.ok else "FAIL"
+        return (
+            f"{status}: {n - nf}/{n} cases passed (seed {self.seed}), "
+            f"{nsec} distributed sections invariant-checked, "
+            f"{ncrash} cases exercised crash re-execution"
+        )
+
+
+# -- equality ----------------------------------------------------------------
+
+
+def bits_equal(a, b) -> bool:
+    """Strict bit-level equality between two triolet-path results."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return (
+            isinstance(a, np.ndarray)
+            and isinstance(b, np.ndarray)
+            and a.shape == b.shape
+            and a.dtype == b.dtype
+            and a.tobytes() == b.tobytes()
+        )
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        return len(a) == len(b) and all(
+            bits_equal(x, y) for x, y in zip(a, b)
+        )
+    if isinstance(a, (float, np.floating)) and isinstance(b, (float, np.floating)):
+        return np.float64(a).tobytes() == np.float64(b).tobytes()
+    return type(a) is type(b) and a == b
+
+
+def semantic_equal(a, b) -> bool:
+    """Value equality against the oracle (dtype/container agnostic)."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        a2, b2 = np.asarray(a), np.asarray(b)
+        if a2.size == 0 and b2.size == 0:
+            return True
+        return a2.shape == b2.shape and bool(np.array_equal(a2, b2))
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        return len(a) == len(b) and all(
+            semantic_equal(x, y) for x, y in zip(a, b)
+        )
+    try:
+        return bool(a == b)
+    except Exception:
+        return False
+
+
+def _meter_triple(m: meter.CostMeter) -> tuple:
+    return (m.visits, m.steps, m.lookups)
+
+
+# -- fault sampling ----------------------------------------------------------
+
+
+def sample_fault_plan(rng: random.Random, nodes: int) -> FaultPlan:
+    """One or two faults drawn over all four fault kinds."""
+    faults = []
+    for _ in range(rng.choice([1, 1, 2])):
+        kind = rng.randrange(4)
+        if kind == 0 and nodes > 1:
+            faults.append(RankCrash(rank=rng.randrange(1, nodes), at=1e-7))
+        elif kind == 1:
+            faults.append(
+                SendFault(
+                    src=rng.randrange(nodes),
+                    times=rng.choice([1, 2]),
+                )
+            )
+        elif kind == 2:
+            faults.append(DelaySpike(src=rng.randrange(nodes), delay=1e-5))
+        else:
+            faults.append(SlowNode(node=rng.randrange(nodes), factor=3.0))
+    return FaultPlan(faults=tuple(faults))
+
+
+def _caching_distribute(rt):
+    """One handle per distinct source array per runtime."""
+    handles: dict[int, object] = {}
+
+    def dist(arr):
+        key = id(arr)
+        if key not in handles:
+            handles[key] = rt.distribute(arr)
+        return handles[key]
+
+    return dist
+
+
+# -- the per-case differential run ------------------------------------------
+
+
+def run_case(seed: int, case: int) -> CaseResult:
+    prog = generate_program(seed, case)
+    out = CaseResult(seed=seed, case=case, desc=prog.describe())
+    fails = out.failures
+
+    reset_planner()
+    reset_copy_stats()
+
+    ref = ref_value(prog)
+
+    with use_vectorization(False), meter.metered() as m_scalar:
+        v_scalar = run_consumer(prog, build_iter(prog))
+    with use_vectorization(True), meter.metered() as m_vector:
+        v_vector = run_consumer(prog, build_iter(prog))
+
+    if not semantic_equal(ref, v_scalar):
+        fails.append(f"oracle mismatch: ref={ref!r} scalar={v_scalar!r}")
+    if not bits_equal(v_scalar, v_vector):
+        fails.append(
+            f"scalar/vectorized not bit-identical: {v_scalar!r} vs {v_vector!r}"
+        )
+    if _meter_triple(m_scalar) != _meter_triple(m_vector):
+        fails.append(
+            f"meter drift scalar {_meter_triple(m_scalar)} vs "
+            f"vectorized {_meter_triple(m_vector)}"
+        )
+
+    prng = random.Random(seed * 7_654_321 + case + 1)
+    nodes = prng.choice([1, 2, 3, 4, 5, 6, 8])
+    cores = prng.choice([1, 2, 4])
+    machine = MachineSpec(nodes=nodes, cores_per_node=cores)
+
+    try:
+        with checking() as ck:
+            _distributed_paths(prog, machine, prng, v_scalar, m_scalar, fails)
+            out.crash_exercised = ck.crash_sections > 0
+            out.sections = ck.sections
+    except InvariantViolation as exc:
+        fails.append(f"invariant violation: {exc}")
+    return out
+
+
+def _distributed_paths(prog, machine, prng, v_scalar, m_scalar, fails):
+    nodes = machine.nodes
+
+    # 1. distributed, scalar tasks
+    with use_vectorization(False), triolet_runtime(machine) as rt_s:
+        d_scalar = run_consumer(prog, build_iter(prog, hint="par"))
+    if not bits_equal(v_scalar, d_scalar):
+        fails.append(
+            f"distributed-scalar differs on {nodes} nodes: "
+            f"{d_scalar!r} vs {v_scalar!r}"
+        )
+    if _meter_triple(rt_s.meter_total) != _meter_triple(m_scalar):
+        fails.append(
+            f"distributed-scalar meter {_meter_triple(rt_s.meter_total)} "
+            f"!= scalar meter {_meter_triple(m_scalar)}"
+        )
+
+    # 2. distributed, vectorized tasks
+    with use_vectorization(True), triolet_runtime(machine) as rt_v:
+        d_vector = run_consumer(prog, build_iter(prog, hint="par"))
+    if not bits_equal(d_scalar, d_vector):
+        fails.append(
+            f"distributed vec/scalar not bit-identical on {nodes} nodes"
+        )
+    if _meter_triple(rt_v.meter_total) != _meter_triple(m_scalar):
+        fails.append(
+            f"distributed-vectorized meter "
+            f"{_meter_triple(rt_v.meter_total)} != scalar meter "
+            f"{_meter_triple(m_scalar)}"
+        )
+    # The wire does not care how tasks execute: byte/message counts of
+    # the scalar and vectorized distributed runs must agree.
+    ps, pv = rt_s.sections[-1], rt_v.sections[-1]
+    if (ps.bytes_shipped, ps.messages) != (pv.bytes_shipped, pv.messages):
+        fails.append(
+            f"wire drift: scalar run shipped {ps.bytes_shipped}b/"
+            f"{ps.messages}msg, vectorized {pv.bytes_shipped}b/"
+            f"{pv.messages}msg"
+        )
+
+    # 3. distributed over data-plane handles, two sections (residency).
+    # Distribute each source array once and reuse the handle across both
+    # sections -- a fresh handle per section would defeat residency.
+    with use_vectorization(True), triolet_runtime(machine, plane=DataPlane()) as rt_h:
+        dist = _caching_distribute(rt_h)
+        d_h1 = run_consumer(prog, build_iter(prog, dist, hint="par"))
+        d_h2 = run_consumer(prog, build_iter(prog, dist, hint="par"))
+    if not bits_equal(d_scalar, d_h1):
+        fails.append(f"handle-backed run differs on {nodes} nodes")
+    if not bits_equal(d_h1, d_h2):
+        fails.append("handle-backed run is not repeatable (section 2)")
+    plane_secs = [s for s in rt_h.sections if s.data_plane is not None]
+    if len(plane_secs) >= 2:
+        second = plane_secs[1]
+        if (
+            "rebal" not in second.partition
+            and second.data_plane["input_bytes"] != 0
+        ):
+            fails.append(
+                "second compatible handle section shipped "
+                f"{second.data_plane['input_bytes']} input bytes (want 0)"
+            )
+    check_plane(rt_h.plane)
+
+    # 4. under a sampled fault plan (values only; retries re-tally meters)
+    plan = sample_fault_plan(prng, nodes)
+    use_handles = prng.random() < 0.5
+    with use_vectorization(True), triolet_runtime(
+        machine, faults=plan, plane=DataPlane()
+    ) as rt_f:
+        d_fault = run_consumer(
+            prog,
+            build_iter(
+                prog, rt_f.distribute if use_handles else None, hint="par"
+            ),
+        )
+    if not bits_equal(d_scalar, d_fault):
+        fails.append(
+            f"faulted run differs on {nodes} nodes under {plan!r}"
+        )
+
+
+# -- the guaranteed crash case ----------------------------------------------
+
+
+def crash_drill(seed: int) -> CaseResult:
+    """Deterministic crash-recovery case: a handle-backed sum on 4 nodes
+    with rank 1 crashing mid-section, invariant checker active."""
+    out = CaseResult(
+        seed=seed,
+        case=-1,
+        desc=f"crash drill (seed {seed}): sum(square(par(handle[512]))) "
+        f"on 4x2 with RankCrash(rank=1)",
+    )
+    xs = np.arange(512, dtype=np.float64) % 10
+    machine = MachineSpec(nodes=4, cores_per_node=2)
+    expect = tri.sum(tri.map(K.k_square, tri.seq(xs)))
+
+    plan = FaultPlan(faults=(RankCrash(rank=1, at=1e-6),))
+    try:
+        with checking() as ck:
+            with triolet_runtime(machine, faults=plan, plane=DataPlane()) as rt:
+                h = rt.distribute(xs)
+                first = tri.sum(tri.map(K.k_square, tri.par(h)))
+                second = tri.sum(tri.map(K.k_square, tri.par(h)))
+            out.sections = ck.sections
+            out.crash_exercised = ck.crash_sections > 0
+    except InvariantViolation as exc:
+        out.failures.append(f"invariant violation: {exc}")
+        return out
+    if not bits_equal(expect, first) or not bits_equal(expect, second):
+        out.failures.append(
+            f"crash drill value drift: {first!r}/{second!r} vs {expect!r}"
+        )
+    rep = rt.recovery_report
+    if rep.reexecuted_chunks <= 0:
+        out.failures.append("crash drill did not re-execute any chunk")
+    if rep.reshipped_bytes <= 0:
+        out.failures.append("crash drill attributed no reshipped bytes")
+    if not out.crash_exercised:
+        out.failures.append("invariant checker saw no crash section")
+    return out
+
+
+# -- suites ------------------------------------------------------------------
+
+
+def run_suite(
+    seed: int,
+    cases: int,
+    only: int | None = None,
+    fail_fast: bool = False,
+    progress=None,
+) -> SuiteResult:
+    suite = SuiteResult(seed=seed)
+    case_ids = [only] if only is not None else list(range(cases))
+    for case in case_ids:
+        r = run_case(seed, case)
+        suite.results.append(r)
+        if progress is not None:
+            progress(r)
+        if fail_fast and not r.ok:
+            return suite
+    if only is None:
+        # Guarantee the acceptance property: at least one case per suite
+        # exercises crash re-execution with the checker active.
+        drill = crash_drill(seed)
+        suite.results.append(drill)
+        if progress is not None:
+            progress(drill)
+    drop_handles()
+    return suite

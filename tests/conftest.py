@@ -1,4 +1,5 @@
 """Suite-wide configuration."""
+import pytest
 from hypothesis import HealthCheck, settings
 
 # Property tests drive real (simulated-cluster) executions whose wall
@@ -10,3 +11,24 @@ settings.register_profile(
     suppress_health_check=[HealthCheck.too_slow],
 )
 settings.load_profile("repro")
+
+
+@pytest.fixture(autouse=True)
+def _fresh_engine_state():
+    """Reset process-global engine state around every test.
+
+    The fusion-plan cache and the serialization copy counters are
+    process-wide; a test that asserts on cache hit rates or copy deltas
+    must not observe traffic from whichever tests happened to run
+    before it.  Resetting on both sides keeps tests order-independent
+    in either direction (a test that *leaves* state behind cannot taint
+    a later one, and a test that *needs* pristine state gets it).
+    """
+    from repro.core.fusion.planner import reset_planner
+    import repro.serial as serial
+
+    reset_planner()
+    serial.reset()
+    yield
+    reset_planner()
+    serial.reset()

@@ -1,0 +1,20 @@
+"""Data-plane test hygiene.
+
+DistArray handle ids are process-global (the master registry models
+"every node knows the handle metadata"), so a test that registers
+handles leaks registry entries -- and, through them, master arrays --
+into later tests unless something drops them.  Clearing the registry
+after every test keeps tests/data order-independent: each test sees a
+registry containing only the handles it created itself, and handle-id
+assertions never depend on which tests ran first.
+"""
+import pytest
+
+from repro.data.handle import drop_handles
+
+
+@pytest.fixture(autouse=True)
+def _fresh_handles():
+    drop_handles()
+    yield
+    drop_handles()

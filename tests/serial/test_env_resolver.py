@@ -1,0 +1,159 @@
+"""Edge cases of the closure environment resolver for DistArray handles.
+
+Closure environments may carry DistArray handles; ``resolve_env``
+(installed via :func:`set_env_resolver` by :mod:`repro.data.handle`)
+swaps them for rank-local array views at call time.  These tests pin
+down the failure surface the fuzzer's fault cases walk straight into:
+
+* a wire blob naming a handle id the receiving "program image" never
+  registered must fail loudly (fixed-width 8-byte id, so any stale or
+  forged id is representable);
+* a handle whose rank-local shard was invalidated by a crash must raise
+  :class:`MissingShardError` when touched, never silently fall back to
+  data the rank no longer owns;
+* nested closures with multiple handles resolve each environment at its
+  own call time, on whichever rank actually runs it.
+"""
+import numpy as np
+import pytest
+
+from repro.data import DataPlane, DistArray
+from repro.data.handle import (
+    HandleSource,
+    MissingShardError,
+    bind_store,
+    drop_handles,
+    lookup_handle,
+)
+from repro.partition import block_bounds
+from repro.serial import SerializationError, deserialize, serialize
+from repro.serial.closures import closure, resolve_env
+
+
+def _place_on(plane, handle, nranks):
+    """Plan a block split and apply each rank's shipping ops."""
+    bounds = block_bounds(len(handle), nranks)
+    reqs = [{handle.array_id: [lo, hi, False]} for lo, hi in bounds]
+    ship = plane.plan_section(reqs)
+    for rank in range(1, nranks):
+        plane.worker_store(rank).apply(ship.ops[rank])
+    return bounds
+
+
+class TestUnknownHandleId:
+    def test_lookup_of_unregistered_id_fails(self):
+        with pytest.raises(SerializationError, match="unknown DistArray id"):
+            lookup_handle(0xDEAD_BEEF_0BAD_F00D)
+
+    def test_wire_blob_with_stale_id_fails_on_decode(self):
+        h = DistArray(np.arange(6.0))
+        wire = serialize(h)
+        assert deserialize(wire) is h
+        # Simulate the sender's registry outliving the handle: the exact
+        # bytes that round-tripped a moment ago now name nothing.
+        drop_handles()
+        del h
+        with pytest.raises(SerializationError, match="unknown DistArray id"):
+            deserialize(wire)
+
+    def test_full_8_byte_id_range_is_decodable(self):
+        # The id is fixed-width on the wire; an id needing all 8 bytes
+        # must decode to the same id (and then fail lookup), not corrupt
+        # the stream.
+        big = (1 << 64) - 2
+        src = HandleSource(big, 0, 4)
+        out = deserialize(serialize(src))
+        assert out == src
+
+    def test_handle_source_context_fails_for_unknown_id(self):
+        src = HandleSource(0xFFFF_FFFF, 0, 4)
+        with pytest.raises(SerializationError, match="unknown DistArray id"):
+            src.context()
+
+
+class TestInvalidatedShard:
+    def test_view_after_crash_invalidation_raises(self):
+        plane = DataPlane()
+        h = plane.register(np.arange(40.0))
+        bounds = _place_on(plane, h, nranks=4)
+        store = plane.worker_store(1)
+        lo, hi = bounds[1]
+        np.testing.assert_array_equal(
+            store.view(h.array_id, lo, hi), h.array[lo:hi]
+        )
+        # Crash recovery wipes every store before re-execution.
+        store.invalidate()
+        with pytest.raises(MissingShardError):
+            store.view(h.array_id, lo, hi)
+
+    def test_resolved_env_after_invalidation_raises(self):
+        plane = DataPlane()
+        h = plane.register(np.arange(40.0), layout="replicated")
+        ship = plane.plan_section([{}, {h.array_id: [0, 40, True]}])
+        store = plane.worker_store(1)
+        store.apply(ship.ops[1])
+        fn = closure(np.sum, h)
+        with bind_store(store):
+            assert float(fn()) == float(np.sum(h.array))
+            store.invalidate(h.array_id)
+            with pytest.raises(MissingShardError):
+                fn()
+
+    def test_main_rank_is_unaffected_by_worker_invalidation(self):
+        plane = DataPlane()
+        h = plane.register(np.arange(12.0))
+        _place_on(plane, h, nranks=2)
+        plane.worker_store(1).invalidate()
+        # No bound store means "main rank": the master copy still serves.
+        assert float(np.sum(h.resolve())) == float(np.sum(h.array))
+
+
+class TestNestedClosureEnvs:
+    def test_two_handles_in_one_env_both_resolve(self):
+        a = DistArray(np.arange(5.0))
+        b = DistArray(np.arange(5.0) * 10.0)
+
+        def both(x, y):
+            return float(np.sum(x) + np.sum(y))
+
+        fn = closure(both, a, b)
+        env = resolve_env(fn.env)
+        assert all(isinstance(e, np.ndarray) for e in env)
+        assert fn() == float(np.sum(a.array) + np.sum(b.array))
+
+    def test_nested_closure_resolves_inner_env_at_inner_call(self):
+        a = DistArray(np.arange(4.0))
+        b = DistArray(np.arange(4.0) + 100.0)
+        inner = closure(np.sum, a)
+
+        def outer(f, y):
+            return float(f()) + float(np.sum(y))
+
+        fn = closure(outer, inner, b)
+        # The outer resolve must leave the inner Closure itself alone --
+        # its environment resolves when *it* is called, possibly on a
+        # different rank.
+        env = resolve_env(fn.env)
+        assert env[0] is inner
+        assert isinstance(env[1], np.ndarray)
+        assert fn() == float(np.sum(a.array)) + float(np.sum(b.array))
+
+    def test_nested_env_roundtrips_as_ids_only(self):
+        a = DistArray(np.arange(300.0))
+        b = DistArray(np.arange(300.0))
+        inner = closure(np.sum, a)
+
+        def outer(f, y, x):
+            return float(f()) + float(np.sum(y)) + x
+
+        fn = closure(outer, inner, b)
+        wire = serialize(fn)
+        # Handles ship as 8-byte ids: the blob must not scale with the
+        # 2400-byte arrays the environment references.
+        assert len(wire) < a.nbytes / 5
+        out = deserialize(wire)
+        assert out(1.5) == fn(1.5)
+
+    def test_plain_envs_resolve_to_themselves(self):
+        fn = closure(lambda c, x: c + x, 2.0)
+        assert resolve_env(fn.env) is fn.env

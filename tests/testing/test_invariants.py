@@ -1,0 +1,186 @@
+"""The invariant checker itself: it must accept real sections and reject
+synthetically corrupted ones (a checker that can't fail checks nothing)."""
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+import repro.triolet as tri
+from repro.cluster import MachineSpec
+from repro.data.plane import DataPlane
+from repro.runtime import triolet_runtime
+from repro.serial import register_function
+from repro.testing.invariants import (
+    InvariantChecker,
+    InvariantViolation,
+    check_plane,
+    checking,
+)
+
+
+@register_function
+def _twice(x):
+    return 2.0 * x
+
+
+class TestAcceptsRealSections:
+    def test_clean_runs_pass_and_count_sections(self):
+        xs = np.arange(200.0)
+        with checking() as ck:
+            with triolet_runtime(MachineSpec(nodes=4, cores_per_node=2)):
+                tri.sum(tri.map(_twice, tri.par(xs)))
+                tri.build(tri.map(_twice, tri.par(xs)))
+        assert ck.sections == 2
+        assert ck.crash_sections == 0
+
+    def test_handle_sections_pass_plane_checks(self):
+        xs = np.arange(300.0)
+        with checking() as ck:
+            with triolet_runtime(MachineSpec(nodes=3, cores_per_node=1)) as rt:
+                h = rt.distribute(xs)
+                tri.sum(tri.par(h))
+                tri.sum(tri.par(h))
+        assert ck.sections == 2
+        check_plane(rt.plane)
+
+
+def _payload(**over):
+    """A minimal well-formed 1-D section payload the checker accepts."""
+    it = tri.par(tri.iterate(np.arange(10.0)))
+    base = dict(
+        runtime=SimpleNamespace(
+            plane=DataPlane(),
+            recovery_report=SimpleNamespace(reshipped_bytes=0),
+        ),
+        record=SimpleNamespace(
+            partition="1d x2", data_plane=None, recovery=None
+        ),
+        iterator=it,
+        partition="1d x2",
+        bounds=[(0, 5), (5, 10)],
+        nchunks=2,
+        ship=None,
+        spec=None,
+        attempts=1,
+        dead_ranks=0,
+    )
+    base.update(over)
+    return base
+
+
+class TestRejectsCorruptedSections:
+    def test_well_formed_payload_passes(self):
+        InvariantChecker()(_payload())
+
+    def test_gap_in_tiling_rejected(self):
+        with pytest.raises(InvariantViolation, match="do not tile"):
+            InvariantChecker()(_payload(bounds=[(0, 4), (5, 10)]))
+
+    def test_overlap_in_tiling_rejected(self):
+        with pytest.raises(InvariantViolation, match="do not tile"):
+            InvariantChecker()(_payload(bounds=[(0, 6), (5, 10)]))
+
+    def test_short_coverage_rejected(self):
+        with pytest.raises(InvariantViolation, match="extent is 10"):
+            InvariantChecker()(_payload(bounds=[(0, 5), (5, 9)]))
+
+    def test_chunk_count_mismatch_rejected(self):
+        with pytest.raises(InvariantViolation, match="partition bounds"):
+            InvariantChecker()(_payload(nchunks=3))
+
+    def test_broken_conservation_rejected(self):
+        stats = dict(
+            requests=3, resident_hits=1, placements=1, migrations=0,
+            cache_hits=0, cache_misses=0, input_bytes=80, placed_bytes=80,
+        )
+        payload = _payload(
+            ship=object(),
+            record=SimpleNamespace(
+                partition="1d x2", data_plane=stats, recovery=None
+            ),
+        )
+        with pytest.raises(InvariantViolation, match="conservation broken"):
+            InvariantChecker()(payload)
+
+    def test_negative_counter_rejected(self):
+        stats = dict(
+            requests=1, resident_hits=1, placements=0, migrations=0,
+            cache_hits=0, cache_misses=0, input_bytes=0, placed_bytes=-8,
+        )
+        payload = _payload(
+            ship=object(),
+            record=SimpleNamespace(
+                partition="1d x2", data_plane=stats, recovery=None
+            ),
+        )
+        with pytest.raises(InvariantViolation, match="negative"):
+            InvariantChecker()(payload)
+
+    def test_plane_stats_without_shipment_rejected(self):
+        payload = _payload(
+            record=SimpleNamespace(
+                partition="1d x2", data_plane={"requests": 0}, recovery=None
+            ),
+        )
+        with pytest.raises(InvariantViolation, match="planned no shipment"):
+            InvariantChecker()(payload)
+
+    def test_reshipped_growth_without_crash_rejected(self):
+        ck = InvariantChecker()
+        rt = SimpleNamespace(
+            plane=DataPlane(),
+            recovery_report=SimpleNamespace(reshipped_bytes=0),
+        )
+        ck(_payload(runtime=rt))
+        rt.recovery_report.reshipped_bytes = 4096  # grew, but attempts == 1
+        with pytest.raises(InvariantViolation, match="without a crash"):
+            ck(_payload(runtime=rt))
+
+    def test_reshipped_decrease_rejected(self):
+        ck = InvariantChecker()
+        rt = SimpleNamespace(
+            plane=DataPlane(),
+            recovery_report=SimpleNamespace(reshipped_bytes=100),
+        )
+        ck(
+            _payload(
+                runtime=rt,
+                attempts=2,
+                record=SimpleNamespace(
+                    partition="1d x2",
+                    data_plane=None,
+                    recovery=SimpleNamespace(reexecuted_chunks=2),
+                ),
+            )
+        )
+        rt.recovery_report.reshipped_bytes = 50
+        with pytest.raises(InvariantViolation, match="decreased"):
+            ck(_payload(runtime=rt))
+
+    def test_placement_on_dead_rank_rejected(self):
+        plane = DataPlane()
+        h = plane.register(np.arange(10.0))
+        plane._placement[(3, h.array_id)] = (0, 10)
+        rt = SimpleNamespace(
+            plane=plane,
+            recovery_report=SimpleNamespace(reshipped_bytes=0),
+        )
+        # After a crash only chunk ranks [0, 2) survive; rank 3 is dead.
+        payload = _payload(
+            runtime=rt,
+            attempts=2,
+            record=SimpleNamespace(
+                partition="1d x2",
+                data_plane=None,
+                recovery=SimpleNamespace(reexecuted_chunks=1),
+            ),
+        )
+        with pytest.raises(InvariantViolation, match="survived the crash"):
+            InvariantChecker()(payload)
+
+    def test_hull_outside_handle_rejected(self):
+        plane = DataPlane()
+        h = plane.register(np.arange(10.0))
+        plane._placement[(1, h.array_id)] = (0, 99)
+        with pytest.raises(InvariantViolation, match="escapes handle"):
+            check_plane(plane)

@@ -1,0 +1,64 @@
+"""Differential runner: a tier-1 smoke slice plus fuzz-marked sweeps."""
+import pytest
+
+from repro.testing import __main__ as cli
+from repro.testing.runner import crash_drill, run_case, run_suite
+
+
+class TestRunCase:
+    @pytest.mark.parametrize("case", range(8))
+    def test_first_cases_pass(self, case):
+        r = run_case(0, case)
+        assert r.ok, (r.desc, r.failures)
+
+    def test_edge_domain_cases_pass(self):
+        # case 5 is forced-empty, case 6 forced-single (gen contract).
+        for case in (5, 6):
+            r = run_case(1, case)
+            assert r.ok, (r.desc, r.failures)
+
+    def test_result_carries_replay_line(self):
+        r = run_case(0, 3)
+        assert "--seed 0" in r.repro_line()
+        assert "--only 3" in r.repro_line()
+
+
+class TestCrashDrill:
+    def test_drill_exercises_recovery_under_checker(self):
+        r = crash_drill(0)
+        assert r.ok, r.failures
+        assert r.crash_exercised
+        assert r.sections >= 2
+
+
+class TestSuite:
+    def test_small_suite_reports_sections_and_crash(self):
+        suite = run_suite(0, 4)
+        assert suite.ok
+        assert suite.crash_exercised  # via the appended drill
+        assert sum(r.sections for r in suite.results) > 0
+        assert "cases passed" in suite.summary()
+
+    def test_only_skips_the_drill(self):
+        suite = run_suite(0, 10, only=2)
+        assert len(suite.results) == 1
+        assert suite.results[0].case == 2
+
+
+class TestCli:
+    def test_cli_passes_on_a_small_run(self, capsys):
+        assert cli.main(["--seed", "0", "--cases", "3", "--quiet"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_cli_replays_a_single_case(self, capsys):
+        assert cli.main(["--seed", "0", "--cases", "3", "--only", "1"]) == 0
+
+
+@pytest.mark.fuzz
+class TestFuzzSweeps:
+    @pytest.mark.parametrize("seed", [5, 17, 31])
+    def test_thirty_case_sweep(self, seed):
+        suite = run_suite(seed, 30)
+        assert suite.ok, [
+            (r.desc, r.failures) for r in suite.failures
+        ]
