@@ -35,6 +35,7 @@ from repro.runtime import (
     RecoveryPolicy,
     triolet_runtime,
 )
+from repro.obs.spans import active as _obs_active, obs_span as _obs_span
 from repro.serial import closure, register_function
 import repro.triolet as tri
 
@@ -72,15 +73,18 @@ def run_triolet(
         # resident across sections (and across re-executions, modulo
         # crash invalidation).
         atoms = rt.distribute(p.atoms)
-        contrib = closure(_contrib, list(p.grid_dim), p.spacing, p.cutoff)
-        grid = tri.histogram(
-            p.grid_size, tri.map(contrib, tri.par(atoms))
-        ).reshape(p.grid_dim)
+        with _obs_span("phase", "potential_hist"):
+            contrib = closure(_contrib, list(p.grid_dim), p.spacing, p.cutoff)
+            grid = tri.histogram(
+                p.grid_size, tri.map(contrib, tri.par(atoms))
+            ).reshape(p.grid_dim)
     detail = {
         "gc_time": rt.total_gc_time(),
         "meter": rt.meter_total,
         "data_plane": rt.plane.stats_dict(),
     }
+    if _obs_active() is not None:
+        detail["obs"] = _obs_active().detail_snapshot()
     if faults is not None or rt.recovery_report.rejected_messages:
         detail["recovery"] = rt.recovery_report
     return AppRun(

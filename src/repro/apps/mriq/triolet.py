@@ -30,6 +30,7 @@ from repro.runtime import (
     RecoveryPolicy,
     triolet_runtime,
 )
+from repro.obs.spans import active as _obs_active, obs_span as _obs_span
 from repro.serial import closure, register_function
 import repro.triolet as tri
 
@@ -68,18 +69,23 @@ def run_triolet(
         # Pixel coordinates shard by rows; the k-space arrays ride in the
         # closure environment, i.e. replicated -- all as resident handles,
         # shipped to each rank at most once.
-        x, y, z = rt.distribute(p.x), rt.distribute(p.y), rt.distribute(p.z)
-        kx = rt.distribute(p.kx, layout="replicated")
-        ky = rt.distribute(p.ky, layout="replicated")
-        kz = rt.distribute(p.kz, layout="replicated")
-        mag = rt.distribute(p.mag, layout="replicated")
-        pixel_fn = closure(_pixel_q, kx, ky, kz, mag)
-        Q = tri.build(tri.map(pixel_fn, tri.par(tri.zip(x, y, z))))
+        with _obs_span("phase", "distribute"):
+            x, y, z = (rt.distribute(p.x), rt.distribute(p.y),
+                       rt.distribute(p.z))
+            kx = rt.distribute(p.kx, layout="replicated")
+            ky = rt.distribute(p.ky, layout="replicated")
+            kz = rt.distribute(p.kz, layout="replicated")
+            mag = rt.distribute(p.mag, layout="replicated")
+        with _obs_span("phase", "pixel_map"):
+            pixel_fn = closure(_pixel_q, kx, ky, kz, mag)
+            Q = tri.build(tri.map(pixel_fn, tri.par(tri.zip(x, y, z))))
     detail = {
         "sections": [s.label for s in rt.sections],
         "meter": rt.meter_total,
         "data_plane": rt.plane.stats_dict(),
     }
+    if _obs_active() is not None:
+        detail["obs"] = _obs_active().detail_snapshot()
     if faults is not None or rt.recovery_report.rejected_messages:
         detail["recovery"] = rt.recovery_report
     return AppRun(

@@ -29,6 +29,7 @@ from repro.runtime import (
     RecoveryPolicy,
     triolet_runtime,
 )
+from repro.obs.spans import active as _obs_active, obs_span as _obs_span
 from repro.serial import closure, register_function
 import repro.triolet as tri
 
@@ -78,21 +79,25 @@ def run_triolet(
     ) as rt:
         # Transposition does too little work per byte for distributed
         # memory; localpar uses one node's cores over shared memory.
-        BT = tri.build(
-            tri.map(
-                closure(_transpose_elem, p.B),
-                tri.localpar(tri.arrayRange((p.m, p.k))),
+        with _obs_span("phase", "transpose"):
+            BT = tri.build(
+                tri.map(
+                    closure(_transpose_elem, p.B),
+                    tri.localpar(tri.arrayRange((p.m, p.k))),
+                )
             )
-        )
         transpose_time = rt.elapsed
 
         # A and the locally built BT become resident handles: the 2-D
         # block grid's row/column slices resolve against rank shards (or
         # the slice cache, when grid blocks straddle shard boundaries).
-        A = rt.distribute(p.A)
-        BTh = rt.distribute(BT)
-        zipped_AB = tri.outerproduct(tri.rows(A), tri.rows(BTh))
-        AB = tri.build(tri.map(closure(_dot_elem, p.alpha), tri.par(zipped_AB)))
+        with _obs_span("phase", "matmul"):
+            A = rt.distribute(p.A)
+            BTh = rt.distribute(BT)
+            zipped_AB = tri.outerproduct(tri.rows(A), tri.rows(BTh))
+            AB = tri.build(
+                tri.map(closure(_dot_elem, p.alpha), tri.par(zipped_AB))
+            )
     detail = {
         "transpose_time": transpose_time,
         "partition": rt.last_section.partition,
@@ -100,6 +105,8 @@ def run_triolet(
         "meter": rt.meter_total,
         "data_plane": rt.plane.stats_dict(),
     }
+    if _obs_active() is not None:
+        detail["obs"] = _obs_active().detail_snapshot()
     if faults is not None or rt.recovery_report.rejected_messages:
         detail["recovery"] = rt.recovery_report
     return AppRun(

@@ -48,6 +48,7 @@ from repro.runtime import (
     RecoveryPolicy,
     triolet_runtime,
 )
+from repro.obs.spans import active as _obs_active, obs_span as _obs_span
 from repro.serial import closure, register_function
 import repro.triolet as tri
 
@@ -142,22 +143,34 @@ def run_triolet(
         obs = rt.distribute(p.obs, layout="replicated")
         rands = rt.distribute(p.rands)
         # DD: the observed set against itself, parallel over its rows.
-        indexed_obs = tri.zip(tri.indices(tri.domain(obs)), tri.iterate(obs))
-        dd = correlation(
-            p.nbins,
-            tri.map(closure(_self_pairs_row, p.nbins, obs), tri.par(indexed_obs)),
-        )
+        with _obs_span("phase", "dd"):
+            indexed_obs = tri.zip(
+                tri.indices(tri.domain(obs)), tri.iterate(obs)
+            )
+            dd = correlation(
+                p.nbins,
+                tri.map(
+                    closure(_self_pairs_row, p.nbins, obs),
+                    tri.par(indexed_obs),
+                ),
+            )
         # DR: each random set against the observed set.
-        dr = random_sets_correlation(
-            p.nbins, closure(_corr1_cross, p.nbins, obs), rands
-        )
+        with _obs_span("phase", "dr"):
+            dr = random_sets_correlation(
+                p.nbins, closure(_corr1_cross, p.nbins, obs), rands
+            )
         # RR: each random set against itself.
-        rr = random_sets_correlation(p.nbins, closure(_corr1_self, p.nbins), rands)
+        with _obs_span("phase", "rr"):
+            rr = random_sets_correlation(
+                p.nbins, closure(_corr1_self, p.nbins), rands
+            )
     detail = {
         "gc_time": rt.total_gc_time(),
         "meter": rt.meter_total,
         "data_plane": rt.plane.stats_dict(),
     }
+    if _obs_active() is not None:
+        detail["obs"] = _obs_active().detail_snapshot()
     if faults is not None or rt.recovery_report.rejected_messages:
         detail["recovery"] = rt.recovery_report
     return AppRun(

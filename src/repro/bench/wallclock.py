@@ -103,6 +103,40 @@ def bench_app(app: str, nodes: int) -> dict:
     }
 
 
+def measure_obs_overhead(app: str = "sgemm", nodes: int = 2,
+                         repeats: int = 5) -> dict:
+    """Wall-clock cost of observability: capture on vs. off, best-of-N.
+
+    The ``python -m repro.obs regress`` gate (and the obs test tier)
+    asserts ``overhead`` stays under 5%: the span tracer must be
+    genuinely zero-cost when disabled and near-free when enabled.
+    """
+    from repro.obs.runapp import capture_app, plain_app
+
+    params = BENCH_PARAMS[app]
+
+    def best(fn) -> float:
+        walls = []
+        for _ in range(repeats):
+            reset_planner()
+            reset_copy_stats()
+            t0 = time.perf_counter()
+            fn(app, nodes, params=params)
+            walls.append(time.perf_counter() - t0)
+        return min(walls)
+
+    wall_off = best(lambda *a, **kw: plain_app(*a, **kw))
+    wall_on = best(lambda *a, **kw: capture_app(*a, **kw))
+    return {
+        "app": app,
+        "nodes": nodes,
+        "repeats": repeats,
+        "wall_seconds_off": wall_off,
+        "wall_seconds_on": wall_on,
+        "overhead": max(0.0, wall_on / wall_off - 1.0),
+    }
+
+
 def run_bench(
     apps: tuple[str, ...] = ("mriq", "sgemm", "tpacf", "cutcp"),
     node_counts: tuple[int, ...] = BENCH_NODES,
@@ -115,6 +149,7 @@ def run_bench(
         "python": platform.python_version(),
         "machine": platform.machine(),
         "results": results,
+        "obs_overhead": measure_obs_overhead(),
     }
 
 
@@ -145,5 +180,13 @@ def render(payload: dict) -> str:
             f"{r['wall_seconds_vectorized']:>10.3f}"
             f"{r['wall_seconds_scalar']:>10.3f}"
             f"{r['speedup']:>8.1f}x  {parity}"
+        )
+    obs = payload.get("obs_overhead")
+    if obs is not None:
+        lines.append(
+            f"observability overhead ({obs['app']}@{obs['nodes']}): "
+            f"{obs['overhead'] * 100:.2f}% "
+            f"({obs['wall_seconds_off']:.3f}s off, "
+            f"{obs['wall_seconds_on']:.3f}s on)"
         )
     return "\n".join(lines)

@@ -13,9 +13,35 @@ up in the virtual clocks without any collective-specific cost formulas.
 """
 from __future__ import annotations
 
+import functools
 from typing import Any, Callable
 
 from repro.cluster.comm import Comm
+from repro.obs.spans import active as _obs_active
+
+
+def _traced(fn: Callable) -> Callable:
+    """Record each collective call as a per-rank ``collective`` span.
+
+    Disabled path: one global read, then a direct call -- no span
+    objects, no clock reads beyond what the collective itself does.
+    Nested collectives (``allreduce`` = ``reduce`` + ``bcast``) nest
+    their spans, which is exactly the hierarchy we want to see.
+    """
+
+    @functools.wraps(fn)
+    def wrapper(comm: Comm, *args, **kwargs):
+        rec = _obs_active()
+        if rec is None:
+            return fn(comm, *args, **kwargs)
+        with rec.span(
+            "collective", fn.__name__, rank=comm.rank, clock=comm.clock
+        ) as sp:
+            out = fn(comm, *args, **kwargs)
+            sp.set(size=comm.size)
+            return out
+
+    return wrapper
 
 
 def _vrank(rank: int, root: int, size: int) -> int:
@@ -26,6 +52,7 @@ def _prank(vrank: int, root: int, size: int) -> int:
     return (vrank + root) % size
 
 
+@_traced
 def bcast(comm: Comm, obj: Any, root: int = 0) -> Any:
     """Binomial-tree broadcast; returns the object on every rank."""
     size, rank = comm.size, comm.rank
@@ -56,6 +83,7 @@ def bcast(comm: Comm, obj: Any, root: int = 0) -> Any:
     return obj
 
 
+@_traced
 def reduce(comm: Comm, obj: Any, op: Callable[[Any, Any], Any], root: int = 0) -> Any:
     """Binomial-tree reduction with a commutative, associative *op*.
 
@@ -81,6 +109,7 @@ def reduce(comm: Comm, obj: Any, op: Callable[[Any, Any], Any], root: int = 0) -
     return acc
 
 
+@_traced
 def scatter(comm: Comm, chunks: list | None, root: int = 0) -> Any:
     """Linear scatter: root sends chunk *i* to rank *i*."""
     size, rank = comm.size, comm.rank
@@ -98,6 +127,7 @@ def scatter(comm: Comm, chunks: list | None, root: int = 0) -> Any:
     return comm.recv(root, tag)
 
 
+@_traced
 def gather(comm: Comm, obj: Any, root: int = 0) -> list | None:
     """Linear gather: root receives from every rank in rank order."""
     size, rank = comm.size, comm.rank
@@ -111,16 +141,19 @@ def gather(comm: Comm, obj: Any, root: int = 0) -> list | None:
     return None
 
 
+@_traced
 def allreduce(comm: Comm, obj: Any, op: Callable[[Any, Any], Any]) -> Any:
     """Reduce to rank 0 then broadcast the result."""
     return bcast(comm, reduce(comm, obj, op, root=0), root=0)
 
 
+@_traced
 def allgather(comm: Comm, obj: Any) -> list:
     """Gather at rank 0 then broadcast the list."""
     return bcast(comm, gather(comm, obj, root=0), root=0)
 
 
+@_traced
 def alltoall(comm: Comm, chunks: list) -> list:
     """Pairwise-exchange all-to-all: chunk *i* goes to rank *i*."""
     size, rank = comm.size, comm.rank
@@ -137,11 +170,13 @@ def alltoall(comm: Comm, chunks: list) -> list:
     return out
 
 
+@_traced
 def barrier(comm: Comm) -> None:
     """Empty reduce + broadcast; synchronizes all virtual clocks."""
     allreduce(comm, None, lambda a, b: None)
 
 
+@_traced
 def scatterv(comm: Comm, arr, counts: list[int] | None, root: int = 0):
     """Scatter contiguous variable-length slices of an array (Scatterv).
 
@@ -173,6 +208,7 @@ def scatterv(comm: Comm, arr, counts: list[int] | None, root: int = 0):
     return comm.Recv(root, tag)
 
 
+@_traced
 def gatherv(comm: Comm, local, root: int = 0):
     """Gather variable-length array slices back, concatenated in rank
     order (Gatherv); returns the assembled array at *root*."""
@@ -189,6 +225,7 @@ def gatherv(comm: Comm, local, root: int = 0):
     return None
 
 
+@_traced
 def reduce_scatter(comm: Comm, chunks: list, op: Callable[[Any, Any], Any]):
     """Reduce chunk *i* across all ranks, leaving the result at rank *i*.
 

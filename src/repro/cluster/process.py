@@ -135,6 +135,7 @@ def run_spmd(
         rank, exc = errors[0]
         try:
             exc.rank_failures = infos
+            exc.trace_log = ctx.trace  # crashed attempts stay observable
             if faults is not None or recovery is not None:
                 exc.recovery_report = _build_report(metrics)
         except (AttributeError, TypeError):

@@ -37,6 +37,21 @@ class CommEvent:
     tag: int
     nbytes: int
 
+    def as_dict(self) -> dict:
+        """Plain-dict form (what the observability layer absorbs)."""
+        return {
+            "kind": self.kind,
+            "time": self.time,
+            "rank": self.rank,
+            "peer": self.peer,
+            "tag": self.tag,
+            "nbytes": self.nbytes,
+        }
+
+    def is_fault(self) -> bool:
+        """An endpoint-less fault/recovery stamp (per-rank fault lane)."""
+        return self.kind in FAULT_EVENT_KINDS and self.peer < 0
+
     def describe(self) -> str:
         if self.kind == "send":
             arrow = "->"

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 from repro.core.engine.plan import Plan, compile_iter
 from repro.core.iterators.iter_type import IdxFlat, IdxNest
+from repro.obs.spans import count as _obs_count
 from repro.serial.closures import Closure
 
 _OPAQUE = "·"  # env entry that is data, not structure
@@ -88,21 +89,27 @@ def plan_for(it) -> Plan | None:
         pass
     else:
         _stats.hits += 1
+        _obs_count("planner.hits")
         return plan
     if key in _negative:
         _negative.move_to_end(key)
         _stats.hits += 1
+        _obs_count("planner.hits")
         return None
     _stats.misses += 1
+    _obs_count("planner.misses")
     plan = compile_iter(it)
     if plan is None:
         _stats.unsupported += 1
+        _obs_count("planner.unsupported")
         _negative[key] = None
         while len(_negative) > NEGATIVE_CACHE_MAX:
             _negative.popitem(last=False)
             _stats.negative_evictions += 1
+            _obs_count("planner.negative_evictions")
     else:
         _stats.compiled += 1
+        _obs_count("planner.compiled")
         _cache[key] = plan
     return plan
 

@@ -36,6 +36,7 @@ from repro.core.sources import (
     WholeObjectSource,
 )
 from repro.data.handle import DistArray, HandleSource, bind_store, lookup_handle
+from repro.obs.spans import active as _obs_active
 from repro.data.rebalance import Rebalancer
 from repro.data.store import (
     DEFAULT_CACHE_BYTES,
@@ -180,28 +181,48 @@ class DataPlane:
         return [chunk_requirements(c) for c in chunks]
 
     def plan_section(self, reqs: list[dict], *,
-                     migrated: bool = False) -> SectionShipment | None:
+                     migrated: bool = False,
+                     recovery: bool = False) -> SectionShipment | None:
         """Plan shipping for one section (one requirement dict per rank).
 
         Returns None when no chunk references a handle -- the driver then
         uses the legacy ship-the-slice path untouched.  Rank 0 never
-        ships to itself (it resolves against the master copy).
+        ships to itself (it resolves against the master copy).  *recovery*
+        marks a post-crash re-execution attempt: the observability layer
+        tags this section's ship spans so re-shipped bytes stay
+        attributable.
         """
         if not any(reqs):
             return None
+        rec = _obs_active()
         nranks = len(reqs)
         stats = {k: 0 for k in _STAT_KEYS}
         ops: list[list] = [[] for _ in range(nranks)]
         for dst in range(1, nranks):
             self._ensure_rank(dst)
+            before = dict(stats) if rec is not None else None
             for aid in sorted(reqs[dst]):
                 lo, hi, replicated = reqs[dst][aid]
                 stats["requests"] += 1
                 self._plan_one(dst, aid, lo, hi, replicated, nranks,
                                migrated, ops[dst], stats)
+            if rec is not None:
+                delta = {k: stats[k] - before[k] for k in _STAT_KEYS
+                         if stats[k] != before[k]}
+                if delta:
+                    if recovery:
+                        delta["recovery"] = True
+                    rec.instant("ship", f"ship->r{dst}", rank=dst,
+                                attrs=delta)
         self.totals["sections"] += 1
         for k in _STAT_KEYS:
             self.totals[k] += stats[k]
+        if rec is not None:
+            # Independent accumulation stream: the conservation check
+            # compares these against self.totals after the run.
+            for k in _STAT_KEYS:
+                if stats[k]:
+                    rec.count(f"plane.{k}", stats[k])
         self.section_log.append(dict(stats))
         return SectionShipment(ops=ops, stats=stats)
 

@@ -1,0 +1,168 @@
+"""Run summaries, run-to-run diffs, and bench regression gates.
+
+These operate on the flat JSONL export (:func:`repro.obs.export.
+load_jsonl`), so two runs captured weeks apart on different machines can
+be compared offline: the virtual timeline makes the key quantities
+(makespans, bytes shipped, planner hits) deterministic.
+"""
+from __future__ import annotations
+
+import json
+from numbers import Number
+
+#: Counters whose growth between two runs counts as a perf regression
+#: (all "lower is better" on the virtual timeline).
+REGRESSION_COUNTERS = (
+    "time.makespan",
+    "cluster.bytes_sent",
+    "cluster.messages_sent",
+    "cluster.comm_time",
+    "plane.input_bytes",
+    "plane.cache_misses",
+    "plane.migrated_bytes",
+    "planner.misses",
+    "recovery.reshipped_bytes",
+)
+
+#: Default tolerated relative growth before a counter is flagged.
+DEFAULT_THRESHOLD = 0.05
+
+
+def summarize(data: dict) -> dict:
+    """Condense a loaded JSONL export into a one-screen summary."""
+    counters = data.get("counters", {})
+    spans = data.get("spans", [])
+    events = data.get("events", [])
+    kinds: dict[str, int] = {}
+    kind_time: dict[str, float] = {}
+    ranks: set[int] = set()
+    for s in spans:
+        kinds[s["kind"]] = kinds.get(s["kind"], 0) + 1
+        t1 = s["t1"] if s["t1"] is not None else s["t0"]
+        kind_time[s["kind"]] = kind_time.get(s["kind"], 0.0) + (t1 - s["t0"])
+        if s["rank"] >= 0:
+            ranks.add(s["rank"])
+    return {
+        "spans": len(spans),
+        "events": len(events),
+        "ranks": sorted(ranks),
+        "span_kinds": dict(sorted(kinds.items())),
+        "span_time_by_kind": {k: kind_time[k] for k in sorted(kind_time)},
+        "sections": [
+            {"label": sec.get("label"), "kind": sec.get("kind"),
+             "makespan": sec.get("makespan"),
+             "bytes_shipped": sec.get("bytes_shipped")}
+            for sec in data.get("sections", [])
+        ],
+        "counters": dict(sorted(counters.items())),
+    }
+
+
+def render_summary(summary: dict) -> str:
+    lines = [
+        f"spans: {summary['spans']}   events: {summary['events']}   "
+        f"ranks: {summary['ranks']}",
+        "",
+        f"{'span kind':<12}{'count':>7}{'virtual s':>12}",
+    ]
+    for kind, n in summary["span_kinds"].items():
+        t = summary["span_time_by_kind"].get(kind, 0.0)
+        lines.append(f"{kind:<12}{n:>7}{t:>12.6f}")
+    if summary["sections"]:
+        lines += ["", f"{'section':<28}{'kind':<10}{'makespan':>12}"
+                      f"{'bytes':>12}"]
+        for sec in summary["sections"]:
+            lines.append(
+                f"{str(sec['label'])[:27]:<28}{str(sec['kind']):<10}"
+                f"{sec['makespan']:>12.6f}{sec['bytes_shipped']:>12}"
+            )
+    lines += ["", "counters:"]
+    for name, value in summary["counters"].items():
+        lines.append(f"  {name} = {value}")
+    return "\n".join(lines)
+
+
+def diff_runs(base: dict, other: dict,
+              threshold: float = DEFAULT_THRESHOLD) -> dict:
+    """Compare two loaded JSONL exports counter by counter.
+
+    Returns ``{"regressions", "improvements", "changes"}`` where
+    *regressions* are :data:`REGRESSION_COUNTERS` that grew by more than
+    *threshold* (relative; any growth from zero counts), and *changes*
+    lists every counter whose value differs.
+    """
+    bc = {k: v for k, v in base.get("counters", {}).items()
+          if isinstance(v, Number)}
+    oc = {k: v for k, v in other.get("counters", {}).items()
+          if isinstance(v, Number)}
+    changes = []
+    for name in sorted(set(bc) | set(oc)):
+        b, o = bc.get(name, 0), oc.get(name, 0)
+        if b != o:
+            changes.append({"counter": name, "base": b, "other": o})
+    regressions, improvements = [], []
+    for name in REGRESSION_COUNTERS:
+        b, o = bc.get(name, 0), oc.get(name, 0)
+        if o > b and (b == 0 or (o - b) / b > threshold):
+            regressions.append({
+                "counter": name, "base": b, "other": o,
+                "growth": None if b == 0 else (o - b) / b,
+            })
+        elif o < b:
+            improvements.append({"counter": name, "base": b, "other": o})
+    return {"regressions": regressions, "improvements": improvements,
+            "changes": changes}
+
+
+def render_diff(diff: dict) -> str:
+    lines = []
+    if diff["regressions"]:
+        lines.append("REGRESSIONS:")
+        for r in diff["regressions"]:
+            growth = ("new" if r["growth"] is None
+                      else f"+{r['growth'] * 100:.1f}%")
+            lines.append(f"  {r['counter']}: {r['base']} -> {r['other']} "
+                         f"({growth})")
+    else:
+        lines.append("no regressions")
+    if diff["improvements"]:
+        lines.append("improvements:")
+        for r in diff["improvements"]:
+            lines.append(f"  {r['counter']}: {r['base']} -> {r['other']}")
+    other_changes = [c for c in diff["changes"]
+                     if c["counter"] not in REGRESSION_COUNTERS]
+    if other_changes:
+        lines.append("other changed counters:")
+        for c in other_changes:
+            lines.append(f"  {c['counter']}: {c['base']} -> {c['other']}")
+    return "\n".join(lines)
+
+
+def check_bench(payload: dict, max_overhead: float = 0.05) -> list[str]:
+    """Gate a ``BENCH_apps.json`` payload: parity cells must hold and the
+    observability overhead cell must stay under *max_overhead*."""
+    problems: list[str] = []
+    for r in payload.get("results", []):
+        where = f"{r.get('app')}@{r.get('nodes')}"
+        for cell in ("value_bit_identical", "meter_equal",
+                     "virtual_seconds_equal", "bytes_shipped_equal"):
+            if cell in r and not r[cell]:
+                problems.append(f"{where}: {cell} is false")
+    obs = payload.get("obs_overhead")
+    if obs is None:
+        problems.append("payload has no obs_overhead cell")
+    else:
+        overhead = obs.get("overhead")
+        if not isinstance(overhead, Number):
+            problems.append("obs_overhead.overhead is not a number")
+        elif overhead >= max_overhead:
+            problems.append(
+                f"obs overhead {overhead * 100:.2f}% >= "
+                f"{max_overhead * 100:.0f}% budget"
+            )
+    return problems
+
+
+def load_bench(path: str) -> dict:
+    with open(path) as fh:
+        return json.load(fh)

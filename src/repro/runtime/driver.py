@@ -54,6 +54,7 @@ from repro.core.iterators.iter_type import (
 )
 from repro.data.handle import bind_store
 from repro.data.plane import DataPlane, chunk_requirements
+from repro.obs.spans import active as _obs_active, obs_span as _obs_span
 from repro.partition import block2d_bounds, block_bounds, grid_shape
 from repro.runtime.costs import CostContext, use_costs
 from repro.runtime.gc_model import BOEHM_GC, AllocatorModel
@@ -214,12 +215,24 @@ class TrioletRuntime:
         self.recovery_report = RecoveryReport(attempts=0)
         self.clock = VirtualClock()
         self.sections: list[SectionRecord] = []
+        obs = _obs_active()
+        if obs is not None:
+            # Spans opened without an explicit clock (application phases,
+            # plan consults) read this runtime's virtual timeline.
+            obs.use_clock(self.clock)
         # Union of every metered region this runtime executed (task loops,
         # sequential glue).  Nested regions shadow the installed meter, so
         # merging each region once counts every tally exactly once.
         self.meter_total = meter.CostMeter()
 
     # -- bookkeeping -----------------------------------------------------
+
+    def _obs_section(self) -> None:
+        """Fold the just-appended section record into the observability
+        registry (no-op when no recorder is installed)."""
+        obs = _obs_active()
+        if obs is not None:
+            obs.on_section(self.sections[-1])
 
     @property
     def elapsed(self) -> float:
@@ -271,11 +284,13 @@ class TrioletRuntime:
 
     def run_sequential(self, fn, *args, label: str = "seq", **kwargs) -> Any:
         """Run plain code at the main rank, charging its metered time."""
-        with meter.metered() as m:
-            out = fn(*args, **kwargs)
-        self.meter_total.merge(m)
-        dt = self.costs.task_seconds(m)
-        self.clock.advance(dt)
+        with _obs_span("section", label, clock=self.clock) as osp:
+            with meter.metered() as m:
+                out = fn(*args, **kwargs)
+            self.meter_total.merge(m)
+            dt = self.costs.task_seconds(m)
+            self.clock.advance(dt)
+            osp.set(kind="seq", visits=m.visits)
         self.sections.append(
             SectionRecord(
                 label=label,
@@ -288,12 +303,15 @@ class TrioletRuntime:
                 visits=m.visits,
             )
         )
+        self._obs_section()
         return out
 
     def charge_visits(self, visits: float, label: str = "seq") -> None:
         """Charge main-rank compute for work done outside the meter."""
-        dt = self.costs.seconds_for_visits(visits)
-        self.clock.advance(dt)
+        with _obs_span("section", label, clock=self.clock) as osp:
+            dt = self.costs.seconds_for_visits(visits)
+            self.clock.advance(dt)
+            osp.set(kind="seq", visits=int(visits))
         self.sections.append(
             SectionRecord(
                 label=label,
@@ -306,6 +324,7 @@ class TrioletRuntime:
                 visits=int(visits),
             )
         )
+        self._obs_section()
 
     # -- the Executor interface ----------------------------------------------
 
@@ -485,7 +504,9 @@ class TrioletRuntime:
         """
         if not _engine.vectorization_enabled():
             return None
-        p = planner.plan_for(it)
+        with _obs_span("plan", "plan_for", clock=self.clock) as sp:
+            p = planner.plan_for(it)
+            sp.set(compiled=p is not None)
         return p.describe() if p is not None else None
 
     # -- top-level localpar ---------------------------------------------------
@@ -494,11 +515,14 @@ class TrioletRuntime:
         """``localpar`` at top level: the main node's cores, no network."""
         if not self._partitionable(it):
             return self._sequential_fallback(it, spec, "localpar-unpartitionable")
-        plan = self._warm_plan(it)
-        result, makespan, gc_time = self._node_execute(
-            it, spec, self.machine.cores_per_node
-        )
-        self.clock.advance(makespan)
+        with _obs_span("section", "localpar", clock=self.clock) as osp:
+            plan = self._warm_plan(it)
+            result, makespan, gc_time = self._node_execute(
+                it, spec, self.machine.cores_per_node
+            )
+            self.clock.advance(makespan)
+            osp.set(kind=spec.kind, nodes=1,
+                    cores=self.machine.cores_per_node)
         self.sections.append(
             SectionRecord(
                 label="localpar",
@@ -512,14 +536,17 @@ class TrioletRuntime:
                 plan=plan,
             )
         )
+        self._obs_section()
         return result
 
     def _sequential_fallback(self, it: Iter, spec: ConsumeSpec, label: str) -> Any:
-        with meter.metered() as m:
-            out = spec.seq_fn(it)
-        self.meter_total.merge(m)
-        dt = self.costs.task_seconds(m)
-        self.clock.advance(dt)
+        with _obs_span("section", label, clock=self.clock) as osp:
+            with meter.metered() as m:
+                out = spec.seq_fn(it)
+            self.meter_total.merge(m)
+            dt = self.costs.task_seconds(m)
+            self.clock.advance(dt)
+            osp.set(kind=spec.kind, visits=m.visits)
         self.sections.append(
             SectionRecord(
                 label=label,
@@ -532,6 +559,7 @@ class TrioletRuntime:
                 visits=m.visits,
             )
         )
+        self._obs_section()
         return out
 
     # -- distributed sections ---------------------------------------------
@@ -585,7 +613,15 @@ class TrioletRuntime:
             # Variable-length outer loops cannot be partitioned (§3.2's
             # whole point is to avoid producing them); run sequentially.
             return self._sequential_fallback(it, spec, "par-unpartitionable")
+        with _obs_span("section", "par", clock=self.clock) as osp:
+            out = self._distributed_body(it, spec, osp)
+        self._obs_section()
+        return out
 
+    def _distributed_body(self, it: Iter, spec: ConsumeSpec, osp) -> Any:
+        """The attempt loop of a distributed section (see
+        :meth:`_distributed`; *osp* is its enclosing section span)."""
+        obs = _obs_active()
         # Flat topology: one rank per core, no shared-memory level.
         flat = self.topology == "flat"
         nranks_max = (
@@ -627,7 +663,8 @@ class TrioletRuntime:
             # when the section touches no handles -- the legacy
             # ship-the-slice path below is then byte-for-byte unchanged.
             ship = self.plane.plan_section(
-                self.plane.requirements(chunks), migrated=rebalanced
+                self.plane.requirements(chunks), migrated=rebalanced,
+                recovery=attempt > 0,
             )
             if ship is not None and attempt > 0:
                 # Bytes shipped again because a crash invalidated
@@ -644,10 +681,15 @@ class TrioletRuntime:
                     )
                     store_cm = self.plane.bound_store(comm.rank)
                 with store_cm:
-                    result, makespan, gc_time = self._node_execute(
-                        my_chunk, spec, cores
-                    )
-                    comm.compute(makespan)
+                    with _obs_span(
+                        "kernel", "node_execute", rank=comm.rank,
+                        clock=comm.clock,
+                    ) as ksp:
+                        result, makespan, gc_time = self._node_execute(
+                            my_chunk, spec, cores
+                        )
+                        comm.compute(makespan)
+                        ksp.set(makespan=makespan, gc_time=gc_time)
                     comm.metrics.gc_time += gc_time  # already inside makespan
                     comm.alloc(_result_bytes(result))
                     if spec.kind == "reduce":
@@ -669,10 +711,18 @@ class TrioletRuntime:
                     wire_scale=self.costs.wire_scale,
                     faults=self.faults,
                     recovery=rec,
+                    trace=obs is not None,
                 )
+                if obs is not None and res.trace is not None:
+                    obs.absorb_events(res.trace.events, osp)
                 break
             except BaseException as exc:
                 infos = getattr(exc, "rank_failures", None)
+                crash_trace = getattr(exc, "trace_log", None)
+                if obs is not None and crash_trace is not None:
+                    # The failed attempt's messages and fault stamps stay
+                    # visible in the trace, tied to the same section.
+                    obs.absorb_events(crash_trace.events, osp)
                 recoverable = (
                     rec is not None
                     and infos is not None
@@ -742,6 +792,15 @@ class TrioletRuntime:
                 plan=plan,
                 data_plane=data_plane,
             )
+        )
+        osp.set(
+            kind=spec.kind,
+            partition=partition,
+            nodes=len(chunks),
+            attempts=attempt + 1,
+            dead_ranks=dead,
+            makespan=makespan,
+            bytes_shipped=res.metrics.bytes_sent,
         )
         if _SECTION_OBSERVERS:
             _notify_section(

@@ -130,3 +130,50 @@ class TestTracing:
         log.record(CommEvent("recv", 1.0, 1, 0, 0, 100))
         violations = check_causality(log)
         assert any("no matching send" in v for v in violations)
+
+
+class TestSpanLayer:
+    """The observability layer's view of the same traced runs: absorbed
+    events stay causal, collectives appear as per-rank spans, and the
+    event dict form round-trips the CommEvent fields."""
+
+    def _traced_run(self, nranks=4):
+        return TestTracing._traced_run(self, nranks=nranks)
+
+    def test_absorbed_events_stay_causal_at_span_layer(self):
+        from repro.obs.export import check_event_causality
+        from repro.obs.spans import capture
+
+        res = self._traced_run()
+        with capture() as rec:
+            rec.absorb_events(res.trace.events, None)
+        assert len(rec.events) == len(res.trace.events)
+        assert check_event_causality(rec.events) == []
+
+    def test_comm_event_dict_roundtrips_fields(self):
+        res = self._traced_run()
+        for e in res.trace.events:
+            d = e.as_dict()
+            assert d == {"kind": e.kind, "time": e.time, "rank": e.rank,
+                         "peer": e.peer, "tag": e.tag, "nbytes": e.nbytes}
+
+    def test_collectives_record_spans_under_capture(self):
+        from repro.obs.spans import capture
+
+        with capture() as rec:
+            res = self._traced_run()
+        assert res is not None
+        coll = rec.spans_of_kind("collective")
+        # allreduce decomposes into reduce + bcast; all three names show
+        # up, once per rank.
+        names = {s.name for s in coll}
+        assert {"allreduce", "reduce", "bcast"} <= names
+        assert {s.rank for s in coll} == {0, 1, 2, 3}
+
+    def test_collectives_record_nothing_when_disabled(self):
+        from repro.obs.spans import Span, active
+
+        assert active() is None
+        before = Span.allocated
+        self._traced_run()
+        assert Span.allocated == before

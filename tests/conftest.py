@@ -25,10 +25,13 @@ def _fresh_engine_state():
     a later one, and a test that *needs* pristine state gets it).
     """
     from repro.core.fusion.planner import reset_planner
+    from repro.obs.spans import force_disable
     import repro.serial as serial
 
     reset_planner()
     serial.reset()
+    force_disable()
     yield
     reset_planner()
     serial.reset()
+    force_disable()

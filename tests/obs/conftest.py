@@ -1,0 +1,18 @@
+"""Observability test hygiene.
+
+Captures install a process-global recorder and app runs register
+data-plane handles; both leak into later tests unless dropped.  The
+root conftest already force-disables the recorder around every test --
+here we additionally clear the handle registry, since the obs tests run
+whole apps through ``rt.distribute``.
+"""
+import pytest
+
+from repro.data.handle import drop_handles
+
+
+@pytest.fixture(autouse=True)
+def _fresh_handles():
+    drop_handles()
+    yield
+    drop_handles()

@@ -1,0 +1,84 @@
+"""Span-layer causality: every absorbed recv joins a departed send.
+
+The recorder absorbs each section's CommEvents (including those of
+*crashed* attempts) and links them to the section span; the span-layer
+causality check must hold on every capture, mirroring the cluster
+trace's own invariant but over the joined, cross-section stream.
+"""
+import numpy as np
+import pytest
+
+from repro.cluster.faults import FaultPlan, RankCrash
+from repro.cluster.machine import MachineSpec
+from repro.cluster.trace import FAULT_EVENT_KINDS
+from repro.data.plane import DataPlane
+from repro.obs.export import check_event_causality
+from repro.obs.runapp import capture_app
+from repro.obs.spans import capture
+from repro.runtime import triolet_runtime
+from repro.testing import kernels as K
+from repro.testing.gen import build_iter, generate_program, run_consumer
+
+import repro.triolet as tri
+
+pytestmark = pytest.mark.obs
+
+
+class TestSpanLayerCausality:
+    @pytest.mark.parametrize("app,nodes", [
+        ("sgemm", 2), ("sgemm", 4), ("mriq", 3), ("cutcp", 2),
+    ])
+    def test_app_captures_are_causal(self, app, nodes):
+        rec, _run = capture_app(app, nodes)
+        assert rec.events, f"{app}@{nodes}: no comm events absorbed"
+        assert check_event_causality(rec.events) == []
+
+    def test_events_link_to_their_section_span(self):
+        rec, _run = capture_app("sgemm", 2)
+        section_sids = {s.sid for s in rec.spans if s.kind == "section"}
+        for e in rec.events:
+            assert e["section"] in section_sids
+
+    def test_crashed_attempt_events_are_absorbed_and_causal(self):
+        xs = np.arange(256, dtype=np.float64)
+        machine = MachineSpec(nodes=4, cores_per_node=2)
+        plan = FaultPlan(faults=(RankCrash(rank=1, at=1e-6),))
+        with capture() as rec:
+            with triolet_runtime(machine, faults=plan,
+                                 plane=DataPlane()) as rt:
+                h = rt.distribute(xs)
+                tri.sum(tri.map(K.k_square, tri.par(h)))
+        faults = [e for e in rec.events
+                  if e["kind"] in FAULT_EVENT_KINDS and e["peer"] < 0]
+        assert faults, "crashed attempt left no fault events in the capture"
+        assert any(e["rank"] == 1 for e in faults)
+        # Message events -- across the failed and the retried attempt --
+        # must still satisfy FIFO send-before-recv per channel.
+        assert check_event_causality(rec.events) == []
+
+    def test_fuzzed_multi_section_capture_is_causal(self):
+        prog = generate_program(13, 1)
+        machine = MachineSpec(nodes=5, cores_per_node=2)
+        with capture() as rec:
+            with triolet_runtime(machine, plane=DataPlane()) as rt:
+                run_consumer(prog, build_iter(prog, rt.distribute,
+                                              hint="par"))
+                run_consumer(prog, build_iter(prog, rt.distribute,
+                                              hint="par"))
+        assert check_event_causality(rec.events) == []
+
+    def test_checker_detects_orphan_recv(self):
+        events = [
+            {"kind": "recv", "time": 1.0, "rank": 1, "peer": 0,
+             "tag": 7, "nbytes": 8},
+        ]
+        assert check_event_causality(events)
+
+    def test_checker_detects_time_travel(self):
+        events = [
+            {"kind": "send", "time": 2.0, "rank": 0, "peer": 1,
+             "tag": 7, "nbytes": 8},
+            {"kind": "recv", "time": 1.0, "rank": 1, "peer": 0,
+             "tag": 7, "nbytes": 8},
+        ]
+        assert check_event_causality(events)

@@ -1,0 +1,108 @@
+"""Chrome trace-event export: schema validity and lane layout.
+
+The exported JSON must load in ``chrome://tracing`` / Perfetto, so
+every event needs well-formed ``ph``/``ts``/``pid``/``tid`` fields; the
+run's spans live in one process with the driver on tid 0 and one lane
+per rank, and endpoint-less fault events (``peer == -1``) are routed to
+a separate fault process so they never hide under message traffic.
+"""
+import json
+
+import pytest
+
+from repro.cluster.faults import FaultPlan, RankCrash
+from repro.cluster.machine import MachineSpec
+from repro.data.plane import DataPlane
+from repro.obs.export import (
+    FAULT_PID,
+    RUN_PID,
+    chrome_trace,
+    validate_chrome,
+    write_chrome,
+)
+from repro.obs.runapp import capture_app
+from repro.obs.spans import capture
+from repro.runtime import triolet_runtime
+from repro.testing import kernels as K
+
+import numpy as np
+import repro.triolet as tri
+
+pytestmark = pytest.mark.obs
+
+
+class TestChromeSchema:
+    def test_capture_validates_clean(self):
+        rec, _run = capture_app("sgemm", 2)
+        payload = chrome_trace(rec)
+        assert validate_chrome(payload) == []
+
+    def test_payload_is_json_serializable(self, tmp_path):
+        rec, _run = capture_app("sgemm", 2)
+        path = tmp_path / "trace.json"
+        write_chrome(rec, str(path))
+        payload = json.loads(path.read_text())
+        assert validate_chrome(payload) == []
+        assert payload["displayTimeUnit"] == "ms"
+
+    def test_lane_layout(self):
+        rec, _run = capture_app("sgemm", 2)
+        evs = chrome_trace(rec)["traceEvents"]
+        spans = [e for e in evs if e["ph"] == "X"]
+        assert all(e["pid"] == RUN_PID for e in spans)
+        # Driver spans on tid 0, rank r spans on tid r + 1.
+        tids = {e["tid"] for e in spans}
+        assert 0 in tids and {1, 2} <= tids
+        names = {e["name"] for e in evs if e["ph"] == "M"}
+        assert {"process_name", "thread_name"} <= names
+
+    def test_comm_events_are_instants_in_run_process(self):
+        rec, _run = capture_app("sgemm", 2)
+        evs = chrome_trace(rec)["traceEvents"]
+        comm = [e for e in evs if e.get("cat") == "comm"]
+        assert comm, "no comm instants exported"
+        for e in comm:
+            assert e["ph"] == "i" and e["s"] == "t"
+            assert e["pid"] == RUN_PID
+
+    def test_fault_events_land_in_fault_process(self):
+        xs = np.arange(256, dtype=np.float64)
+        machine = MachineSpec(nodes=4, cores_per_node=2)
+        plan = FaultPlan(faults=(RankCrash(rank=1, at=1e-6),))
+        with capture() as rec:
+            with triolet_runtime(machine, faults=plan,
+                                 plane=DataPlane()) as rt:
+                h = rt.distribute(xs)
+                tri.sum(tri.map(K.k_square, tri.par(h)))
+        payload = chrome_trace(rec)
+        assert validate_chrome(payload) == []
+        faults = [e for e in payload["traceEvents"]
+                  if e.get("cat") == "fault"]
+        assert faults, "crash run exported no fault instants"
+        for e in faults:
+            assert e["pid"] == FAULT_PID
+            # Fault lanes are keyed by the faulting rank itself.
+            assert e["tid"] >= 0
+            assert e["args"]["peer"] < 0
+        assert any(e["tid"] == 1 for e in faults)
+
+    def test_validator_rejects_malformed_events(self):
+        assert validate_chrome({"traceEvents": [
+            {"ph": "Z", "name": "x", "pid": 1, "tid": 0, "ts": 0.0},
+        ]})
+        assert validate_chrome({"traceEvents": [
+            {"ph": "X", "name": "x", "pid": 1, "tid": 0, "ts": -1.0,
+             "dur": 1.0},
+        ]})
+        assert validate_chrome({"traceEvents": [
+            {"ph": "X", "name": "x", "pid": 1, "tid": 0, "ts": 0.0},
+        ]}), "X event without dur must be rejected"
+        assert validate_chrome({"traceEvents": [
+            {"ph": "i", "name": "x", "pid": 1, "tid": "0", "ts": 0.0,
+             "s": "t"},
+        ]}), "string tid must be rejected"
+        assert validate_chrome({"traceEvents": [
+            {"ph": "i", "name": "x", "pid": 1, "tid": 0, "ts": 0.0,
+             "s": "q"},
+        ]}), "bad instant scope must be rejected"
+        assert validate_chrome({"not_trace_events": []})

@@ -1,0 +1,145 @@
+"""The ``python -m repro.obs`` CLI: trace, summarize, diff, regress.
+
+The diff fixtures under ``fixtures/`` seed a known perf regression
+(makespan +50%, bytes doubled, reshipped bytes appearing from zero);
+``diff`` must exit 1 on it and 0 on identical runs.  ``regress`` gates
+the checked-in ``BENCH_apps.json``.
+"""
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.obs.__main__ import main
+from repro.obs.export import load_jsonl
+from repro.obs.report import check_bench, diff_runs, summarize
+
+pytestmark = pytest.mark.obs
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO = Path(__file__).resolve().parents[2]
+
+
+class TestDiff:
+    def test_diff_detects_seeded_regression(self, capsys):
+        rc = main(["diff", str(FIXTURES / "base.jsonl"),
+                   str(FIXTURES / "regressed.jsonl")])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "REGRESSIONS" in out
+        assert "time.makespan" in out
+        assert "cluster.bytes_sent" in out
+        assert "recovery.reshipped_bytes" in out
+
+    def test_diff_same_run_is_clean(self, capsys):
+        rc = main(["diff", str(FIXTURES / "base.jsonl"),
+                   str(FIXTURES / "base.jsonl")])
+        assert rc == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_improvement_direction_does_not_flag(self):
+        # regressed -> base is an improvement, not a regression.
+        diff = diff_runs(load_jsonl(str(FIXTURES / "regressed.jsonl")),
+                         load_jsonl(str(FIXTURES / "base.jsonl")))
+        assert diff["regressions"] == []
+        assert diff["improvements"]
+
+    def test_threshold_is_respected(self):
+        base = load_jsonl(str(FIXTURES / "base.jsonl"))
+        other = load_jsonl(str(FIXTURES / "regressed.jsonl"))
+        # 50% makespan growth passes a 60% threshold...
+        loose = diff_runs(base, other, threshold=0.6)
+        assert all(r["counter"] != "time.makespan"
+                   for r in loose["regressions"])
+        # ...but growth-from-zero always flags.
+        assert any(r["counter"] == "recovery.reshipped_bytes"
+                   for r in loose["regressions"])
+
+    def test_diff_json_mode(self, capsys):
+        rc = main(["diff", "--json", str(FIXTURES / "base.jsonl"),
+                   str(FIXTURES / "regressed.jsonl")])
+        assert rc == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert {r["counter"] for r in payload["regressions"]} >= {
+            "time.makespan", "cluster.bytes_sent"}
+
+
+class TestSummarize:
+    def test_summarize_fixture(self, capsys):
+        rc = main(["summarize", str(FIXTURES / "base.jsonl")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "spans: 2" in out
+        assert "time.makespan = 1.0" in out
+
+    def test_summarize_json_mode(self, capsys):
+        rc = main(["summarize", "--json", str(FIXTURES / "base.jsonl")])
+        assert rc == 0
+        s = json.loads(capsys.readouterr().out)
+        assert s["span_kinds"] == {"kernel": 1, "section": 1}
+        assert s["ranks"] == [0]
+        assert s["sections"][0]["label"] == "par"
+
+    def test_summarize_matches_library(self):
+        data = load_jsonl(str(FIXTURES / "base.jsonl"))
+        s = summarize(data)
+        assert s["events"] == 2
+        assert s["counters"]["cluster.bytes_sent"] == 4096
+
+
+class TestTraceCommand:
+    def test_trace_exports_validating_chrome_and_jsonl(self, tmp_path,
+                                                      capsys):
+        chrome = tmp_path / "trace.json"
+        jsonl = tmp_path / "run.jsonl"
+        rc = main(["trace", "--app", "sgemm", "--nodes", "2",
+                   "--chrome", str(chrome), "--jsonl", str(jsonl),
+                   "--tree"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "phase:matmul" in out  # --tree output
+        payload = json.loads(chrome.read_text())
+        assert payload["traceEvents"]
+        data = load_jsonl(str(jsonl))
+        assert data["spans"] and data["events"]
+        assert data["counters"]["sections.count"] >= 2
+
+
+class TestRegress:
+    def test_checked_in_bench_passes_gate(self, capsys):
+        rc = main(["regress", str(REPO / "BENCH_apps.json")])
+        assert rc == 0
+        assert "passed" in capsys.readouterr().out
+
+    def test_seeded_bad_payload_fails_gate(self, tmp_path, capsys):
+        bad = json.loads((REPO / "BENCH_apps.json").read_text())
+        bad["obs_overhead"]["overhead"] = 0.2
+        p = tmp_path / "bad.json"
+        p.write_text(json.dumps(bad))
+        rc = main(["regress", str(p)])
+        assert rc == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_missing_overhead_cell_fails_gate(self):
+        payload = json.loads((REPO / "BENCH_apps.json").read_text())
+        del payload["obs_overhead"]
+        assert any("obs_overhead" in p for p in check_bench(payload))
+
+    def test_broken_parity_cell_fails_gate(self):
+        payload = json.loads((REPO / "BENCH_apps.json").read_text())
+        payload["results"][0]["meter_equal"] = False
+        problems = check_bench(payload)
+        assert any("meter_equal" in p for p in problems)
+
+    def test_module_entrypoint_runs(self):
+        env = dict(os.environ, PYTHONPATH="src")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.obs", "regress",
+             "BENCH_apps.json"],
+            cwd=str(REPO), capture_output=True, text=True, env=env,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "passed" in proc.stdout

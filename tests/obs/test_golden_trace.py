@@ -1,0 +1,86 @@
+"""Golden-trace test: the span tree of a fixed run is part of the API.
+
+A fixed-seed sgemm run on a 2-node machine must produce exactly this
+span-tree *shape* -- kinds, names, nesting, rank lanes -- compared
+structurally, never by timestamps.  The golden literal below encodes
+real structural promises: app phases parent driver sections, the
+transpose runs as a 1-node ``localpar`` (plan consult only, no
+shipping), and the matmul's ``par`` section fans out into per-rank
+kernel and collective spans plus one ship span for the non-resident
+rank.  A refactor that changes this shape is an observability API
+change and must update the golden deliberately.
+"""
+import pytest
+
+from repro.obs.export import render_tree, span_tree
+from repro.obs.runapp import capture_app
+
+pytestmark = pytest.mark.obs
+
+#: sgemm, sandbox params (n=64, seed=7), PAPER_MACHINE scaled to 2 nodes.
+GOLDEN_SGEMM_2N = (
+    ("phase", "transpose", -1, (
+        ("section", "localpar", -1, (
+            ("plan", "plan_for", -1, ()),
+        )),
+    )),
+    ("phase", "matmul", -1, (
+        ("section", "par", -1, (
+            ("plan", "plan_for", -1, ()),
+            ("kernel", "node_execute", 0, ()),
+            ("collective", "gather", 0, ()),
+            ("ship", "ship->r1", 1, ()),
+            ("kernel", "node_execute", 1, ()),
+            ("collective", "gather", 1, ()),
+        )),
+    )),
+)
+
+
+class TestGoldenTrace:
+    def test_sgemm_2node_tree_matches_golden(self):
+        rec, _run = capture_app("sgemm", 2)
+        tree = span_tree(rec.spans)
+        assert tree == GOLDEN_SGEMM_2N, (
+            "span tree drifted from golden:\n" + render_tree(tree)
+        )
+
+    def test_tree_is_run_to_run_stable(self):
+        # The structural shape must not depend on thread scheduling:
+        # span_tree orders children on the deterministic virtual
+        # timeline, not on append order.
+        trees = {span_tree(capture_app("sgemm", 2)[0].spans)
+                 for _ in range(3)}
+        assert len(trees) == 1
+
+    def test_timestamps_nest_within_parents(self):
+        rec, _run = capture_app("sgemm", 2)
+        by_sid = {s.sid: s for s in rec.spans}
+        for s in rec.spans:
+            assert s.t1 is not None and s.t1 >= s.t0
+            if s.parent is not None:
+                p = by_sid[s.parent]
+                assert p.t0 <= s.t0
+                # Parents close at-or-after their children on the
+                # virtual timeline (rank clocks run inside the driver
+                # section's interval).
+                assert p.t1 >= s.t1
+
+    def test_every_app_produces_phase_rooted_spans(self):
+        for app in ("mriq", "tpacf", "cutcp"):
+            rec, run = capture_app(app, 2)
+            roots = [s for s in rec.spans if s.parent is None]
+            assert roots, f"{app}: no spans recorded"
+            assert {s.kind for s in roots} <= {"phase", "section"}, (
+                f"{app}: unexpected root kinds "
+                f"{sorted({s.kind for s in roots})}"
+            )
+            assert rec.spans_of_kind("phase"), f"{app}: no phase spans"
+            assert rec.spans_of_kind("section"), f"{app}: no section spans"
+            assert run.detail["obs"]["spans"] == len(rec.spans)
+
+    def test_render_tree_mentions_lanes(self):
+        rec, _run = capture_app("sgemm", 2)
+        text = render_tree(span_tree(rec.spans))
+        assert "phase:matmul [driver]" in text
+        assert "kernel:node_execute [rank 1]" in text
