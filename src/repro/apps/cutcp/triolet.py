@@ -31,7 +31,9 @@ from repro.runtime import (
     BOEHM_GC,
     DEFAULT_RECOVERY,
     AllocatorModel,
+    CheckpointConfig,
     CostContext,
+    FailureBudget,
     RecoveryPolicy,
     triolet_runtime,
 )
@@ -60,6 +62,8 @@ def run_triolet(
     limits: RuntimeLimits = UNLIMITED,
     faults: FaultPlan | None = None,
     recovery: RecoveryPolicy | None = DEFAULT_RECOVERY,
+    budget: FailureBudget | None = None,
+    checkpoint: CheckpointConfig | None = None,
 ) -> AppRun:
     with triolet_runtime(
         machine,
@@ -68,6 +72,8 @@ def run_triolet(
         limits=limits,
         faults=faults,
         recovery=recovery,
+        budget=budget,
+        checkpoint=checkpoint,
     ) as rt:
         # Atoms shard by rows on the data plane; each rank's block stays
         # resident across sections (and across re-executions, modulo

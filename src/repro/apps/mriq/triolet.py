@@ -26,7 +26,9 @@ from repro.runtime import (
     BOEHM_GC,
     DEFAULT_RECOVERY,
     AllocatorModel,
+    CheckpointConfig,
     CostContext,
+    FailureBudget,
     RecoveryPolicy,
     triolet_runtime,
 )
@@ -57,6 +59,8 @@ def run_triolet(
     limits: RuntimeLimits = UNLIMITED,
     faults: FaultPlan | None = None,
     recovery: RecoveryPolicy | None = DEFAULT_RECOVERY,
+    budget: FailureBudget | None = None,
+    checkpoint: CheckpointConfig | None = None,
 ) -> AppRun:
     with triolet_runtime(
         machine,
@@ -65,6 +69,8 @@ def run_triolet(
         limits=limits,
         faults=faults,
         recovery=recovery,
+        budget=budget,
+        checkpoint=checkpoint,
     ) as rt:
         # Pixel coordinates shard by rows; the k-space arrays ride in the
         # closure environment, i.e. replicated -- all as resident handles,

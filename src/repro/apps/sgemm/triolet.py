@@ -25,7 +25,9 @@ from repro.runtime import (
     BOEHM_GC,
     DEFAULT_RECOVERY,
     AllocatorModel,
+    CheckpointConfig,
     CostContext,
+    FailureBudget,
     RecoveryPolicy,
     triolet_runtime,
 )
@@ -68,6 +70,8 @@ def run_triolet(
     limits: RuntimeLimits = UNLIMITED,
     faults: FaultPlan | None = None,
     recovery: RecoveryPolicy | None = DEFAULT_RECOVERY,
+    budget: FailureBudget | None = None,
+    checkpoint: CheckpointConfig | None = None,
 ) -> AppRun:
     with triolet_runtime(
         machine,
@@ -76,6 +80,8 @@ def run_triolet(
         limits=limits,
         faults=faults,
         recovery=recovery,
+        budget=budget,
+        checkpoint=checkpoint,
     ) as rt:
         # Transposition does too little work per byte for distributed
         # memory; localpar uses one node's cores over shared memory.

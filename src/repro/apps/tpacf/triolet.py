@@ -44,7 +44,9 @@ from repro.runtime import (
     BOEHM_GC,
     DEFAULT_RECOVERY,
     AllocatorModel,
+    CheckpointConfig,
     CostContext,
+    FailureBudget,
     RecoveryPolicy,
     triolet_runtime,
 )
@@ -127,6 +129,8 @@ def run_triolet(
     limits: RuntimeLimits = UNLIMITED,
     faults: FaultPlan | None = None,
     recovery: RecoveryPolicy | None = DEFAULT_RECOVERY,
+    budget: FailureBudget | None = None,
+    checkpoint: CheckpointConfig | None = None,
 ) -> AppRun:
     with triolet_runtime(
         machine,
@@ -135,6 +139,8 @@ def run_triolet(
         limits=limits,
         faults=faults,
         recovery=recovery,
+        budget=budget,
+        checkpoint=checkpoint,
     ) as rt:
         # Resident placement: obs rides in closure environments (every
         # rank needs all of it), rands is sharded by rows.  The three

@@ -72,18 +72,52 @@ def main(argv: list[str] | None = None) -> int:
         help="run the wall-clock engine benchmark and write a JSON report",
     )
     parser.add_argument(
+        "--recovery",
+        action="store_true",
+        help="run the durable-recovery bench (escalating permanent "
+        "losses) and write BENCH_recovery.json",
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="with --recovery: also write a Chrome trace of one "
+        "recovered run to PATH",
+    )
+    parser.add_argument(
         "--out",
-        default="BENCH_apps.json",
-        help="output path for the --json report (default: BENCH_apps.json)",
+        default=None,
+        help="output path for the --json / --recovery report",
     )
     args = parser.parse_args(argv)
+    if args.recovery:
+        from repro.bench.recovery import (
+            render,
+            run_recovery_bench,
+            write_json,
+            write_recovered_trace,
+        )
+
+        out = args.out or "BENCH_recovery.json"
+        payload = run_recovery_bench()
+        write_json(payload, out)
+        print(render(payload))
+        print(f"wrote {out}")
+        if args.trace:
+            info = write_recovered_trace(args.trace)
+            print(
+                f"wrote {args.trace} (recovered {info['app']} run, "
+                f"{info['rank_losses']} loss, "
+                f"{info['lineage_replays']} lineage replays)"
+            )
+        return 0
     if args.json:
         from repro.bench.wallclock import render, run_bench, write_json
 
         payload = run_bench()
-        write_json(payload, args.out)
+        write_json(payload, args.out or "BENCH_apps.json")
         print(render(payload))
-        print(f"wrote {args.out}")
+        print(f"wrote {args.out or 'BENCH_apps.json'}")
         return 0
     try:
         node_counts = tuple(int(n) for n in args.nodes.split(","))

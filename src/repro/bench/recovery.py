@@ -1,0 +1,370 @@
+"""The recovery bench cell: completion and makespan overhead under an
+escalating permanent-loss schedule (the durable-recovery counterpart of
+the paper's failure narrative in §4.2-4.3).
+
+Every app runs on 4 nodes under 0, 1 and 2 permanent rank losses
+(:class:`~repro.cluster.faults.RankLoss`), three ways:
+
+* ``lineage`` -- the default elastic-shrink path: survivors keep their
+  resident shards and only the lost rank's slice chain is replayed;
+* ``invalidate`` -- the legacy path (``lineage_recovery=False``): a loss
+  drops all placement and every shard re-materializes from the master
+  copy.  Comparing ``reshipped_bytes`` against ``lineage`` is the cell's
+  point: selective replay must ship strictly fewer bytes;
+* ``eden`` -- the baseline.  Eden has no recovery subsystem at all (no
+  retry, no re-execution, no shrink), so any permanent loss aborts the
+  job; only the fault-free row completes.
+
+A separate checkpoint cell exercises driver-level restart: each app runs
+with checkpointing on and *no* in-run recovery policy, dies on a gated
+mid-job loss, and :func:`~repro.runtime.checkpoint.run_restartable`
+re-runs it -- sections already durable restore instead of executing.
+
+``identical`` is bitwise equality with the fault-free run.  cutcp's
+histogram merge is order-sensitive at the last ulp under *any*
+re-partition (the pre-existing transient-crash path deviates by the same
+amount), so the cell reports ``correct`` (allclose vs. the sequential
+reference) separately.
+"""
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.bench.calibrate import costs_for
+from repro.bench.harness import APPS, make_problem
+from repro.cluster.faults import FaultPlan, RankFailure, RankLoss
+from repro.cluster.machine import PAPER_MACHINE
+from repro.runtime import (
+    CheckpointConfig,
+    CheckpointStore,
+    FailureBudget,
+    JobFailure,
+    RecoveryPolicy,
+)
+
+__all__ = [
+    "RecoveryCell",
+    "run_recovery_bench",
+    "render",
+    "write_json",
+    "write_recovered_trace",
+]
+
+#: the escalating fault schedule: permanent losses injected per run.
+ESCALATION = (0, 1, 2)
+NODES = 4
+CORES_PER_NODE = 16
+
+BENCH_APPS = ("mriq", "sgemm", "tpacf", "cutcp")
+
+
+@dataclass
+class RecoveryCell:
+    """One (app, loss count, recovery mode) cell of the bench."""
+
+    app: str
+    losses: int
+    mode: str  # "lineage" | "invalidate" | "eden"
+    completed: bool
+    correct: bool = False
+    identical: bool = False  # bitwise vs. the fault-free run
+    elapsed: float = float("inf")
+    overhead: float = 0.0  # makespan overhead vs. fault-free (fraction)
+    rank_losses: int = 0
+    reshipped_bytes: int = 0
+    lineage_replays: int = 0
+    replayed_bytes: int = 0
+    shrink_migrations: int = 0
+    failed: str | None = None
+
+
+@dataclass
+class CheckpointCell:
+    """One app's restart-from-checkpoint outcome."""
+
+    app: str
+    completed: bool
+    identical: bool = False
+    restarts: int = 0
+    checkpoints: int = 0
+    checkpoint_bytes: int = 0
+    restores: int = 0
+    restored_bytes: int = 0
+    failed: str | None = None
+
+
+def _bit_identical(a, b) -> bool:
+    if a is None or b is None:
+        return False
+    if isinstance(a, dict):
+        return set(a) == set(b) and all(
+            np.asarray(a[k]).tobytes() == np.asarray(b[k]).tobytes() for k in b
+        )
+    return np.asarray(a).tobytes() == np.asarray(b).tobytes()
+
+
+def _loss_plan(nlosses: int, at: float) -> FaultPlan:
+    """The escalating schedule: losses staggered in virtual time so each
+    fires against the already-shrunken machine (rank ids renumber)."""
+    return FaultPlan(
+        faults=tuple(
+            RankLoss(rank=1 + i, at=at * (1.0 + 0.25 * i))
+            for i in range(nlosses)
+        )
+    )
+
+
+def _run_triolet_cell(app: str, spec, p, costs, machine, clean,
+                      nlosses: int, at: float, mode: str) -> RecoveryCell:
+    recovery = (
+        RecoveryPolicy()
+        if mode == "lineage"
+        else RecoveryPolicy(lineage_recovery=False)
+    )
+    budget = FailureBudget(max_rank_losses=machine.nodes - 1)
+    try:
+        run = spec.runners["triolet"](
+            p, machine, costs,
+            faults=_loss_plan(nlosses, at) if nlosses else None,
+            recovery=recovery,
+            budget=budget,
+        )
+    except Exception as exc:  # noqa: BLE001 - a failed cell is a result
+        return RecoveryCell(app=app, losses=nlosses, mode=mode,
+                            completed=False, failed=repr(exc))
+    rep = run.detail.get("recovery")
+    cell = RecoveryCell(
+        app=app,
+        losses=nlosses,
+        mode=mode,
+        completed=run.ok,
+        correct=spec.same_value(run.value, clean["reference"]),
+        identical=_bit_identical(run.value, clean["value"]),
+        elapsed=run.elapsed,
+        overhead=run.elapsed / clean["elapsed"] - 1.0,
+        failed=run.failed,
+    )
+    if rep is not None:
+        cell.rank_losses = rep.rank_losses
+        cell.reshipped_bytes = rep.reshipped_bytes
+        cell.lineage_replays = rep.lineage_replays
+        cell.replayed_bytes = rep.replayed_bytes
+        cell.shrink_migrations = rep.shrink_migrations
+    return cell
+
+
+def _run_eden_cell(app: str, spec, p, costs, machine, clean,
+                   nlosses: int) -> RecoveryCell:
+    if nlosses > 0:
+        # Eden has no failure recovery of any kind: a permanently lost
+        # rank takes its processes' partial results with it and the job
+        # aborts.  There is nothing to run.
+        return RecoveryCell(
+            app=app, losses=nlosses, mode="eden", completed=False,
+            failed="no recovery path: a lost rank aborts the job",
+        )
+    run = spec.runners["eden"](p, machine, costs)
+    return RecoveryCell(
+        app=app, losses=0, mode="eden",
+        completed=run.ok,
+        correct=run.ok and spec.same_value(run.value, clean["reference"]),
+        identical=False,
+        elapsed=run.elapsed,
+        overhead=0.0,
+        failed=run.failed,
+    )
+
+
+def _checkpoint_cell(app: str, spec, p, costs, machine, clean) -> CheckpointCell:
+    """Driver-level restart: kill the job mid-run with *no* in-run
+    recovery, then re-run against the same durable store.
+
+    The app runners manage their own runtime context, so the restart
+    loop lives at the app level here (the runtime-level equivalent is
+    :func:`repro.runtime.checkpoint.run_restartable`).
+    """
+    store = CheckpointStore()
+    # Gate the loss to the last distributed section so earlier sections
+    # are already durable when the job dies (multi-section apps restore
+    # them on restart; single-section apps simply re-run).
+    nsections = clean["sections"]
+    plan = FaultPlan(
+        faults=(RankLoss(rank=1, at=1e-6, section=max(0, nsections - 1)),)
+    )
+    restarts = 0
+    last_exc: Exception | None = None
+    run = None
+    for attempt in range(3):
+        try:
+            run = spec.runners["triolet"](
+                p, machine, costs,
+                faults=plan,
+                recovery=None,
+                checkpoint=CheckpointConfig(store=store, job=f"bench-{app}"),
+            )
+            break
+        except (JobFailure, RankFailure) as exc:
+            last_exc = exc
+            restarts += 1
+    if run is None:
+        return CheckpointCell(app=app, completed=False, restarts=restarts,
+                              failed=repr(last_exc))
+    rep = run.detail.get("recovery")
+    return CheckpointCell(
+        app=app,
+        completed=run.ok,
+        identical=_bit_identical(run.value, clean["value"]),
+        restarts=restarts,
+        checkpoints=store.puts,
+        checkpoint_bytes=store.bytes_written,
+        restores=rep.restores if rep is not None else 0,
+        restored_bytes=rep.restored_bytes if rep is not None else 0,
+        failed=run.failed,
+    )
+
+
+def _count_sections(run) -> int:
+    dp = run.detail.get("data_plane") or {}
+    return int(dp.get("sections", 0)) or 1
+
+
+def run_recovery_bench(apps: tuple[str, ...] = BENCH_APPS,
+                       nodes: int = NODES) -> dict:
+    """The full recovery dataset (the ``BENCH_recovery.json`` payload)."""
+    machine = PAPER_MACHINE.scaled(nodes=nodes,
+                                   cores_per_node=CORES_PER_NODE)
+    cells: list[RecoveryCell] = []
+    checkpoint_cells: list[CheckpointCell] = []
+    for app in apps:
+        spec = APPS[app]
+        p = make_problem(app)
+        costs = costs_for(app, "triolet", p)
+        base = spec.runners["triolet"](p, machine, costs)
+        clean = {
+            "value": base.value,
+            "elapsed": base.elapsed,
+            "reference": spec.solve_ref(p),
+            "sections": _count_sections(base),
+        }
+        # Mid-compute of the first section: late enough that survivors
+        # hold their shards, early enough to fire on every app.
+        at = 0.3 * base.elapsed
+        for nlosses in ESCALATION:
+            cells.append(_run_triolet_cell(app, spec, p, costs, machine,
+                                           clean, nlosses, at, "lineage"))
+            if nlosses:
+                cells.append(_run_triolet_cell(app, spec, p, costs, machine,
+                                               clean, nlosses, at,
+                                               "invalidate"))
+            cells.append(_run_eden_cell(app, spec, p, costs, machine,
+                                        clean, nlosses))
+        checkpoint_cells.append(
+            _checkpoint_cell(app, spec, p, costs, machine, clean)
+        )
+    return {
+        "benchmark": "durable recovery under escalating permanent losses",
+        "nodes": nodes,
+        "cores_per_node": CORES_PER_NODE,
+        "escalation": list(ESCALATION),
+        "cells": [asdict(c) for c in cells],
+        "checkpoint": [asdict(c) for c in checkpoint_cells],
+    }
+
+
+def write_json(payload: dict, path: str) -> None:
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=2)
+        f.write("\n")
+
+
+def render(payload: dict) -> str:
+    lines = [
+        f"Durable recovery on {payload['nodes']} nodes "
+        f"(escalating permanent losses {payload['escalation']})",
+        f"{'app':<7}{'losses':>7}{'mode':>12}{'done':>6}{'ident':>7}"
+        f"{'overhead':>10}{'reshipped':>11}{'replayed':>10}",
+    ]
+    for c in payload["cells"]:
+        done = "yes" if c["completed"] else "FAIL"
+        ident = "bit" if c["identical"] else ("~ok" if c["correct"] else "-")
+        over = f"{c['overhead']:+.0%}" if c["completed"] else "-"
+        lines.append(
+            f"{c['app']:<7}{c['losses']:>7}{c['mode']:>12}{done:>6}"
+            f"{ident:>7}{over:>10}{c['reshipped_bytes']:>11,}"
+            f"{c['replayed_bytes']:>10,}"
+        )
+    lines.append("")
+    lines.append("Restart-from-checkpoint (no in-run recovery):")
+    lines.append(
+        f"{'app':<7}{'done':>6}{'ident':>7}{'restarts':>9}{'ckpts':>7}"
+        f"{'restores':>9}{'restored B':>11}"
+    )
+    for c in payload["checkpoint"]:
+        done = "yes" if c["completed"] else "FAIL"
+        ident = "bit" if c["identical"] else "-"
+        lines.append(
+            f"{c['app']:<7}{done:>6}{ident:>7}{c['restarts']:>9}"
+            f"{c['checkpoints']:>7}{c['restores']:>9}"
+            f"{c['restored_bytes']:>11,}"
+        )
+    # The cell's headline claim, verified inline so a regression is loud.
+    savings = _savings_apps(payload)
+    lines.append("")
+    lines.append(
+        f"lineage replay ships strictly fewer bytes than invalidation for "
+        f"{len(savings)}/{len(set(c['app'] for c in payload['cells']))} "
+        f"apps: {', '.join(sorted(savings)) or 'none'}"
+    )
+    return "\n".join(lines)
+
+
+def _savings_apps(payload: dict) -> set:
+    """Apps where lineage recovery re-ships strictly fewer bytes than
+    full invalidation for every nonzero loss count."""
+    by_key = {
+        (c["app"], c["losses"], c["mode"]): c for c in payload["cells"]
+    }
+    out = set()
+    for app in {c["app"] for c in payload["cells"]}:
+        pairs = [
+            (by_key.get((app, n, "lineage")), by_key.get((app, n, "invalidate")))
+            for n in payload["escalation"]
+            if n
+        ]
+        if pairs and all(
+            lin is not None and inv is not None
+            and lin["completed"] and inv["completed"]
+            and lin["reshipped_bytes"] < inv["reshipped_bytes"]
+            for lin, inv in pairs
+        ):
+            out.add(app)
+    return out
+
+
+def write_recovered_trace(path: str, app: str = "tpacf",
+                          nodes: int = NODES) -> dict:
+    """Chrome trace of one recovered run (the CI artifact): *app* on
+    *nodes* nodes surviving one permanent rank loss via elastic shrink."""
+    from repro.obs.export import write_chrome
+    from repro.obs.spans import capture
+
+    spec = APPS[app]
+    p = make_problem(app)
+    costs = costs_for(app, "triolet", p)
+    machine = PAPER_MACHINE.scaled(nodes=nodes, cores_per_node=CORES_PER_NODE)
+    base = spec.runners["triolet"](p, machine, costs)
+    plan = _loss_plan(1, at=0.3 * base.elapsed)
+    with capture() as rec:
+        run = spec.runners["triolet"](p, machine, costs, faults=plan)
+    write_chrome(rec, path)
+    rep = run.detail["recovery"]
+    return {
+        "app": app,
+        "completed": run.ok,
+        "rank_losses": rep.rank_losses,
+        "lineage_replays": rep.lineage_replays,
+        "trace": path,
+    }

@@ -27,6 +27,7 @@ from repro.cluster.faults import (
     DelaySpike,
     SendFault,
     RankCrash,
+    RankLoss,
     SlowNode,
     TransientSendError,
     RankFailure,
@@ -47,6 +48,7 @@ __all__ = [
     "DelaySpike",
     "SendFault",
     "RankCrash",
+    "RankLoss",
     "SlowNode",
     "TransientSendError",
     "RankFailure",

@@ -16,7 +16,12 @@ time it is replayed:
   the first ``times`` attempts (a retry-capable runtime recovers, a
   naive one dies);
 * :class:`RankCrash` -- a rank raises :class:`RankFailure` the first time
-  its virtual clock passes ``at`` (fires once per plan);
+  its virtual clock passes ``at`` (fires once per plan); the machine
+  heals afterwards (the rank is back for later sections);
+* :class:`RankLoss` -- like :class:`RankCrash` but **permanent**: the
+  failure carries ``permanent=True`` and the runtime must complete the
+  job degraded on the surviving ranks (elastic shrink) -- the machine
+  does not heal;
 * :class:`SlowNode` -- every compute interval on one node is multiplied
   (the §4.2 straggler, as a persistent slow node).
 
@@ -37,6 +42,7 @@ __all__ = [
     "DelaySpike",
     "SendFault",
     "RankCrash",
+    "RankLoss",
     "SlowNode",
     "FaultPlan",
     "TransientSendError",
@@ -61,16 +67,24 @@ class TransientSendError(RuntimeError):
 
 
 class RankFailure(RuntimeError):
-    """An injected rank crash at a scheduled virtual time."""
+    """An injected rank crash at a scheduled virtual time.
 
-    def __init__(self, rank: int, at: float, now: float):
+    ``permanent`` distinguishes a :class:`RankLoss` (the machine does not
+    heal; the job must shrink onto the survivors) from a transient
+    :class:`RankCrash` (the rank is available again next section).
+    """
+
+    def __init__(self, rank: int, at: float, now: float,
+                 permanent: bool = False):
+        word = "was lost" if permanent else "crashed"
         super().__init__(
-            f"rank {rank} crashed at virtual t={now:.6g}s (scheduled at "
+            f"rank {rank} {word} at virtual t={now:.6g}s (scheduled at "
             f"t>={at:.6g}s)"
         )
         self.rank = rank
         self.at = at
         self.vtime = now
+        self.permanent = permanent
 
 
 @dataclass(frozen=True)
@@ -138,10 +152,38 @@ class SendFault:
 
 @dataclass(frozen=True)
 class RankCrash:
-    """Rank ``rank`` dies the first time its clock reaches ``at``."""
+    """Rank ``rank`` dies the first time its clock reaches ``at``.
+
+    ``section`` (optional) gates the crash to one distributed section in
+    program order, exactly as for :class:`RankLoss` -- useful to land a
+    transient crash inside a specific section (e.g. mid-migration).
+    """
 
     rank: int
     at: float
+    section: int | None = None
+
+
+@dataclass(frozen=True)
+class RankLoss:
+    """Rank ``rank`` is lost *permanently* the first time its clock
+    reaches ``at``.
+
+    The resulting :class:`RankFailure` carries ``permanent=True``: the
+    runtime may not count on the rank coming back, so recovery means
+    elastic shrink -- survivors absorb the lost rank's partitions and
+    every later section runs on the reduced machine.
+
+    ``section`` (optional) gates the loss to one distributed section, in
+    program order: every section's virtual clocks restart at zero, so an
+    ungated small ``at`` always fires in the *first* section -- before
+    any shard is resident.  Gating lets a plan model a machine that dies
+    mid-job, which is exactly when lineage replay pays off.
+    """
+
+    rank: int
+    at: float
+    section: int | None = None
 
 
 @dataclass(frozen=True)
@@ -168,6 +210,16 @@ class FaultPlan:
         self._delay_used: dict[int, int] = {}
         self._send_used: dict[int, int] = {}
         self._crash_fired: set[int] = set()
+        self._section = 0
+
+    def begin_section(self, section: int) -> None:
+        """Announce the distributed section about to run (program order).
+
+        Only section-gated faults read this; the driver calls it once per
+        section, *not* per re-execution attempt, so a gated fault can
+        still fire during its own section's recovery attempts.
+        """
+        self._section = section
 
     # -- construction -------------------------------------------------------
 
@@ -202,6 +254,7 @@ class FaultPlan:
         self._delay_used.clear()
         self._send_used.clear()
         self._crash_fired.clear()
+        self._section = 0
 
     # -- hooks (called from repro.cluster.comm; None-plan is the fast path) --
 
@@ -258,18 +311,24 @@ class FaultPlan:
         """Raise :class:`RankFailure` if *rank*'s scheduled crash is due."""
         for i, f in enumerate(self.faults):
             if (
-                isinstance(f, RankCrash)
+                isinstance(f, (RankCrash, RankLoss))
                 and f.rank == rank
                 and now >= f.at
                 and i not in self._crash_fired
+                and (getattr(f, "section", None) is None
+                     or f.section == self._section)
             ):
                 self._crash_fired.add(i)
-                raise RankFailure(rank, f.at, now)
+                raise RankFailure(rank, f.at, now,
+                                  permanent=isinstance(f, RankLoss))
 
     # -- introspection ------------------------------------------------------
 
     def crashes(self) -> list[RankCrash]:
         return [f for f in self.faults if isinstance(f, RankCrash)]
+
+    def losses(self) -> list[RankLoss]:
+        return [f for f in self.faults if isinstance(f, RankLoss)]
 
     def __repr__(self) -> str:
         return f"FaultPlan(seed={self.seed}, faults={list(self.faults)!r})"

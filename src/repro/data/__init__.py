@@ -24,6 +24,7 @@ from repro.data.handle import (
     drop_handles,
     lookup_handle,
 )
+from repro.data.lineage import LineageLog, LineageRecord, LostShard
 from repro.data.plane import DataPlane, SectionShipment, chunk_requirements
 from repro.data.rebalance import Rebalancer
 from repro.data.store import DEFAULT_CACHE_BYTES, RankStore, SliceCache
@@ -39,6 +40,9 @@ __all__ = [
     "DataPlane",
     "SectionShipment",
     "chunk_requirements",
+    "LineageLog",
+    "LineageRecord",
+    "LostShard",
     "Rebalancer",
     "RankStore",
     "SliceCache",

@@ -18,9 +18,15 @@ shipping operations:
   bytes), otherwise only the missing rows are shipped;
 * when the driver repartitions from cost feedback, the shard boundary
   itself migrates (the resident hull grows to the new block);
-* a rank crash invalidates all placement and cache state -- lost shards
-  re-materialize from the master copy on the next section, and the
-  re-shipped bytes are attributed to recovery.
+* a *transient* rank crash invalidates all placement and cache state --
+  lost shards re-materialize from the master copy on the next section,
+  and the re-shipped bytes are attributed to recovery;
+* a *permanent* rank loss instead **shrinks** the plane
+  (:meth:`DataPlane.shrink`): surviving ranks keep their shards under
+  renumbered ids, only the lost rank's shard intervals are marked for
+  lineage replay (:mod:`repro.data.lineage`), and the next section
+  rebuilds exactly those rows through the weighted-bounds migration
+  path -- strictly fewer bytes than full invalidation.
 """
 from __future__ import annotations
 
@@ -37,6 +43,7 @@ from repro.core.sources import (
 )
 from repro.data.handle import DistArray, HandleSource, bind_store, lookup_handle
 from repro.obs.spans import active as _obs_active
+from repro.data.lineage import LineageLog
 from repro.data.rebalance import Rebalancer
 from repro.data.store import (
     DEFAULT_CACHE_BYTES,
@@ -111,7 +118,7 @@ def chunk_requirements(chunk) -> dict:
 _STAT_KEYS = (
     "input_bytes", "placements", "placed_bytes", "resident_hits",
     "cache_hits", "cache_misses", "cache_evictions", "migrated_bytes",
-    "requests", "migrations",
+    "requests", "migrations", "lineage_replays", "replayed_bytes",
 )
 
 # Conservation law (checked by repro.testing.invariants): every non-root
@@ -119,6 +126,9 @@ _STAT_KEYS = (
 #   requests == resident_hits + placements + migrations
 #               + cache_hits + cache_misses
 # must hold per section and for the running totals.
+# lineage_replays / replayed_bytes are an *attribution overlay*, not a
+# sixth outcome: a replay is also a placement, migration or cache miss,
+# so the keys stay outside the served sum.
 
 
 class DataPlane:
@@ -135,18 +145,43 @@ class DataPlane:
         self._stores: dict[int, RankStore] = {}
         self.section_log: list[dict] = []
         self.invalidations = 0
+        self.shrinks = 0
+        self.lineage = LineageLog()
         self.totals = {k: 0 for k in _STAT_KEYS}
         self.totals["sections"] = 0
         self.totals["invalidated_entries"] = 0
 
     # -- handle lifecycle ---------------------------------------------------
-    def register(self, array, layout: str = "block") -> DistArray:
-        """Wrap *array* in a handle managed by this plane."""
+    def register(self, array, layout: str = "block",
+                 provenance: tuple | None = None) -> DistArray:
+        """Wrap *array* in a handle managed by this plane.
+
+        ``provenance`` is optional ``(section id, plan, input aids)`` for
+        arrays computed by a distributed section; without it the handle
+        is recorded as a lineage *source* (registered master copy).
+        """
         if isinstance(array, DistArray):
             return array
         handle = DistArray(array, layout=layout)
         self.handles[handle.array_id] = handle
+        if provenance is not None:
+            section, plan, inputs = provenance
+            self.lineage.record_section(
+                section, plan, tuple(inputs), output_aid=handle.array_id
+            )
+        else:
+            self.lineage.record_source(handle.array_id)
         return handle
+
+    def record_section(self, section: int, plan: str | None,
+                       reqs: list[dict]) -> None:
+        """Append a section lineage record: which handles the section's
+        chunks consumed (union over all ranks' requirement dicts)."""
+        inputs: set[int] = set()
+        for r in reqs:
+            inputs.update(r)
+        if inputs:
+            self.lineage.record_section(section, plan, tuple(inputs))
 
     def has_state(self) -> bool:
         return bool(self._placement) or any(
@@ -198,6 +233,7 @@ class DataPlane:
         nranks = len(reqs)
         stats = {k: 0 for k in _STAT_KEYS}
         ops: list[list] = [[] for _ in range(nranks)]
+        pending = self.lineage.pending()
         for dst in range(1, nranks):
             self._ensure_rank(dst)
             before = dict(stats) if rec is not None else None
@@ -205,7 +241,7 @@ class DataPlane:
                 lo, hi, replicated = reqs[dst][aid]
                 stats["requests"] += 1
                 self._plan_one(dst, aid, lo, hi, replicated, nranks,
-                               migrated, ops[dst], stats)
+                               migrated, pending, ops[dst], stats)
             if rec is not None:
                 delta = {k: stats[k] - before[k] for k in _STAT_KEYS
                          if stats[k] != before[k]}
@@ -224,11 +260,15 @@ class DataPlane:
                 if stats[k]:
                     rec.count(f"plane.{k}", stats[k])
         self.section_log.append(dict(stats))
+        if pending:
+            # Anything this section did not touch re-materializes through
+            # ordinary placement when a later section needs it.
+            self.lineage.settle()
         return SectionShipment(ops=ops, stats=stats)
 
     def _plan_one(self, dst: int, aid: int, lo: int, hi: int,
                   replicated: bool, nranks: int, migrated: bool,
-                  out_ops: list, stats: dict) -> None:
+                  pending: set, out_ops: list, stats: dict) -> None:
         handle = lookup_handle(aid)
         n = len(handle)
         row_nbytes = handle.row_nbytes()
@@ -262,6 +302,8 @@ class DataPlane:
             stats["placed_bytes"] += shipped
             if hull is not None:
                 stats["migrated_bytes"] += shipped
+            if aid in pending and shipped:
+                self._note_replay(aid, pieces, shipped, stats)
             return
         # Partial overlap with a recorded shard and no reason to migrate:
         # the work partition differs from the data partition.  Serve from
@@ -279,8 +321,19 @@ class DataPlane:
             for plo, phi in missing_intervals(lo, hi, hull)
         ]
         out_ops.append(["cache", aid_wire(aid), lo, hi, pieces])
-        stats["input_bytes"] += sum(
-            (phi - plo) * row_nbytes for plo, phi, _ in pieces
+        shipped = sum((phi - plo) * row_nbytes for plo, phi, _ in pieces)
+        stats["input_bytes"] += shipped
+        if aid in pending and shipped:
+            self._note_replay(aid, pieces, shipped, stats)
+
+    def _note_replay(self, aid: int, pieces: list, shipped: int,
+                     stats: dict) -> None:
+        """Attribute one pending shard re-materialization to lineage
+        replay (the shipped rows rebuild a lost shard selectively)."""
+        stats["lineage_replays"] += 1
+        stats["replayed_bytes"] += shipped
+        self.lineage.note_replay(
+            aid, sum(phi - plo for plo, phi, _ in pieces)
         )
 
     @staticmethod
@@ -312,6 +365,71 @@ class DataPlane:
         self.totals["invalidated_entries"] += dropped_entries
         return {"shards": dropped_shards, "cache_entries": dropped_entries}
 
+    def shrink(self, dead: list[int]) -> dict:
+        """Elastic shrink after *permanent* rank losses.
+
+        Unlike :meth:`invalidate`, survivors keep their resident shards
+        and caches: ranks are renumbered downward past the dead ones
+        (matching the driver's re-partition over survivors), and only the
+        dead ranks' shard intervals are marked for lineage replay -- the
+        next section rebuilds exactly those rows.  A surviving store that
+        renumbers to rank 0 is dropped too (the new root resolves against
+        the master copy), but its rows are not *lost*, so they are not
+        marked for replay.  Returns loss counts for the recovery report.
+        """
+        dead_set = set(dead)
+
+        def remap(rank: int) -> int:
+            return rank - sum(1 for d in dead_set if d < rank)
+
+        lost_shards = 0
+        lost_rows = 0
+        new_placement: dict[tuple[int, int], tuple[int, int]] = {}
+        for (rank, aid), (lo, hi) in self._placement.items():
+            if rank in dead_set:
+                lost_shards += 1
+                lost_rows += hi - lo
+                self.lineage.mark_lost(aid, rank, lo, hi)
+                continue
+            if remap(rank) < 1:
+                continue
+            # The mirror records placements at *planning* time, but the
+            # crashed attempt may have died before this survivor applied
+            # its shipping ops.  Trust only rows that actually arrived;
+            # anything else re-places from the master copy.
+            store = self._stores.get(rank)
+            actual = store.resident_bounds(aid) if store is not None else None
+            if actual is not None:
+                new_placement[(remap(rank), aid)] = actual
+        self._placement = new_placement
+
+        dropped_entries = 0
+        new_stores: dict[int, RankStore] = {}
+        new_caches: dict[int, SliceCache] = {}
+        for rank, store in self._stores.items():
+            cache = self._caches[rank]
+            if rank in dead_set or remap(rank) < 1:
+                dropped_entries += len(cache)
+                continue
+            # Same reconciliation for cached slices: keep only entries
+            # whose bytes the store really holds.
+            dropped_entries += cache.keep_only(store.cached_keys())
+            store.rank = remap(rank)
+            new_stores[remap(rank)] = store
+            new_caches[remap(rank)] = cache
+        self._stores = new_stores
+        self._caches = new_caches
+
+        # Old observations are keyed to the pre-shrink rank numbering;
+        # feedback restarts on the shrunken machine.
+        self.rebalancer.reset()
+        self.shrinks += 1
+        return {
+            "lost_shards": lost_shards,
+            "lost_rows": lost_rows,
+            "dropped_cache_entries": dropped_entries,
+        }
+
     # -- reporting ----------------------------------------------------------
     def placement_map(self) -> dict[tuple[int, int], tuple[int, int]]:
         """Copy of the planner's shard mirror: ``(rank, aid) -> (lo, hi)``.
@@ -334,6 +452,7 @@ class DataPlane:
         out = dict(self.totals)
         out["arrays"] = len(self.handles)
         out["invalidations"] = self.invalidations
+        out["shrinks"] = self.shrinks
         out["rebalance_activations"] = self.rebalancer.activations
         out["cache"] = self.cache_stats()
         return out

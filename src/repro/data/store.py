@@ -115,6 +115,14 @@ class SliceCache:
             del self._entries[k]
         return len(victims)
 
+    def keep_only(self, keys) -> int:
+        """Drop every entry not in *keys* (post-crash reconciliation
+        against a store's actual contents); returns how many dropped."""
+        victims = [k for k in self._entries if k not in keys]
+        for k in victims:
+            del self._entries[k]
+        return len(victims)
+
 
 class RankStore:
     """One rank's resident shards and cached slices."""
@@ -130,6 +138,9 @@ class RankStore:
     def resident_bounds(self, aid: int) -> tuple[int, int] | None:
         ent = self._resident.get(aid)
         return (ent[0], ent[1]) if ent is not None else None
+
+    def cached_keys(self) -> set[tuple[int, int, int]]:
+        return set(self._cached)
 
     def view(self, aid: int, lo: int, hi: int) -> np.ndarray:
         """A zero-copy view of rows ``[lo, hi)`` from local data."""

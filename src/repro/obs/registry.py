@@ -66,7 +66,7 @@ class MetricsRegistry:
 PLANE_KEYS = (
     "requests", "input_bytes", "placements", "placed_bytes",
     "resident_hits", "cache_hits", "cache_misses", "cache_evictions",
-    "migrated_bytes", "migrations",
+    "migrated_bytes", "migrations", "lineage_replays", "replayed_bytes",
 )
 
 #: Planner stat fields mirrored between ``PlannerStats`` and

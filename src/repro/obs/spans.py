@@ -36,8 +36,10 @@ from contextlib import contextmanager
 
 from repro.obs.registry import MetricsRegistry
 
-#: The span taxonomy (see docs/observability.md).
-SPAN_KINDS = ("phase", "section", "plan", "ship", "kernel", "collective")
+#: The span taxonomy (see docs/observability.md).  ``checkpoint`` spans
+#: are instants marking durable-store writes and restores.
+SPAN_KINDS = ("phase", "section", "plan", "ship", "kernel", "collective",
+              "checkpoint")
 
 #: Lane number for main-rank/driver spans (exported as tid 0).
 DRIVER_LANE = -1
@@ -256,6 +258,17 @@ class Recorder:
                 reg.inc("recovery.attempts", r.attempts)
                 reg.inc("recovery.added_time", r.added_time)
                 reg.inc("recovery.faults", sum(r.faults.values()))
+                reg.inc("recovery.rank_losses", r.rank_losses)
+                reg.inc("recovery.lineage_replays", r.lineage_replays)
+                reg.inc("recovery.replayed_bytes", r.replayed_bytes)
+                reg.inc("recovery.shrink_migrations", r.shrink_migrations)
+                reg.inc("recovery.shrink_migrated_bytes",
+                        r.shrink_migrated_bytes)
+                reg.inc("recovery.checkpoints", r.checkpoints)
+                reg.inc("recovery.checkpoint_bytes", r.checkpoint_bytes)
+                reg.inc("recovery.restores", r.restores)
+                reg.inc("recovery.restored_bytes", r.restored_bytes)
+                reg.inc("recovery.checkpoint_time", r.checkpoint_time)
             reg.snapshot_section(
                 record.label,
                 {

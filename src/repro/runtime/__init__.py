@@ -16,11 +16,23 @@ from repro.runtime.gc_model import (
     GHC_GC,
     FREE_ALLOC,
 )
+from repro.runtime.checkpoint import (
+    CheckpointConfig,
+    CheckpointPolicy,
+    CheckpointStore,
+    run_restartable,
+)
 from repro.runtime.recovery import (
     RecoveryPolicy,
     RecoveryReport,
     DEFAULT_RECOVERY,
     NO_RECOVERY,
+    FailureBudget,
+    JobFailure,
+    TransientFault,
+    PermanentFault,
+    BudgetExhausted,
+    classify_failure,
 )
 from repro.runtime.worksteal import work_stealing_makespan, static_for_makespan
 
@@ -29,6 +41,16 @@ __all__ = [
     "RecoveryReport",
     "DEFAULT_RECOVERY",
     "NO_RECOVERY",
+    "FailureBudget",
+    "JobFailure",
+    "TransientFault",
+    "PermanentFault",
+    "BudgetExhausted",
+    "classify_failure",
+    "CheckpointConfig",
+    "CheckpointPolicy",
+    "CheckpointStore",
+    "run_restartable",
     "CostContext",
     "use_costs",
     "current_costs",

@@ -56,9 +56,18 @@ from repro.data.handle import bind_store
 from repro.data.plane import DataPlane, chunk_requirements
 from repro.obs.spans import active as _obs_active, obs_span as _obs_span
 from repro.partition import block2d_bounds, block_bounds, grid_shape
+from repro.runtime.checkpoint import CheckpointConfig
 from repro.runtime.costs import CostContext, use_costs
 from repro.runtime.gc_model import BOEHM_GC, AllocatorModel
-from repro.runtime.recovery import DEFAULT_RECOVERY, RecoveryPolicy, RecoveryReport
+from repro.runtime.recovery import (
+    DEFAULT_RECOVERY,
+    BudgetExhausted,
+    FailureBudget,
+    PermanentFault,
+    RecoveryPolicy,
+    RecoveryReport,
+    classify_failure,
+)
 from repro.runtime.worksteal import work_stealing_makespan
 from repro.serial.sizeof import transitive_size
 
@@ -78,7 +87,8 @@ def add_section_observer(fn) -> None:
     """Register *fn* to be called with a payload dict after every
     distributed section.  Payload keys: ``runtime``, ``record``,
     ``iterator``, ``partition``, ``bounds``, ``nchunks``, ``ship``,
-    ``spec``, ``attempts``, ``dead_ranks``."""
+    ``spec``, ``attempts``, ``dead_ranks``, ``survivors``,
+    ``rank_losses``."""
     _SECTION_OBSERVERS.append(fn)
 
 
@@ -186,6 +196,8 @@ class TrioletRuntime:
         faults: FaultPlan | None = None,
         recovery: RecoveryPolicy | None = DEFAULT_RECOVERY,
         plane: DataPlane | None = None,
+        budget: FailureBudget | None = None,
+        checkpoint: CheckpointConfig | None = None,
     ):
         """``topology``: ``"two-level"`` (the paper's design: message
         passing across nodes, threads within) or ``"flat"`` (one rank per
@@ -196,7 +208,11 @@ class TrioletRuntime:
         every distributed section; ``recovery``: what the runtime does
         about fired faults (retry, re-execute, fragment, speculate) --
         consulted only when something actually fires, so the fault-free
-        timeline is unchanged."""
+        timeline is unchanged.  ``budget``: optional job-level
+        :class:`~repro.runtime.recovery.FailureBudget` (deadline,
+        job-wide re-executions, rank losses); ``checkpoint``: optional
+        :class:`~repro.runtime.checkpoint.CheckpointConfig` persisting
+        section outputs into a simulated durable store."""
         if topology not in ("two-level", "flat"):
             raise ValueError(f"unknown topology: {topology!r}")
         if scheduler not in ("worksteal", "static"):
@@ -212,8 +228,17 @@ class TrioletRuntime:
         self.faults = faults
         self.recovery = recovery
         self.plane = plane if plane is not None else DataPlane()
+        self.budget = budget
+        self.checkpoint = checkpoint
         self.recovery_report = RecoveryReport(attempts=0)
         self.clock = VirtualClock()
+        # Permanent losses persist across sections: the machine shrank,
+        # every later section partitions over the survivors only.
+        self.lost_ranks = 0
+        # Distributed-section sequence counter -- the checkpoint key.  It
+        # counts program order, so a restarted (deterministic) job lines
+        # its sections up with the stored blobs.
+        self._dist_seq = 0
         self.sections: list[SectionRecord] = []
         obs = _obs_active()
         if obs is not None:
@@ -624,11 +649,29 @@ class TrioletRuntime:
         obs = _obs_active()
         # Flat topology: one rank per core, no shared-memory level.
         flat = self.topology == "flat"
-        nranks_max = (
-            self.machine.nodes * self.machine.cores_per_node
-            if flat
-            else self.machine.nodes
+        nranks_max = max(
+            1,
+            (
+                self.machine.nodes * self.machine.cores_per_node
+                if flat
+                else self.machine.nodes
+            )
+            - self.lost_ranks,
         )
+        seq = self._dist_seq
+        self._dist_seq += 1
+        if self.faults is not None:
+            # Section-gated faults (RankLoss(section=...)) key on program
+            # order, not virtual time, because every section's clocks
+            # restart at zero.
+            self.faults.begin_section(seq)
+        ck = self.checkpoint
+        if ck is not None:
+            hit = ck.store.fetch(ck.job, seq)
+            if hit is not None:
+                # Restart-from-last-checkpoint: this section's output is
+                # already durable; restore it instead of executing.
+                return self._restore_section(seq, hit, spec, osp, nranks_max)
 
         cores = 1 if flat else self.machine.cores_per_node
         costs = self.costs
@@ -650,6 +693,8 @@ class TrioletRuntime:
         lost_time = 0.0
         reexecuted = 0
         reshipped = 0
+        losses = 0  # permanent rank losses absorbed in this section
+        absorb = False  # shrink happened: survivors absorb via migration
         section_acc: RecoveryReport | None = None
         while True:
             chunks, partition, block_meta, rebalanced = self._partition(
@@ -662,8 +707,12 @@ class TrioletRuntime:
             # which of them are already resident or cached there?  None
             # when the section touches no handles -- the legacy
             # ship-the-slice path below is then byte-for-byte unchanged.
+            # After an elastic shrink, ``absorb`` routes the survivors'
+            # grown requirements through the weighted-bounds migration
+            # path (hulls grow to the new blocks, only missing rows ship).
+            reqs = self.plane.requirements(chunks)
             ship = self.plane.plan_section(
-                self.plane.requirements(chunks), migrated=rebalanced,
+                reqs, migrated=rebalanced or absorb,
                 recovery=attempt > 0,
             )
             if ship is not None and attempt > 0:
@@ -723,14 +772,36 @@ class TrioletRuntime:
                     # The failed attempt's messages and fault stamps stay
                     # visible in the trace, tied to the same section.
                     obs.absorb_events(crash_trace.events, osp)
+                rank_failed = infos is not None and all(
+                    isinstance(i.error, RankFailure) for i in infos
+                )
+                permanent = [
+                    i
+                    for i in (infos or ())
+                    if getattr(i.error, "permanent", False)
+                ]
                 recoverable = (
                     rec is not None
-                    and infos is not None
-                    and all(isinstance(i.error, RankFailure) for i in infos)
+                    and rank_failed
                     and attempt < rec.max_reexecutions
                     and len(chunks) - len(infos) >= 1
                 )
+                if recoverable and self.budget is not None:
+                    # Job-level budget: charged per recovery act, across
+                    # sections.  Exhaustion beats further recovery.
+                    try:
+                        self.budget.charge_reexecution()
+                        if permanent:
+                            self.budget.charge_rank_losses(len(permanent))
+                    except BudgetExhausted as bex:
+                        self.recovery_report.failure = "budget"
+                        raise bex from exc
                 if not recoverable:
+                    self.recovery_report.failure = classify_failure(exc)
+                    if rank_failed and permanent:
+                        # An unabsorbable permanent loss is a structured
+                        # job failure, not a substrate error.
+                        raise PermanentFault(str(exc)) from exc
                     raise
                 # The crashed attempt ran until the failure; its
                 # survivors' progress is discarded, its time is not.
@@ -740,22 +811,63 @@ class TrioletRuntime:
                     if section_acc is None:
                         section_acc = RecoveryReport(attempts=0)
                     section_acc.merge(partial)
-                # A node died: every resident shard and cached slice is
-                # suspect (the re-partition also renumbers ranks), so the
-                # data plane forgets all placement.  The next attempt --
-                # and later sections -- re-materialize from the master
-                # copy, and those bytes are attributed to recovery.
+                if permanent:
+                    # The machine shrank for good: later sections
+                    # partition over the survivors only.
+                    self.lost_ranks += len(permanent)
+                    losses += len(permanent)
                 if self.plane.has_state():
-                    self.plane.invalidate()
+                    if permanent and rec.lineage_recovery:
+                        # Elastic shrink: survivors keep their shards
+                        # under renumbered ranks; only the dead ranks'
+                        # intervals are marked for lineage replay and the
+                        # next attempt re-ships just those rows.
+                        self.plane.shrink([i.rank for i in infos])
+                        absorb = True
+                    else:
+                        # Transient crash (the rank heals): every
+                        # resident shard and cached slice is suspect (the
+                        # re-partition also renumbers ranks), so the data
+                        # plane forgets all placement.  The next attempt
+                        # -- and later sections -- re-materialize from
+                        # the master copy, and those bytes are attributed
+                        # to recovery.
+                        self.plane.invalidate()
                 lost_time += max(i.vtime for i in infos) + rec.backoff(attempt)
                 dead += len(infos)
                 attempt += 1
 
         makespan = lost_time + res.makespan
+        # Section checkpointing: persist the output into the simulated
+        # durable store, charging the write to the section's makespan
+        # (ranks write their shares in parallel; durability is not free).
+        ckpt_bytes = 0
+        ckpt_dt = 0.0
+        if ck is not None:
+            nbytes = ck.store.maybe_put(ck.job, seq, res.root_result, ck.policy)
+            if nbytes is not None:
+                ckpt_bytes = nbytes
+                ckpt_dt = ck.policy.write_seconds(nbytes, writers=len(chunks))
+                makespan += ckpt_dt
+                if obs is not None:
+                    obs.instant(
+                        "checkpoint", f"write s{seq}",
+                        attrs={"bytes": nbytes, "seconds": ckpt_dt,
+                               "job": ck.job, "seq": seq},
+                    )
         # The section starts when the main rank reaches it.
         self.clock.advance(makespan)
+        if ship is not None:
+            # Section lineage: which handles fed this section (the replay
+            # chain for shards lost to a later permanent rank loss).
+            self.plane.record_section(seq, plan, reqs)
         section_report = None
-        if res.recovery is not None or section_acc is not None or reshipped:
+        if (
+            res.recovery is not None
+            or section_acc is not None
+            or reshipped
+            or ckpt_bytes
+        ):
             # Failed attempts' counters (crashes seen, time lost) belong
             # to the section alongside the successful attempt's.
             section_report = section_acc or RecoveryReport(attempts=0)
@@ -764,6 +876,27 @@ class TrioletRuntime:
             section_report.reexecuted_chunks = reexecuted
             section_report.added_time = lost_time
             section_report.reshipped_bytes = reshipped
+            section_report.rank_losses = losses
+            if ckpt_bytes:
+                section_report.checkpoints = 1
+                section_report.checkpoint_bytes = ckpt_bytes
+                section_report.checkpoint_time = ckpt_dt
+            if ship is not None:
+                section_report.lineage_replays = ship.stats.get(
+                    "lineage_replays", 0
+                )
+                section_report.replayed_bytes = ship.stats.get(
+                    "replayed_bytes", 0
+                )
+                if absorb:
+                    # The successful attempt's migrations are the
+                    # survivors absorbing the lost rank's partition.
+                    section_report.shrink_migrations = ship.stats.get(
+                        "migrations", 0
+                    )
+                    section_report.shrink_migrated_bytes = ship.stats.get(
+                        "migrated_bytes", 0
+                    )
             self.recovery_report.merge(section_report)
         data_plane = None
         if ship is not None:
@@ -802,6 +935,10 @@ class TrioletRuntime:
             makespan=makespan,
             bytes_shipped=res.metrics.bytes_sent,
         )
+        if losses:
+            osp.set(rank_losses=losses)
+        if ckpt_bytes:
+            osp.set(checkpoint_bytes=ckpt_bytes)
         if _SECTION_OBSERVERS:
             _notify_section(
                 {
@@ -815,9 +952,61 @@ class TrioletRuntime:
                     "spec": spec,
                     "attempts": attempt + 1,
                     "dead_ranks": dead,
+                    "survivors": nranks_max - dead,
+                    "rank_losses": losses,
                 }
             )
+        if self.budget is not None:
+            # The deadline is program time: checked after the section's
+            # ledger entry so a killed job still accounts consistently.
+            try:
+                self.budget.check_deadline(self.clock.now)
+            except BudgetExhausted:
+                self.recovery_report.failure = "budget"
+                raise
         return res.root_result
+
+    def _restore_section(
+        self, seq: int, hit: tuple[Any, int], spec: ConsumeSpec, osp,
+        nranks: int,
+    ) -> Any:
+        """Serve one distributed section from its durable checkpoint.
+
+        The stored blob round-tripped through the real wire format, so
+        the restored value is bit-identical to the computed one; only the
+        durable read cost (ranks reading in parallel) reaches the clock.
+        """
+        value, nbytes = hit
+        ck = self.checkpoint
+        dt = ck.policy.read_seconds(nbytes, readers=nranks)
+        obs = _obs_active()
+        if obs is not None:
+            obs.instant(
+                "checkpoint", f"restore s{seq}",
+                attrs={"bytes": nbytes, "seconds": dt, "job": ck.job,
+                       "seq": seq},
+            )
+        self.clock.advance(dt)
+        rep = RecoveryReport(attempts=0)
+        rep.restores = 1
+        rep.restored_bytes = nbytes
+        rep.checkpoint_time = dt
+        self.recovery_report.merge(rep)
+        self.sections.append(
+            SectionRecord(
+                label="par-restore",
+                kind=spec.kind,
+                hint="par",
+                nodes=1,
+                cores=1,
+                partition="checkpoint",
+                makespan=dt,
+                recovery=rep,
+            )
+        )
+        osp.set(kind=spec.kind, partition="checkpoint", restored=True,
+                makespan=dt)
+        return value
 
 
 def _distribute_chunks(comm: Comm, chunks: list[Iter]) -> Iter:
@@ -941,6 +1130,8 @@ def triolet_runtime(
     faults: FaultPlan | None = None,
     recovery: RecoveryPolicy | None = DEFAULT_RECOVERY,
     plane: DataPlane | None = None,
+    budget: FailureBudget | None = None,
+    checkpoint: CheckpointConfig | None = None,
 ):
     """Install a :class:`TrioletRuntime` as the skeleton executor."""
     rt = TrioletRuntime(
@@ -954,6 +1145,8 @@ def triolet_runtime(
         faults=faults,
         recovery=recovery,
         plane=plane,
+        budget=budget,
+        checkpoint=checkpoint,
     )
     with use_executor(rt), use_costs(rt.costs):
         yield rt

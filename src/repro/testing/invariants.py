@@ -191,7 +191,12 @@ class InvariantChecker:
         rt = payload["runtime"]
         plane = rt.plane
         placement = plane.placement_map()
-        live = payload["nchunks"]
+        # After an elastic shrink, survivors keep shards planned by
+        # *earlier* sections, so the live set is the surviving rank
+        # count, not this section's (possibly extent-limited) chunk
+        # count.  Transient crashes invalidate everything, so for them
+        # the two bounds agree.
+        live = payload.get("survivors", payload["nchunks"])
         for (rank, aid), (lo, hi) in placement.items():
             if rank < 1:
                 _fail(f"placement references rank {rank} (< 1)", payload)

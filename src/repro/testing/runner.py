@@ -34,6 +34,7 @@ from repro.cluster.faults import (
     DelaySpike,
     FaultPlan,
     RankCrash,
+    RankLoss,
     SendFault,
     SlowNode,
 )
@@ -149,10 +150,10 @@ def _meter_triple(m: meter.CostMeter) -> tuple:
 
 
 def sample_fault_plan(rng: random.Random, nodes: int) -> FaultPlan:
-    """One or two faults drawn over all four fault kinds."""
+    """One or two faults drawn over all five fault kinds."""
     faults = []
     for _ in range(rng.choice([1, 1, 2])):
-        kind = rng.randrange(4)
+        kind = rng.randrange(5)
         if kind == 0 and nodes > 1:
             faults.append(RankCrash(rank=rng.randrange(1, nodes), at=1e-7))
         elif kind == 1:
@@ -164,6 +165,12 @@ def sample_fault_plan(rng: random.Random, nodes: int) -> FaultPlan:
             )
         elif kind == 2:
             faults.append(DelaySpike(src=rng.randrange(nodes), delay=1e-5))
+        elif kind == 3:
+            faults.append(SlowNode(node=rng.randrange(nodes), factor=3.0))
+        elif nodes > 2:
+            # Permanent loss: the job must finish degraded via elastic
+            # shrink, still bit-identical to the oracle.
+            faults.append(RankLoss(rank=rng.randrange(1, nodes), at=1e-7))
         else:
             faults.append(SlowNode(node=rng.randrange(nodes), factor=3.0))
     return FaultPlan(faults=tuple(faults))
@@ -351,6 +358,121 @@ def crash_drill(seed: int) -> CaseResult:
     return out
 
 
+def loss_drill(seed: int) -> CaseResult:
+    """Deterministic permanent-loss case: two handle-backed sections on
+    4x2 where rank 1 is *lost* during the second -- the shrunken job
+    must complete via lineage replay, bit-identical to the oracle."""
+    out = CaseResult(
+        seed=seed,
+        case=-2,
+        desc=f"loss drill (seed {seed}): sum(square(par(handle[512]))) x2 "
+        f"on 4x2 with RankLoss(rank=1, section=1)",
+    )
+    xs = np.arange(512, dtype=np.float64) % 10
+    machine = MachineSpec(nodes=4, cores_per_node=2)
+    expect = tri.sum(tri.map(K.k_square, tri.seq(xs)))
+
+    plan = FaultPlan(faults=(RankLoss(rank=1, at=1e-6, section=1),))
+    try:
+        with checking() as ck:
+            with triolet_runtime(machine, faults=plan, plane=DataPlane()) as rt:
+                h = rt.distribute(xs)
+                first = tri.sum(tri.map(K.k_square, tri.par(h)))
+                second = tri.sum(tri.map(K.k_square, tri.par(h)))
+            out.sections = ck.sections
+            out.crash_exercised = ck.crash_sections > 0
+            check_plane(rt.plane)
+    except InvariantViolation as exc:
+        out.failures.append(f"invariant violation: {exc}")
+        return out
+    if not bits_equal(expect, first) or not bits_equal(expect, second):
+        out.failures.append(
+            f"loss drill value drift: {first!r}/{second!r} vs {expect!r}"
+        )
+    rep = rt.recovery_report
+    if rep.rank_losses != 1:
+        out.failures.append(
+            f"loss drill absorbed {rep.rank_losses} losses (want 1)"
+        )
+    if rep.lineage_replays <= 0 or rep.replayed_bytes <= 0:
+        out.failures.append("loss drill replayed nothing through lineage")
+    if rep.replayed_bytes >= rt.plane.totals["input_bytes"]:
+        out.failures.append(
+            "lineage replay re-shipped everything "
+            f"({rep.replayed_bytes} of {rt.plane.totals['input_bytes']} "
+            "input bytes) -- shrink kept no survivor shard"
+        )
+    if rt.plane.shrinks != 1:
+        out.failures.append(f"plane shrank {rt.plane.shrinks} times (want 1)")
+    return out
+
+
+def checkpoint_drill(seed: int) -> CaseResult:
+    """Deterministic restart case: checkpointing on, *no* in-run
+    recovery; a gated loss kills the job in its second section and the
+    restarted run must restore section one from the durable store and
+    finish bit-identical to the oracle."""
+    from repro.runtime import CheckpointConfig, CheckpointStore, run_restartable
+
+    out = CaseResult(
+        seed=seed,
+        case=-3,
+        desc=f"checkpoint drill (seed {seed}): restart-from-checkpoint "
+        f"on 4x2 with RankLoss(rank=1, section=1), recovery=None",
+    )
+    xs = np.arange(512, dtype=np.float64) % 10
+    machine = MachineSpec(nodes=4, cores_per_node=2)
+    expect_pair = (
+        tri.sum(tri.map(K.k_square, tri.seq(xs))),
+        tri.sum(tri.map(K.k_double, tri.seq(xs))),
+    )
+
+    store = CheckpointStore()
+    plan = FaultPlan(faults=(RankLoss(rank=1, at=1e-6, section=1),))
+
+    def make_runtime():
+        return triolet_runtime(
+            machine,
+            faults=plan,
+            recovery=None,
+            plane=DataPlane(),
+            checkpoint=CheckpointConfig(store=store, job=f"drill-{seed}"),
+        )
+
+    def job(rt):
+        h = rt.distribute(xs)
+        return (
+            tri.sum(tri.map(K.k_square, tri.par(h))),
+            tri.sum(tri.map(K.k_double, tri.par(h))),
+        )
+
+    try:
+        value, rt, restarts = run_restartable(make_runtime, job)
+    except Exception as exc:  # noqa: BLE001 - a dead drill is a failure
+        out.failures.append(f"checkpoint drill did not complete: {exc!r}")
+        return out
+    out.sections = len(rt.sections)
+    if not bits_equal(expect_pair[0], value[0]) or not bits_equal(
+        expect_pair[1], value[1]
+    ):
+        out.failures.append(
+            f"checkpoint drill value drift: {value!r} vs {expect_pair!r}"
+        )
+    if restarts != 1:
+        out.failures.append(f"checkpoint drill restarted {restarts}x (want 1)")
+    rep = rt.recovery_report
+    if rep.restores != 1 or rep.restored_bytes <= 0:
+        out.failures.append(
+            f"restarted run restored {rep.restores} section(s) "
+            f"({rep.restored_bytes} bytes) -- want exactly the durable one"
+        )
+    if store.puts < 2:
+        out.failures.append(
+            f"store holds {store.puts} checkpoint(s) (want both sections)"
+        )
+    return out
+
+
 # -- suites ------------------------------------------------------------------
 
 
@@ -371,11 +493,13 @@ def run_suite(
         if fail_fast and not r.ok:
             return suite
     if only is None:
-        # Guarantee the acceptance property: at least one case per suite
-        # exercises crash re-execution with the checker active.
-        drill = crash_drill(seed)
-        suite.results.append(drill)
-        if progress is not None:
-            progress(drill)
+        # Guarantee the acceptance properties: every suite exercises
+        # transient crash re-execution, permanent-loss lineage recovery,
+        # and restart-from-checkpoint, with the checker active.
+        for drill_fn in (crash_drill, loss_drill, checkpoint_drill):
+            drill = drill_fn(seed)
+            suite.results.append(drill)
+            if progress is not None:
+                progress(drill)
     drop_handles()
     return suite

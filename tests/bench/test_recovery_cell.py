@@ -1,0 +1,100 @@
+"""The recovery bench cell: escalating permanent losses, three modes.
+
+Runs the real bench machinery over a reduced app set (CI runs the full
+matrix via ``python -m repro.bench --recovery``) and pins the cell's
+headline claims: degraded completion is bit-identical, lineage replay
+ships strictly fewer recovery bytes than full invalidation, Eden fails
+any nonzero loss, and the checkpoint cell restarts exactly once.
+"""
+import pytest
+
+from repro.bench.recovery import (
+    ESCALATION,
+    _savings_apps,
+    render,
+    run_recovery_bench,
+)
+
+pytestmark = pytest.mark.recovery
+
+APPS = ("mriq", "tpacf")  # one single-section app, one multi-section
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return run_recovery_bench(apps=APPS)
+
+
+def _cell(payload, app, losses, mode):
+    match = [
+        c for c in payload["cells"]
+        if (c["app"], c["losses"], c["mode"]) == (app, losses, mode)
+    ]
+    assert len(match) == 1
+    return match[0]
+
+
+class TestEscalation:
+    def test_every_triolet_cell_completes_bit_identically(self, payload):
+        for app in APPS:
+            for n in ESCALATION:
+                cell = _cell(payload, app, n, "lineage")
+                assert cell["completed"], cell["failed"]
+                assert cell["correct"] and cell["identical"]
+                assert cell["rank_losses"] == n
+
+    def test_makespan_overhead_grows_with_losses(self, payload):
+        for app in APPS:
+            overheads = [
+                _cell(payload, app, n, "lineage")["overhead"]
+                for n in ESCALATION
+            ]
+            assert overheads[0] == pytest.approx(0.0)
+            assert overheads == sorted(overheads)
+
+    def test_lineage_ships_strictly_fewer_bytes(self, payload):
+        assert _savings_apps(payload) == set(APPS)
+        for app in APPS:
+            for n in ESCALATION:
+                if not n:
+                    continue
+                lin = _cell(payload, app, n, "lineage")
+                inv = _cell(payload, app, n, "invalidate")
+                assert 0 < lin["reshipped_bytes"] < inv["reshipped_bytes"]
+                assert lin["lineage_replays"] > 0
+                assert inv["lineage_replays"] == 0
+
+    def test_eden_baseline_dies_on_any_loss(self, payload):
+        for app in APPS:
+            assert _cell(payload, app, 0, "eden")["completed"]
+            for n in ESCALATION:
+                if not n:
+                    continue
+                cell = _cell(payload, app, n, "eden")
+                assert not cell["completed"]
+                assert "no recovery path" in cell["failed"]
+
+
+class TestCheckpointCell:
+    def test_restart_from_checkpoint_completes(self, payload):
+        by_app = {c["app"]: c for c in payload["checkpoint"]}
+        assert set(by_app) == set(APPS)
+        for app, cell in by_app.items():
+            assert cell["completed"], cell["failed"]
+            assert cell["identical"]
+            assert cell["restarts"] == 1
+            assert cell["checkpoints"] > 0 and cell["checkpoint_bytes"] > 0
+        # The multi-section app restores its durable prefix instead of
+        # re-running it; the single-section app has no prefix to restore.
+        assert by_app["tpacf"]["restores"] > 0
+        assert by_app["tpacf"]["restored_bytes"] > 0
+
+
+class TestRender:
+    def test_render_mentions_cells_and_savings(self, payload):
+        text = render(payload)
+        for app in APPS:
+            assert app in text
+        assert "Restart-from-checkpoint" in text
+        assert "strictly fewer bytes" in text
+        assert f"{len(APPS)}/{len(APPS)} apps" in text

@@ -1,0 +1,79 @@
+"""Crash during cost-feedback repartitioning (migration mid-flight).
+
+The hard interleaving for the recovery accounting: the rebalancer has
+activated, the plane has *planned* a boundary migration and counted its
+bytes, and the executing attempt dies before the migrated rows land.
+The invariants: migration bytes are not double-counted on the re-plan,
+no shard is stranded (placement must match what stores actually hold),
+and the recomputed value is bit-identical to the fault-free run.
+"""
+import numpy as np
+import pytest
+
+import repro.triolet as tri
+from repro.cluster import FaultPlan, MachineSpec, RankCrash
+from repro.data import DataPlane, Rebalancer
+from repro.runtime import triolet_runtime
+from repro.testing.invariants import check_plane
+from repro.testing.kernels import k_square
+
+pytestmark = [pytest.mark.dataplane, pytest.mark.recovery]
+
+XS = np.arange(3000.0)
+MACHINE = MachineSpec(nodes=3, cores_per_node=1)
+BOUNDS = [(0, 1000), (1000, 2000), (2000, 3000)]
+RATES = [10.0, 1.0, 1.0]  # rank 0 is a persistent straggler
+
+
+def _run(faults=None):
+    """One warm section, a forced rebalancer activation, then the
+    weighted-split section (where the gated crash fires mid-migration)."""
+    plane = DataPlane(rebalancer=Rebalancer(patience=2))
+    with triolet_runtime(MACHINE, plane=plane, faults=faults) as rt:
+        h = rt.distribute(XS)
+        first = tri.sum(tri.map(k_square, tri.par(h)))
+        plane.rebalancer.reset()
+        for _ in range(plane.rebalancer.patience):
+            plane.feedback(BOUNDS, RATES)
+        assert plane.rebalancer.active
+        second = tri.sum(tri.map(k_square, tri.par(h)))
+    return rt, plane, first, second
+
+
+def _crash_in_migration_section():
+    return FaultPlan(faults=(RankCrash(rank=1, at=1e-6, section=1),))
+
+
+class TestCrashDuringMigration:
+    def test_value_bit_identical_and_no_double_counted_migration(self):
+        rt0, plane0, a0, b0 = _run()
+        assert plane0.totals["migrated_bytes"] > 0  # migration really ran
+
+        rt, plane, a, b = _run(_crash_in_migration_section())
+        assert (a, b) == (a0, b0)  # bit-identical scalars
+        # The aborted migration's bytes were counted exactly once at plan
+        # time; the post-crash re-ship is attributed to recovery
+        # (reshipped placements), never folded into migration again.
+        assert plane.totals["migrated_bytes"] == plane0.totals["migrated_bytes"]
+        rep = rt.recovery_report
+        assert rep.faults.get("crash") == 1
+        assert rep.reshipped_bytes > 0
+        assert plane.invalidations == 1
+
+    def test_no_stranded_shard_after_aborted_migration(self):
+        rt, plane, _a, _b = _run(_crash_in_migration_section())
+        check_plane(plane)  # conservation + hull sanity
+        placement = plane.placement_map()
+        assert placement, "recovery re-ship left nothing resident"
+        for (rank, aid), (lo, hi) in placement.items():
+            actual = plane.worker_store(rank).resident_bounds(aid)
+            assert actual is not None, f"stranded placement ({rank}, {aid})"
+            alo, ahi = actual
+            assert alo <= lo <= hi <= ahi
+
+    def test_recovered_attempt_still_uses_the_weighted_split(self):
+        """The crash must not discard the cost feedback: the re-executed
+        section still partitions by rate (the 'rebal' label)."""
+        rt, _plane, _a, _b = _run(_crash_in_migration_section())
+        assert any("rebal" in s.partition for s in rt.sections)
+        assert rt.sections[-1].recovery.attempts == 2

@@ -1,0 +1,146 @@
+"""Section checkpointing and restart-from-last-checkpoint.
+
+The store is simulated durable (plain driver-side state outside the
+machine); what the tests pin down is the contract: admission is policy-
+driven, blobs round-trip through the real wire format (bit-identical by
+construction, fresh objects on fetch), durable I/O is charged to the
+virtual clock, and a restarted job re-runs only the uncheckpointed tail.
+"""
+import numpy as np
+import pytest
+
+import repro.triolet as tri
+from repro.cluster import FaultPlan, MachineSpec, RankFailure, RankLoss
+from repro.runtime import (
+    CheckpointConfig,
+    CheckpointPolicy,
+    CheckpointStore,
+    run_restartable,
+    triolet_runtime,
+)
+from repro.testing.kernels import k_double, k_square
+
+pytestmark = pytest.mark.recovery
+
+MACHINE = MachineSpec(nodes=4, cores_per_node=2)
+XS = np.arange(2048.0)
+
+
+def _job(rt):
+    h = rt.distribute(XS)
+    a = tri.sum(tri.map(k_square, tri.par(h)))
+    b = tri.sum(tri.map(k_double, tri.par(h)))
+    return a, b
+
+
+class TestPolicy:
+    def test_every_n_gates_admission(self):
+        p = CheckpointPolicy(every=2)
+        assert p.should(0, 100) and p.should(2, 100)
+        assert not p.should(1, 100) and not p.should(3, 100)
+
+    def test_min_bytes_gates_admission(self):
+        p = CheckpointPolicy(min_bytes=64)
+        assert not p.should(0, 63)
+        assert p.should(0, 64)
+
+    def test_io_cost_is_latency_plus_parallel_bytes(self):
+        p = CheckpointPolicy(bandwidth=1e6, latency=1e-3)
+        assert p.write_seconds(1000, writers=1) == pytest.approx(2e-3)
+        # Two writers stream their shares in parallel: byte term halves.
+        assert p.write_seconds(1000, writers=2) == pytest.approx(1.5e-3)
+        assert p.read_seconds(1000, readers=2) == pytest.approx(1.5e-3)
+
+
+class TestStore:
+    def test_round_trip_is_bit_identical_and_fresh(self):
+        store = CheckpointStore()
+        value = np.arange(17.0) * np.pi
+        nbytes = store.maybe_put("job", 0, value, CheckpointPolicy())
+        assert nbytes is not None and nbytes > 0
+        got, blob_len = store.fetch("job", 0)
+        assert blob_len == nbytes
+        assert got.tobytes() == value.tobytes()
+        assert got is not value  # a fresh object, never an alias
+        again, _ = store.fetch("job", 0)
+        assert again is not got
+
+    def test_counters_and_last_seq(self):
+        store = CheckpointStore()
+        pol = CheckpointPolicy()
+        store.maybe_put("job", 0, 1.5, pol)
+        store.maybe_put("job", 3, 2.5, pol)
+        store.maybe_put("other", 9, 3.5, pol)
+        assert store.puts == 3 and len(store) == 3
+        assert store.last_seq("job") == 3
+        assert store.last_seq("other") == 9
+        assert store.last_seq("missing") is None
+        store.fetch("job", 0)
+        assert store.fetches == 1 and store.bytes_read > 0
+        assert store.drop_job("job") == 2
+        assert store.last_seq("job") is None
+
+    def test_unserializable_value_is_skipped_not_corrupted(self):
+        store = CheckpointStore()
+        assert store.maybe_put("job", 0, lambda x: x, CheckpointPolicy()) is None
+        assert store.skipped == 1 and len(store) == 0
+        assert store.fetch("job", 0) is None
+
+    def test_policy_rejection_counts_as_skip(self):
+        store = CheckpointStore()
+        assert store.maybe_put("job", 1, 1.0, CheckpointPolicy(every=2)) is None
+        assert store.skipped == 1
+
+
+class TestRestart:
+    def _loss_in_second_section(self):
+        return FaultPlan(faults=(RankLoss(rank=1, at=1e-6, section=1),))
+
+    def test_restart_restores_durable_sections_bit_identically(self):
+        with triolet_runtime(MACHINE) as rt0:
+            oracle = _job(rt0)
+
+        store = CheckpointStore()
+        plan = self._loss_in_second_section()
+
+        def make_rt():
+            return triolet_runtime(
+                MACHINE, faults=plan, recovery=None,
+                checkpoint=CheckpointConfig(store=store, job="t"),
+            )
+
+        value, rt, restarts = run_restartable(make_rt, _job)
+        assert value == oracle  # bit-identical tuple of scalars
+        assert restarts == 1
+        rep = rt.recovery_report
+        # The restarted run served section 0 from the durable store and
+        # executed only the tail past the last checkpoint.
+        assert rep.restores == 1 and rep.restored_bytes > 0
+        assert rep.checkpoint_time > 0.0
+        assert store.puts >= 2 and store.bytes_written > 0
+
+    def test_restart_budget_zero_propagates(self):
+        store = CheckpointStore()
+        plan = self._loss_in_second_section()
+
+        def make_rt():
+            return triolet_runtime(
+                MACHINE, faults=plan, recovery=None,
+                checkpoint=CheckpointConfig(store=store, job="t"),
+            )
+
+        with pytest.raises((RankFailure, RuntimeError)):
+            run_restartable(make_rt, _job, max_restarts=0)
+
+    def test_checkpoint_write_cost_shows_on_the_clock(self):
+        with triolet_runtime(MACHINE) as plain:
+            _job(plain)
+        with triolet_runtime(
+            MACHINE,
+            checkpoint=CheckpointConfig(store=CheckpointStore(), job="t"),
+        ) as ck:
+            _job(ck)
+        # Durability is never free: the same job takes longer with
+        # checkpoint writes charged to the virtual clock.
+        assert ck.elapsed > plain.elapsed
+        assert ck.recovery_report.checkpoints == 2

@@ -1,6 +1,9 @@
 """The fault-tolerant Triolet runtime: retry, re-execution, degradation."""
+from dataclasses import fields as dc_fields
+
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 import repro.triolet as tri
 from repro.cluster import (
@@ -9,6 +12,7 @@ from repro.cluster import (
     MachineSpec,
     RankCrash,
     RankFailure,
+    RankLoss,
     SendFault,
     SlowNode,
     TransientSendError,
@@ -16,9 +20,13 @@ from repro.cluster import (
 from repro.cluster.limits import EDEN_LIMITS
 from repro.runtime import (
     DEFAULT_RECOVERY,
+    BudgetExhausted,
     CostContext,
+    FailureBudget,
+    PermanentFault,
     RecoveryPolicy,
     RecoveryReport,
+    classify_failure,
     triolet_runtime,
 )
 
@@ -211,3 +219,232 @@ class TestRecoveryReport:
         ).describe()
         for needle in ("crash=1", "retries: 2", "re-executed chunks: 3"):
             assert needle in text
+
+
+# -- durable recovery (lineage, shrink, budgets, taxonomy) -------------------
+
+_NUMERIC_FIELDS = [
+    f for f in dc_fields(RecoveryReport) if f.name not in ("faults", "failure")
+]
+
+
+@st.composite
+def _reports(draw):
+    """A random RecoveryReport, field-generic so a counter added later is
+    exercised automatically.  Float fields draw dyadic rationals (k/8) so
+    sums are exact and regrouping cannot introduce rounding."""
+    kwargs = {
+        "faults": draw(
+            st.dictionaries(
+                st.sampled_from(["send", "crash", "loss", "delay"]),
+                st.integers(0, 5),
+                max_size=3,
+            )
+        ),
+        "failure": draw(
+            st.sampled_from([None, "transient", "permanent", "budget"])
+        ),
+    }
+    for f in _NUMERIC_FIELDS:
+        if isinstance(f.default, float):
+            kwargs[f.name] = draw(st.integers(0, 64)) / 8.0
+        else:
+            kwargs[f.name] = draw(st.integers(0, 100))
+    return RecoveryReport(**kwargs)
+
+
+def _fold(reports):
+    acc = RecoveryReport(attempts=0)
+    for r in reports:
+        acc.merge(r)
+    return acc
+
+
+@pytest.mark.recovery
+class TestMergeRoundTrip:
+    """Satellite: a merge of per-run reports must equal the report over
+    the concatenated runs, for *every* dataclass field -- the regression
+    that motivated the field-generic merge was a hand-enumerated counter
+    list silently dropping newly added fields."""
+
+    @given(st.lists(_reports(), min_size=1, max_size=6))
+    @settings(max_examples=50, deadline=None)
+    def test_merge_equals_concatenated_totals(self, reports):
+        acc = _fold(reports)
+        for f in _NUMERIC_FIELDS:
+            assert getattr(acc, f.name) == sum(
+                getattr(r, f.name) for r in reports
+            ), f"field {f.name} dropped or mis-merged"
+        for kind in {k for r in reports for k in r.faults}:
+            assert acc.faults[kind] == sum(
+                r.faults.get(kind, 0) for r in reports
+            )
+        last = [r.failure for r in reports if r.failure is not None]
+        assert acc.failure == (last[-1] if last else None)
+
+    @given(st.lists(_reports(), min_size=2, max_size=6),
+           st.integers(min_value=1, max_value=5))
+    @settings(max_examples=50, deadline=None)
+    def test_merge_regrouping_is_invariant(self, reports, cut):
+        """Merging run-by-run equals merging pre-merged halves (the
+        driver folds section reports; callers fold runtime reports)."""
+        cut = min(cut, len(reports) - 1)
+        flat = _fold(reports)
+        halves = _fold([_fold(reports[:cut]), _fold(reports[cut:])])
+        for f in _NUMERIC_FIELDS:
+            assert getattr(flat, f.name) == getattr(halves, f.name)
+        assert flat.faults == halves.faults
+        assert flat.failure == halves.failure
+
+
+@pytest.mark.recovery
+class TestBackoffProperties:
+    """Satellite: retry backoff is capped, monotone, and a pure function
+    of (policy, attempt) -- no hidden randomness."""
+
+    @given(base=st.floats(1e-6, 1e-2, allow_nan=False),
+           cap=st.floats(1e-6, 1e-1, allow_nan=False),
+           attempt=st.integers(0, 60))
+    @settings(max_examples=100, deadline=None)
+    def test_backoff_capped_monotone_deterministic(self, base, cap, attempt):
+        policy = RecoveryPolicy(backoff_base=base, backoff_cap=cap)
+        b = policy.backoff(attempt)
+        assert 0.0 < b <= cap  # never above the ceiling
+        assert b == policy.backoff(attempt)  # pure
+        assert policy.backoff(attempt + 1) >= b  # monotone in attempt
+        twin = RecoveryPolicy(backoff_base=base, backoff_cap=cap)
+        assert twin.backoff(attempt) == b  # deterministic across instances
+
+    def test_runtime_backoff_matches_policy_schedule(self):
+        """The virtual time charged for retries is exactly the policy's
+        capped-exponential schedule -- same seed, same timeline."""
+        policy = RecoveryPolicy(max_retries=4)
+        plan = FaultPlan(faults=(SendFault(src=1, times=3),))
+        with triolet_runtime(MACHINE, faults=plan, recovery=policy) as rt:
+            squares_sum()
+        rep = rt.recovery_report
+        assert rep.retries == 3
+        assert rep.backoff_time == sum(policy.backoff(i) for i in range(3))
+
+
+@pytest.mark.recovery
+class TestElasticShrink:
+    def _loss(self, section=None):
+        return FaultPlan(faults=(RankLoss(rank=1, at=1e-6, section=section),))
+
+    def test_permanent_loss_completes_degraded_and_identical(self):
+        with triolet_runtime(MACHINE) as rt0:
+            baseline = squares_sum()
+        with triolet_runtime(MACHINE, faults=self._loss()) as rt:
+            out = squares_sum()
+        assert out == baseline  # bit-identical scalar
+        rep = rt.recovery_report
+        assert rep.rank_losses == 1
+        assert rep.faults.get("crash") == 1
+        assert rt.lost_ranks == 1
+        assert rep.failure is None
+
+    def test_later_sections_run_on_the_survivors(self):
+        with triolet_runtime(MACHINE, faults=self._loss()) as rt:
+            first = squares_sum()
+            second = squares_sum()
+        assert first == second == pytest.approx(EXPECTED)
+        # The machine did not heal: the first section re-executed on the
+        # survivors (two attempts) and the next section never saw the
+        # lost rank at all (one attempt, same reduced width).
+        assert rt.sections[0].recovery.attempts == 2
+        assert rt.sections[1].recovery is None or \
+            rt.sections[1].recovery.attempts <= 1
+        assert rt.sections[0].nodes == rt.sections[1].nodes == \
+            MACHINE.nodes - 1
+
+    def test_loss_without_recovery_raises_permanent_fault(self):
+        with triolet_runtime(MACHINE, faults=self._loss(),
+                             recovery=None) as rt:
+            with pytest.raises(PermanentFault) as exc_info:
+                squares_sum()
+        assert classify_failure(exc_info.value) == "permanent"
+        assert rt.recovery_report.failure == "permanent"
+
+    def test_loss_with_reexecution_budget_zero_is_permanent_fault(self):
+        policy = RecoveryPolicy(max_reexecutions=0)
+        with triolet_runtime(MACHINE, faults=self._loss(),
+                             recovery=policy) as rt:
+            with pytest.raises(PermanentFault):
+                squares_sum()
+        assert rt.recovery_report.failure == "permanent"
+
+
+@pytest.mark.recovery
+class TestFailureBudgets:
+    def _loss(self):
+        return FaultPlan(faults=(RankLoss(rank=1, at=1e-6),))
+
+    def test_rank_loss_budget_exhaustion(self):
+        budget = FailureBudget(max_rank_losses=0)
+        with triolet_runtime(MACHINE, faults=self._loss(),
+                             budget=budget) as rt:
+            with pytest.raises(BudgetExhausted):
+                squares_sum()
+        assert rt.recovery_report.failure == "budget"
+        assert budget.rank_losses_used == 1
+
+    def test_reexecution_budget_spans_sections(self):
+        # Two transient crashes in different sections: each alone is
+        # recoverable, but a job-wide budget of 1 dies on the second.
+        plan = FaultPlan(
+            faults=(RankCrash(rank=1, at=1e-6, section=0),
+                    RankCrash(rank=2, at=1e-6, section=1))
+        )
+        budget = FailureBudget(max_reexecutions=1)
+        with triolet_runtime(MACHINE, faults=plan, budget=budget) as rt:
+            squares_sum()
+            with pytest.raises(BudgetExhausted):
+                squares_sum()
+        assert rt.recovery_report.failure == "budget"
+        assert budget.reexecutions_used == 2
+
+    def test_deadline_kills_a_healthy_job(self):
+        budget = FailureBudget(deadline=1e-12)
+        with triolet_runtime(MACHINE, budget=budget) as rt:
+            with pytest.raises(BudgetExhausted):
+                squares_sum()
+        assert rt.recovery_report.failure == "budget"
+
+    def test_unlimited_budget_never_fires(self):
+        budget = FailureBudget()
+        with triolet_runtime(MACHINE, faults=self._loss(),
+                             budget=budget) as rt:
+            out = squares_sum()
+        assert out == pytest.approx(EXPECTED)
+        assert rt.recovery_report.failure is None
+
+
+@pytest.mark.recovery
+class TestTaxonomy:
+    def test_classify_walks_the_cause_chain(self):
+        try:
+            try:
+                raise TransientSendError(1, 0, 7, 3)
+            except TransientSendError as inner:
+                raise RuntimeError("wrapped") from inner
+        except RuntimeError as exc:
+            assert classify_failure(exc) == "transient"
+
+    def test_classify_permanent_rank_failure(self):
+        assert classify_failure(
+            RankFailure(1, 1e-6, 2e-6, permanent=True)
+        ) == "permanent"
+        assert classify_failure(RankFailure(1, 1e-6, 2e-6)) == "transient"
+
+    def test_classify_budget_and_unknown(self):
+        assert classify_failure(BudgetExhausted("x")) == "budget"
+        assert classify_failure(ValueError("x")) == "unknown"
+
+    def test_exhausted_retries_classify_transient(self):
+        plan = FaultPlan(faults=(SendFault(src=1, times=99),))
+        policy = RecoveryPolicy(max_retries=2)
+        with triolet_runtime(MACHINE, faults=plan, recovery=policy) as rt:
+            with pytest.raises(TransientSendError):
+                squares_sum()
+        assert rt.recovery_report.failure == "transient"
