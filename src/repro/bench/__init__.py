@@ -20,7 +20,29 @@ from repro.bench.harness import (
     render_series,
 )
 
+
+def reset_run_state() -> None:
+    """Reset every piece of process-global engine state a bench cell can
+    observe: the fusion-plan caches, the serialization copy counters, the
+    distributed-array handle registry, and any stale observability
+    recorder.  Called before each cell so every measurement reports
+    deltas for *that* run -- in particular each transport cell of
+    ``python -m repro.bench --transport`` starts from the same state its
+    sim baseline did.
+    """
+    from repro.core.fusion.planner import reset_planner
+    from repro.data.handle import drop_handles
+    from repro.obs.spans import force_disable
+    from repro.serial import reset_copy_stats
+
+    reset_planner()
+    reset_copy_stats()
+    drop_handles()
+    force_disable()
+
+
 __all__ = [
+    "reset_run_state",
     "APPS",
     "AppSpec",
     "SpeedupPoint",

@@ -8,6 +8,8 @@ Options::
     python -m repro.bench --nodes 1,2,4,8  # node counts (default 1..8)
     python -m repro.bench --json           # wall-clock engine benchmark
                                            # -> BENCH_apps.json
+    python -m repro.bench --transport local  # transport scaling cell
+                                           # -> BENCH_transport.json
 """
 from __future__ import annotations
 
@@ -72,6 +74,19 @@ def main(argv: list[str] | None = None) -> int:
         help="run the wall-clock engine benchmark and write a JSON report",
     )
     parser.add_argument(
+        "--transport",
+        default=None,
+        metavar="NAME[,NAME...]",
+        help="run the transport scaling bench on the named backends "
+        "(sim is always the baseline; unavailable backends are "
+        "skipped) and write BENCH_transport.json",
+    )
+    parser.add_argument(
+        "--ranks",
+        default="1,2,4",
+        help="with --transport: comma-separated rank counts",
+    )
+    parser.add_argument(
         "--recovery",
         action="store_true",
         help="run the durable-recovery bench (escalating permanent "
@@ -90,6 +105,24 @@ def main(argv: list[str] | None = None) -> int:
         help="output path for the --json / --recovery report",
     )
     args = parser.parse_args(argv)
+    if args.transport:
+        from repro.bench.transport import (
+            render,
+            run_transport_bench,
+            write_json,
+        )
+
+        try:
+            rank_counts = tuple(int(n) for n in args.ranks.split(","))
+        except ValueError:
+            parser.error(f"bad --ranks value: {args.ranks!r}")
+        names = tuple(t.strip() for t in args.transport.split(",") if t.strip())
+        out = args.out or "BENCH_transport.json"
+        payload = run_transport_bench(names, rank_counts=rank_counts)
+        write_json(payload, out)
+        print(render(payload))
+        print(f"wrote {out}")
+        return 0
     if args.recovery:
         from repro.bench.recovery import (
             render,

@@ -1,0 +1,168 @@
+"""Transport scaling benchmark: real backends vs. the simulator.
+
+For each app and rank count this runs the unmodified Triolet runner on
+the ``sim`` baseline and on each requested real transport, and checks
+the paper-level invariant that makes the transports interchangeable:
+values are bit-identical and the *virtual* timeline (makespan, cost
+meters) is equal across backends, because availability stamps are
+computed causally from the cost model, never from wall time.  What the
+real transports add is a meaningful *wall* clock: rank processes really
+execute concurrently, so wall time scales with the host's cores.
+
+Honesty note: the recorded ``cpu_count`` matters.  On a single-core
+host forked ranks serialize and wall speedup hovers around 1x (plus
+fork overhead); the scaling claim is only testable with >= ``ranks``
+cores.  The payload records both the wall numbers and the core count so
+readers (and CI) can judge them.
+
+``python -m repro.bench --transport local`` runs this and writes
+``BENCH_transport.json``.
+"""
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from dataclasses import asdict
+
+from repro.bench import reset_run_state
+from repro.bench.calibrate import costs_for
+from repro.bench.harness import APPS
+from repro.bench.wallclock import BENCH_PARAMS, _bit_identical
+from repro.cluster.machine import PAPER_MACHINE
+from repro.cluster.transport import available_transports
+
+#: app x rank-count grid of the transport cell.
+TRANSPORT_APPS = ("mriq", "sgemm", "tpacf", "cutcp")
+TRANSPORT_RANKS = (1, 2, 4)
+
+
+def usable_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def _run_cell(app: str, problem, transport: str, ranks: int):
+    """One timed (app, transport, ranks) run from a clean-slate state."""
+    spec = APPS[app]
+    machine = (
+        PAPER_MACHINE.scaled(nodes=ranks, cores_per_node=1)
+        .with_transport(transport)
+    )
+    costs = costs_for(app, "triolet", problem)
+    reset_run_state()
+    t0 = time.perf_counter()
+    run = spec.runners["triolet"](problem, machine, costs)
+    wall = time.perf_counter() - t0
+    if not run.ok:
+        raise RuntimeError(f"{app} on {transport!r} x{ranks} failed: {run.failed}")
+    return wall, run
+
+
+def bench_transport_app(app: str, transport: str,
+                        rank_counts: tuple[int, ...] = TRANSPORT_RANKS) -> dict:
+    """One app's scaling row: sim baseline and *transport* at each rank
+    count, with cross-backend parity checks at every shape."""
+    problem = APPS[app].make_problem(**BENCH_PARAMS[app])
+    points = []
+    base_wall: dict[str, float] = {}
+    for ranks in rank_counts:
+        wall_sim, run_sim = _run_cell(app, problem, "sim", ranks)
+        wall_tr, run_tr = _run_cell(app, problem, transport, ranks)
+        base_wall.setdefault("sim", wall_sim)
+        base_wall.setdefault(transport, wall_tr)
+        points.append({
+            "ranks": ranks,
+            "wall_seconds_sim": wall_sim,
+            "wall_seconds": wall_tr,
+            "wall_speedup_vs_1rank": base_wall[transport] / wall_tr,
+            "virtual_seconds": run_tr.elapsed,
+            "virtual_seconds_equal": run_tr.elapsed == run_sim.elapsed,
+            "value_bit_identical": _bit_identical(run_tr.value, run_sim.value),
+            "meter_equal": run_tr.detail["meter"] == run_sim.detail["meter"],
+            "meter": asdict(run_tr.detail["meter"]),
+            "bytes_shipped": run_tr.bytes_shipped,
+            "bytes_shipped_equal":
+                run_tr.bytes_shipped == run_sim.bytes_shipped,
+        })
+    return {
+        "app": app,
+        "transport": transport,
+        "params": {k: list(v) if isinstance(v, tuple) else v
+                   for k, v in BENCH_PARAMS[app].items()},
+        "points": points,
+    }
+
+
+def run_transport_bench(
+    transports: tuple[str, ...] = ("local",),
+    apps: tuple[str, ...] = TRANSPORT_APPS,
+    rank_counts: tuple[int, ...] = TRANSPORT_RANKS,
+) -> dict:
+    """The full transport dataset (the ``BENCH_transport.json`` payload).
+
+    Unavailable backends (e.g. ``mpi`` without mpi4py) are reported as
+    skipped rather than failing the bench.
+    """
+    avail = set(available_transports(nranks=max(rank_counts)))
+    results = []
+    skipped = []
+    for tr in transports:
+        if tr == "sim" or tr not in avail:
+            if tr != "sim":
+                skipped.append(tr)
+            continue
+        for app in apps:
+            results.append(bench_transport_app(app, tr, rank_counts))
+    return {
+        "benchmark": "transport backends wall clock",
+        "cpu_count": os.cpu_count(),
+        "usable_cpus": usable_cpus(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "rank_counts": list(rank_counts),
+        "transports": list(transports),
+        "skipped": skipped,
+        "results": results,
+    }
+
+
+def write_json(payload: dict, path: str) -> None:
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=2)
+        f.write("\n")
+
+
+def render(payload: dict) -> str:
+    lines = [
+        f"Transport scaling (usable CPUs: {payload['usable_cpus']})",
+        f"{'app':<8}{'backend':>8}{'ranks':>6}{'sim s':>9}{'real s':>9}"
+        f"{'vs 1rk':>8}  parity",
+    ]
+    for row in payload["results"]:
+        for p in row["points"]:
+            parity = (
+                "ok"
+                if p["value_bit_identical"]
+                and p["virtual_seconds_equal"]
+                and p["meter_equal"]
+                and p["bytes_shipped_equal"]
+                else "MISMATCH"
+            )
+            lines.append(
+                f"{row['app']:<8}{row['transport']:>8}{p['ranks']:>6}"
+                f"{p['wall_seconds_sim']:>9.3f}{p['wall_seconds']:>9.3f}"
+                f"{p['wall_speedup_vs_1rank']:>7.2f}x  {parity}"
+            )
+    for tr in payload.get("skipped", ()):
+        lines.append(f"  (skipped unavailable transport: {tr})")
+    if payload["usable_cpus"] < max(payload["rank_counts"]):
+        lines.append(
+            "  note: fewer usable CPUs than ranks -- forked ranks "
+            "serialize, wall speedup is not expected here"
+        )
+    return "\n".join(lines)

@@ -36,6 +36,16 @@ from repro.cluster.faults import (
 )
 from repro.cluster.process import run_spmd, SpmdResult, SimAborted, SimDeadlockError
 from repro.cluster.metrics import RankMetrics, RunMetrics
+from repro.cluster.transport import (
+    Transport,
+    TransportUnavailable,
+    SimTransport,
+    LocalTransport,
+    MPITransport,
+    available_transports,
+    register_transport,
+    resolve_transport,
+)
 
 __all__ = [
     "MachineSpec",
@@ -60,4 +70,12 @@ __all__ = [
     "SimDeadlockError",
     "RankMetrics",
     "RunMetrics",
+    "Transport",
+    "TransportUnavailable",
+    "SimTransport",
+    "LocalTransport",
+    "MPITransport",
+    "available_transports",
+    "register_transport",
+    "resolve_transport",
 ]

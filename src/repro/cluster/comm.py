@@ -25,7 +25,7 @@ from repro.cluster.machine import MachineSpec
 from repro.cluster.metrics import RankMetrics
 from repro.cluster.simclock import VirtualClock
 from repro.serial import deserialize, serialize
-from repro.serial.arrays import array_payload_bytes
+from repro.serial.arrays import array_payload_bytes, ensure_contiguous
 
 #: Tag space reserved for collectives (user tags must stay below this).
 COLL_TAG_BASE = 1 << 20
@@ -379,12 +379,16 @@ class Comm:
         return Request(_recv=lambda: self.recv(source, tag))
 
     def Send(self, arr: np.ndarray, dest: int, tag: int = 0) -> None:
-        """Buffer-protocol send: one block copy, no per-element encoding."""
+        """Buffer-protocol send: one block copy, no per-element encoding.
+
+        Non-contiguous views hit the explicit contiguity gate (gpaw's
+        rule): compacted and counted, never silently object-serialized.
+        """
         if not isinstance(arr, np.ndarray):
             raise TypeError("Send() requires a numpy array; use send() for objects")
         nbytes = array_payload_bytes(arr)
         # The copy models the injection DMA; receiver owns its buffer.
-        self._post(np.ascontiguousarray(arr).copy(), nbytes, dest, tag, raw=True)
+        self._post(ensure_contiguous(arr).copy(), nbytes, dest, tag, raw=True)
 
     def Recv(self, source: int, tag: int = 0) -> np.ndarray:
         """Buffer-protocol receive; returns the array."""

@@ -63,6 +63,12 @@ class MachineSpec:
     thread_spawn_overhead: float = 2e-6
     #: seconds for one work-stealing steal attempt
     steal_overhead: float = 1e-6
+    #: transport backend name the SPMD launcher resolves at run time:
+    #: ``"sim"`` (deterministic in-process simulator, the default),
+    #: ``"local"`` (real multiprocess ranks over shared memory/queues) or
+    #: ``"mpi"`` (mpi4py buffer sends, when installed).  See
+    #: :mod:`repro.cluster.transport`.
+    transport: str = "sim"
 
     def __post_init__(self):
         if self.nodes < 1 or self.cores_per_node < 1:
@@ -93,7 +99,14 @@ class MachineSpec:
             shm=self.shm,
             thread_spawn_overhead=self.thread_spawn_overhead,
             steal_overhead=self.steal_overhead,
+            transport=self.transport,
         )
+
+    def with_transport(self, transport: str) -> "MachineSpec":
+        """A copy running on a different transport backend."""
+        from dataclasses import replace
+
+        return replace(self, transport=transport)
 
 
 #: The paper's evaluation machine.

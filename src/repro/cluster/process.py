@@ -1,28 +1,38 @@
-"""SPMD launcher: run a rank function on every simulated rank.
+"""SPMD launcher: run a rank function on every rank of a transport.
 
-Each rank executes in a real OS thread (they spend nearly all their time
-blocked on channel receives, so one physical core is plenty).  If any rank
-raises, the run's abort flag wakes every blocked receiver and the original
-exception is re-raised in the caller.
+``run_spmd`` builds the run context, hands execution to the machine's
+:class:`~repro.cluster.transport.Transport` backend, and assembles the
+common outcome: per-rank results, merged metrics, the virtual makespan,
+and structured failure propagation.
 
-Virtual timing is deterministic: availability stamps are computed from the
-causal clocks, never from wall time, so the reported makespan is a pure
-function of the program, the data, and the machine model.
+On the default ``sim`` transport each rank executes in a real OS thread
+(they spend nearly all their time blocked on channel receives, so one
+physical core is plenty) and virtual timing is deterministic:
+availability stamps are computed from the causal clocks, never from wall
+time, so the reported makespan is a pure function of the program, the
+data, and the machine model.  The ``local`` transport runs the same rank
+function in forked worker processes -- same virtual timeline (the cost
+model is causal, not scheduled), real wall-clock parallelism.  If any
+rank raises, the run's abort flag wakes every blocked receiver and the
+original exception is re-raised in the caller.
 """
 from __future__ import annotations
 
-import contextvars
-import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 from repro.cluster.channel import SimAborted, SimDeadlockError
-from repro.cluster.comm import Comm, SimContext
+from repro.cluster.comm import SimContext
 from repro.cluster.faults import FaultPlan, RankFailureGroup, RankFailureInfo
 from repro.cluster.limits import RuntimeLimits, UNLIMITED
 from repro.cluster.machine import MachineSpec
 from repro.cluster.metrics import RunMetrics
 from repro.cluster.trace import CommEvent, TraceLog
+from repro.cluster.transport import (
+    Transport,
+    TransportUnavailable,
+    resolve_transport,
+)
 
 __all__ = ["run_spmd", "SpmdResult", "SimAborted", "SimDeadlockError"]
 
@@ -39,6 +49,15 @@ class SpmdResult:
     #: fault/recovery accounting, present when a FaultPlan or recovery
     #: policy was installed (see repro.runtime.recovery.RecoveryReport)
     recovery: Any = None
+    #: per-rank extras dicts published via transport.rank_extras() --
+    #: how process-isolated backends return rank-local driver state
+    #: (cost meters, plan-cache deltas) for section-boundary merging
+    extras: list[dict] | None = None
+    #: name of the transport that executed the run
+    transport: str = "sim"
+    #: real elapsed seconds of the run (meaningful parallelism only on
+    #: transports with ``wall_clock=True``)
+    wall_seconds: float = 0.0
 
     @property
     def root_result(self) -> Any:
@@ -58,17 +77,25 @@ def run_spmd(
     trace: bool = False,
     faults: FaultPlan | None = None,
     recovery: Any = None,
+    transport: "Transport | str | None" = None,
 ) -> SpmdResult:
-    """Run ``rank_fn(comm, *args)`` on *nranks* simulated ranks.
+    """Run ``rank_fn(comm, *args)`` on *nranks* ranks.
 
     ``ranks_per_node`` controls rank->node packing (1 for one-process-per-
     node runtimes like Triolet's, ``cores_per_node`` for Eden's flat
-    process model).  Returns per-rank results, the virtual makespan and
-    merged metrics.
+    process model).  ``transport`` overrides the machine's backend
+    (default: ``machine.transport``, which defaults to the deterministic
+    in-process simulator).  Returns per-rank results, the virtual
+    makespan and merged metrics.
     """
     if nranks < 1:
         raise ValueError("need at least one rank")
-    from repro.cluster.trace import TraceLog
+    tr = resolve_transport(transport if transport is not None else machine.transport)
+    if faults is not None and not tr.supports_faults:
+        raise TransportUnavailable(
+            f"deterministic fault injection is sim-only for now; the "
+            f"{tr.name!r} transport cannot replay a FaultPlan"
+        )
 
     ctx = SimContext(
         machine=machine,
@@ -84,46 +111,17 @@ def run_spmd(
     )
     ctx.validate()
 
-    comms = [Comm(ctx, r) for r in range(nranks)]
-    results: list[Any] = [None] * nranks
-    errors: list[tuple[int, BaseException]] = []
-    errors_lock = threading.Lock()
-    # Rank threads inherit the caller's context (installed executor, cost
-    # context, ...): a fresh thread starts with an empty context, which
-    # would silently disable nested parallel sections inside rank code.
-    caller_context = contextvars.copy_context()
+    out = tr.execute(ctx, rank_fn, args)
 
-    def worker(rank: int) -> None:
-        try:
-            results[rank] = caller_context.copy().run(rank_fn, comms[rank], *args)
-        except SimAborted:
-            pass  # secondary failure; the primary error is recorded
-        except BaseException as exc:  # noqa: BLE001 -- propagated to caller
-            with errors_lock:
-                errors.append((rank, exc))
-            ctx.channels.fail(exc)
-
-    if nranks == 1:
-        worker(0)
-    else:
-        threads = [
-            threading.Thread(target=worker, args=(r,), name=f"sim-rank-{r}")
-            for r in range(nranks)
-        ]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join()
-
-    metrics = RunMetrics(per_rank=[c.metrics for c in comms])
-    if errors:
+    metrics = RunMetrics(per_rank=out.metrics)
+    if out.errors:
         # Re-raise the lowest failing rank's original exception (callers
         # keep matching on the application error type), chained from a
         # RankFailureGroup that carries *every* failing rank with its
         # virtual time -- concurrent failures are no longer discarded.
-        errors.sort(key=lambda e: e[0])
+        errors = sorted(out.errors, key=lambda e: e[0])
         infos = [
-            RankFailureInfo(rank=r, vtime=comms[r].clock.now, error=e)
+            RankFailureInfo(rank=r, vtime=out.clocks[r], error=e)
             for r, e in errors
         ]
         if ctx.trace is not None:
@@ -136,6 +134,7 @@ def run_spmd(
         try:
             exc.rank_failures = infos
             exc.trace_log = ctx.trace  # crashed attempts stay observable
+            exc.rank_extras = out.extras  # partial rank-local state
             if faults is not None or recovery is not None:
                 exc.recovery_report = _build_report(metrics)
         except (AttributeError, TypeError):
@@ -144,18 +143,20 @@ def run_spmd(
             exc.add_note(f"[run_spmd] {group}")
         raise exc from group
 
-    clocks = [c.clock.now for c in comms]
     return SpmdResult(
-        results=results,
-        makespan=max(clocks),
+        results=out.results,
+        makespan=max(out.clocks),
         metrics=metrics,
-        final_clocks=clocks,
+        final_clocks=out.clocks,
         trace=ctx.trace,
         recovery=(
             _build_report(metrics)
             if faults is not None or recovery is not None
             else None
         ),
+        extras=out.extras,
+        transport=tr.name,
+        wall_seconds=out.wall_seconds,
     )
 
 

@@ -135,6 +135,33 @@ def planner_stats() -> PlannerStats:
     )
 
 
+_STAT_FIELDS = ("hits", "misses", "compiled", "unsupported",
+                "negative_evictions")
+
+
+def stats_snapshot() -> dict:
+    """Plain-dict counter snapshot (for rank-local delta accounting on
+    process-isolated transports)."""
+    return {k: getattr(_stats, k) for k in _STAT_FIELDS}
+
+
+def stats_delta(since: dict) -> dict:
+    """Counter growth since a :func:`stats_snapshot`."""
+    return {k: getattr(_stats, k) - since[k] for k in _STAT_FIELDS}
+
+
+def merge_stats(delta: dict) -> None:
+    """Fold a rank's counter delta into the process-global stats.
+
+    Process-isolated transports run plan-cache consults in forked
+    workers whose counters die with the worker; the driver carries the
+    deltas back through ``rank_extras`` and merges them here so
+    ``planner_stats()`` reports the same traffic on every backend.
+    """
+    for k in _STAT_FIELDS:
+        setattr(_stats, k, getattr(_stats, k) + delta.get(k, 0))
+
+
 def negative_cache_size() -> int:
     """Number of remembered unsupported structures (bounded by
     :data:`NEGATIVE_CACHE_MAX`)."""

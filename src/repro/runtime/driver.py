@@ -41,6 +41,7 @@ from repro.cluster.machine import MachineSpec
 from repro.cluster.metrics import RunMetrics
 from repro.cluster.process import run_spmd
 from repro.cluster.simclock import VirtualClock
+from repro.cluster.transport import rank_extras, resolve_transport
 from repro.core import meter
 from repro.core.domains import Dim2
 from repro.core.engine import execute as _engine
@@ -133,6 +134,15 @@ _node_ctx: contextvars.ContextVar[NodeContext | None] = contextvars.ContextVar(
     "repro_node_ctx", default=None
 )
 
+#: Where metered-region tallies merge.  ``None`` means the runtime's own
+#: ``meter_total`` (the shared-heap default).  Process-isolated transports
+#: install a rank-local meter here so forked workers tally into state that
+#: travels back through :func:`repro.cluster.transport.rank_extras`
+#: instead of into a doomed copy of the driver's global meter.
+_meter_sink: contextvars.ContextVar[meter.CostMeter | None] = (
+    contextvars.ContextVar("repro_meter_sink", default=None)
+)
+
 
 @dataclass
 class SectionRecord:
@@ -153,6 +163,9 @@ class SectionRecord:
     recovery: "RecoveryReport | None" = None  # fault/recovery accounting
     plan: str | None = None  # compiled bulk-execution plan, if vectorized
     data_plane: dict | None = None  # shipping stats when handles were used
+    #: real elapsed seconds of the section's SPMD run; nonzero only on
+    #: transports with wall-clock parallelism (sim stays byte-identical)
+    wall_seconds: float = 0.0
 
     @property
     def vectorized(self) -> bool:
@@ -218,6 +231,10 @@ class TrioletRuntime:
         if scheduler not in ("worksteal", "static"):
             raise ValueError(f"unknown scheduler: {scheduler!r}")
         self.machine = machine
+        #: the backend executing this runtime's distributed sections
+        #: (resolved once from ``machine.transport``; see
+        #: :mod:`repro.cluster.transport`)
+        self.transport = resolve_transport(machine.transport)
         self.costs = costs if costs is not None else CostContext()
         self.alloc = alloc
         self.limits = limits
@@ -249,6 +266,26 @@ class TrioletRuntime:
         # sequential glue).  Nested regions shadow the installed meter, so
         # merging each region once counts every tally exactly once.
         self.meter_total = meter.CostMeter()
+
+    def _merge_meter(self, m: meter.CostMeter) -> None:
+        """Fold one metered region into the runtime total -- or, inside a
+        process-isolated rank, into that rank's local meter (carried back
+        and merged for real at the section boundary)."""
+        sink = _meter_sink.get()
+        (self.meter_total if sink is None else sink).merge(m)
+
+    def _merge_rank_extras(self, extras) -> None:
+        """Merge rank-local driver state a non-shared-heap transport
+        carried back: per-rank cost meters and plan-cache deltas."""
+        for ext in extras or ():
+            if not ext:
+                continue
+            m = ext.get("meter")
+            if m is not None:
+                self.meter_total.merge(m)
+            pd = ext.get("planner")
+            if pd is not None:
+                planner.merge_stats(pd)
 
     # -- bookkeeping -----------------------------------------------------
 
@@ -312,7 +349,7 @@ class TrioletRuntime:
         with _obs_span("section", label, clock=self.clock) as osp:
             with meter.metered() as m:
                 out = fn(*args, **kwargs)
-            self.meter_total.merge(m)
+            self._merge_meter(m)
             dt = self.costs.task_seconds(m)
             self.clock.advance(dt)
             osp.set(kind="seq", visits=m.visits)
@@ -448,7 +485,7 @@ class TrioletRuntime:
                     partials.append(spec.seq_fn(sub))
             finally:
                 _node_ctx.reset(token)
-            self.meter_total.merge(m)
+            self._merge_meter(m)
             if i < alloc_cap:
                 gc_time += self.alloc(
                     int(_result_bytes(partials[-1]) * self.costs.wire_scale)
@@ -514,7 +551,7 @@ class TrioletRuntime:
         if not self._partitionable(it):
             with meter.metered() as m:
                 out = spec.seq_fn(it)
-            self.meter_total.merge(m)
+            self._merge_meter(m)
             return out, self.costs.task_seconds(m)
         partials, serial, nested, gc_time = self._run_tasks(it, spec, cores)
         result, combine_dt = self._combine_partials(spec, partials)
@@ -568,7 +605,7 @@ class TrioletRuntime:
         with _obs_span("section", label, clock=self.clock) as osp:
             with meter.metered() as m:
                 out = spec.seq_fn(it)
-            self.meter_total.merge(m)
+            self._merge_meter(m)
             dt = self.costs.task_seconds(m)
             self.clock.advance(dt)
             osp.set(kind=spec.kind, visits=m.visits)
@@ -720,7 +757,7 @@ class TrioletRuntime:
                 # placement: recovery traffic, not steady-state traffic.
                 reshipped += ship.stats["input_bytes"]
 
-            def rank_fn(comm: Comm):
+            def rank_body(comm: Comm):
                 if ship is None:
                     my_chunk = _distribute_chunks(comm, chunks)
                     store_cm = bind_store(None)
@@ -749,6 +786,27 @@ class TrioletRuntime:
                         return None
                     return _assemble_build(gathered, block_meta, partition)
 
+            def rank_fn(comm: Comm):
+                if self.transport.shared_heap:
+                    return rank_body(comm)
+                # Process-isolated rank: driver-global state mutated here
+                # dies with the worker.  Tally into a rank-local meter and
+                # capture the plan-cache delta, published through
+                # rank_extras() -- installed at rank *start* so a crashed
+                # rank's partial tallies still travel back to the driver.
+                ext = rank_extras()
+                local_meter = meter.CostMeter()
+                if ext is not None:
+                    ext["meter"] = local_meter
+                mtok = _meter_sink.set(local_meter)
+                psnap = planner.stats_snapshot()
+                try:
+                    return rank_body(comm)
+                finally:
+                    if ext is not None:
+                        ext["planner"] = planner.stats_delta(psnap)
+                    _meter_sink.reset(mtok)
+
             try:
                 res = run_spmd(
                     machine,
@@ -761,6 +819,7 @@ class TrioletRuntime:
                     faults=self.faults,
                     recovery=rec,
                     trace=obs is not None,
+                    transport=self.transport,
                 )
                 if obs is not None and res.trace is not None:
                     obs.absorb_events(res.trace.events, osp)
@@ -772,6 +831,11 @@ class TrioletRuntime:
                     # The failed attempt's messages and fault stamps stay
                     # visible in the trace, tied to the same section.
                     obs.absorb_events(crash_trace.events, osp)
+                if not self.transport.shared_heap:
+                    # A crashed attempt's completed-task tallies are real
+                    # work; sim ranks merge as they run, so merge the
+                    # partial extras the transport saved on the exception.
+                    self._merge_rank_extras(getattr(exc, "rank_extras", None))
                 rank_failed = infos is not None and all(
                     isinstance(i.error, RankFailure) for i in infos
                 )
@@ -836,6 +900,19 @@ class TrioletRuntime:
                 lost_time += max(i.vtime for i in infos) + rec.backoff(attempt)
                 dead += len(infos)
                 attempt += 1
+
+        if not self.transport.shared_heap:
+            # Section-boundary merge of rank-local state (sim ranks share
+            # the heap and merged directly as they ran).
+            self._merge_rank_extras(res.extras)
+            if ship is not None:
+                # Mirror the shipping ops into the driver-side rank
+                # stores: forked workers applied them to fork-private
+                # copies, and the next section's fork must inherit the
+                # resident shards for zero-reship placement to hold.
+                for dst, ops in enumerate(ship.ops):
+                    if ops:
+                        self.plane.worker_store(dst).apply(ops)
 
         makespan = lost_time + res.makespan
         # Section checkpointing: persist the output into the simulated
@@ -924,6 +1001,9 @@ class TrioletRuntime:
                 recovery=section_report,
                 plan=plan,
                 data_plane=data_plane,
+                wall_seconds=(
+                    res.wall_seconds if self.transport.wall_clock else 0.0
+                ),
             )
         )
         osp.set(
@@ -935,6 +1015,10 @@ class TrioletRuntime:
             makespan=makespan,
             bytes_shipped=res.metrics.bytes_sent,
         )
+        if self.transport.wall_clock:
+            # Real transports also report measured elapsed time; the
+            # virtual makespan above stays the cross-backend invariant.
+            osp.set(wall_seconds=res.wall_seconds, transport=res.transport)
         if losses:
             osp.set(rank_losses=losses)
         if ckpt_bytes:

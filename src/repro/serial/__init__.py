@@ -24,7 +24,7 @@ from repro.serial.serializer import (
     serializable,
     SerializationError,
 )
-from repro.serial.arrays import copy_stats, reset_copy_stats
+from repro.serial.arrays import copy_stats, ensure_contiguous, reset_copy_stats
 from repro.serial.sizeof import transitive_size
 from repro.serial.closures import (
     Closure,
@@ -53,6 +53,7 @@ __all__ = [
     "serializable",
     "SerializationError",
     "copy_stats",
+    "ensure_contiguous",
     "reset_copy_stats",
     "reset",
     "transitive_size",

@@ -27,6 +27,12 @@ _stats = {
     "zero_copy_bytes": 0,  # payload bytes appended as buffer views
     "compacted": 0,  # non-contiguous arrays that needed a copy
     "compacted_bytes": 0,
+    # non-contiguous views compacted at the buffer-view *ship* gate
+    # (Comm.Send, shared-memory segments): gpaw's contiguity rule -- a
+    # buffer send requires contiguous data, so strided views pay an
+    # explicit compaction copy instead of silently degrading to a
+    # pickled/element-wise path.
+    "noncontiguous_compacted": 0,
 }
 
 
@@ -38,6 +44,24 @@ def copy_stats() -> dict:
 def reset_copy_stats() -> None:
     for k in _stats:
         _stats[k] = 0
+
+
+def ensure_contiguous(arr: np.ndarray) -> np.ndarray:
+    """Contiguity gate for the zero-copy buffer ship paths.
+
+    Buffer-protocol sends (``Comm.Send``, shared-memory segments, mpi4py
+    buffer messages) move one contiguous block.  A C-contiguous array
+    passes through untouched; any other layout -- Fortran order, strided
+    or transposed views -- is compacted with an explicit copy, counted
+    under ``copy_stats()["noncontiguous_compacted"]``, and never falls
+    back to a pickled element-wise encoding.
+    """
+    if arr.flags.c_contiguous:
+        return arr
+    a = np.ascontiguousarray(arr)
+    _stats["noncontiguous_compacted"] += 1
+    _stats["compacted_bytes"] += a.nbytes
+    return a
 
 
 def pack_array_into(arr: np.ndarray, out: bytearray) -> None:

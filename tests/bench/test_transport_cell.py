@@ -1,0 +1,56 @@
+"""The transport scaling cell of ``python -m repro.bench --transport``."""
+import pytest
+
+from repro.bench.transport import (
+    bench_transport_app,
+    run_transport_bench,
+    usable_cpus,
+)
+from repro.cluster.transport import available_transports
+
+pytestmark = pytest.mark.transport
+
+if "local" not in available_transports(nranks=2):
+    pytest.skip("LocalTransport unavailable (no fork)", allow_module_level=True)
+
+
+def test_cell_parity_holds_at_every_shape():
+    """Bit-identical values and an equal virtual timeline at every rank
+    count -- the invariant that holds regardless of core count."""
+    row = bench_transport_app("sgemm", "local", rank_counts=(1, 2))
+    assert [p["ranks"] for p in row["points"]] == [1, 2]
+    for p in row["points"]:
+        assert p["value_bit_identical"]
+        assert p["virtual_seconds_equal"]
+        assert p["meter_equal"]
+        assert p["bytes_shipped_equal"]
+
+
+def test_payload_records_host_capacity():
+    payload = run_transport_bench(("local",), apps=("sgemm",),
+                                  rank_counts=(1,))
+    assert payload["cpu_count"] >= 1
+    assert payload["usable_cpus"] >= 1
+    assert payload["results"][0]["transport"] == "local"
+    assert payload["skipped"] == []
+
+
+def test_unavailable_transport_is_skipped_not_fatal():
+    if "mpi" in available_transports(nranks=2):
+        pytest.skip("mpi4py present; nothing to skip")
+    payload = run_transport_bench(("mpi",), apps=("sgemm",),
+                                  rank_counts=(1,))
+    assert payload["skipped"] == ["mpi"]
+    assert payload["results"] == []
+
+
+def test_wall_speedup_with_enough_cpus():
+    """Real parallel scaling -- only assertable when the host actually
+    has the cores.  On a 1-core container forked ranks serialize and the
+    honest expectation is ~1x, so this gates rather than lies."""
+    if usable_cpus() < 4:
+        pytest.skip(f"needs >= 4 usable CPUs, have {usable_cpus()}")
+    row = bench_transport_app("mriq", "local", rank_counts=(1, 4))
+    p4 = row["points"][-1]
+    assert p4["ranks"] == 4
+    assert p4["wall_speedup_vs_1rank"] >= 1.5

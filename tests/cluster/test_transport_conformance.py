@@ -1,0 +1,204 @@
+"""Transport conformance: every available backend runs the same programs.
+
+The matrix parametrizes over :func:`available_transports` (``sim``
+always; ``local`` on POSIX; ``mpi`` only under an ``mpiexec`` world with
+mpi4py installed -- it skips cleanly otherwise) and asserts the
+cross-backend contract: identical results, identical *virtual* timing
+(availability stamps are causal, computed from the cost model, never
+from wall time), and identical driver-observable state for a full app
+run.
+"""
+import numpy as np
+import pytest
+
+from repro.bench.calibrate import costs_for
+from repro.bench.harness import APPS
+from repro.cluster import MachineSpec, run_spmd
+from repro.cluster.transport import SHM_MIN_BYTES, available_transports
+
+pytestmark = pytest.mark.transport
+
+TRANSPORTS = available_transports(nranks=4)
+
+
+@pytest.fixture(params=TRANSPORTS)
+def transport(request):
+    return request.param
+
+
+def machine_for(transport: str, nodes: int = 4) -> MachineSpec:
+    return MachineSpec(nodes=nodes, cores_per_node=1, transport=transport)
+
+
+def sim_reference(rank_fn, nranks, **kw):
+    """The same program on the sim backend (the conformance oracle)."""
+    return run_spmd(machine_for("sim", nranks), rank_fn, nranks=nranks, **kw)
+
+
+class TestPointToPoint:
+    def test_echo(self, transport):
+        def rank_fn(comm):
+            if comm.rank == 0:
+                for dst in range(1, comm.size):
+                    comm.send({"ping": dst * 10}, dst, tag=1)
+                return sorted(comm.recv(src, tag=2) for src in range(1, comm.size))
+            got = comm.recv(0, tag=1)
+            comm.send(got["ping"] + comm.rank, 0, tag=2)
+            return got["ping"]
+
+        res = run_spmd(machine_for(transport), rank_fn, nranks=4)
+        ref = sim_reference(rank_fn, 4)
+        assert res.results == ref.results
+        assert res.results[0] == [11, 22, 33]
+        assert res.makespan == ref.makespan
+        assert res.final_clocks == ref.final_clocks
+
+    def test_buffer_send_small_and_shm_sized(self, transport):
+        """Buffer-protocol sends below and above the shared-memory
+        threshold both round-trip bitwise."""
+        small = np.arange(7.0)
+        big = np.arange(SHM_MIN_BYTES // 8 + 64, dtype=np.float64)
+
+        def rank_fn(comm):
+            if comm.rank == 0:
+                comm.Send(small, 1, tag=3)
+                comm.Send(big, 1, tag=4)
+                return None
+            a = comm.Recv(0, tag=3)
+            b = comm.Recv(0, tag=4)
+            return (a.tobytes(), b.tobytes(), a.dtype.str, b.shape)
+
+        res = run_spmd(machine_for(transport, nodes=2), rank_fn, nranks=2)
+        a_bytes, b_bytes, dts, shape = res.results[1]
+        assert a_bytes == small.tobytes()
+        assert b_bytes == big.tobytes()
+        assert dts == small.dtype.str
+        assert shape == big.shape
+
+    def test_message_matching_by_source_and_tag(self, transport):
+        """Out-of-order (src, tag) consumption: per-sender FIFO holds."""
+
+        def rank_fn(comm):
+            if comm.rank == 0:
+                comm.send("a1", 2, tag=1)
+                comm.send("a2", 2, tag=1)
+                comm.send("b", 2, tag=5)
+                return None
+            if comm.rank == 1:
+                comm.send("c", 2, tag=1)
+                return None
+            late = comm.recv(0, tag=5)  # posted last, consumed first
+            first = comm.recv(0, tag=1)
+            other = comm.recv(1, tag=1)
+            second = comm.recv(0, tag=1)
+            return (late, first, second, other)
+
+        res = run_spmd(machine_for(transport, nodes=3), rank_fn, nranks=3)
+        assert res.results[2] == ("b", "a1", "a2", "c")
+
+
+class TestCollectives:
+    def test_scatter_gather(self, transport):
+        def rank_fn(comm):
+            chunk = comm.scatter(
+                [np.full(4, r, dtype=np.int64) for r in range(comm.size)]
+                if comm.rank == 0
+                else None,
+                root=0,
+            )
+            out = comm.gather(int(chunk.sum()), root=0)
+            return out
+
+        res = run_spmd(machine_for(transport), rank_fn, nranks=4)
+        ref = sim_reference(rank_fn, 4)
+        assert res.results[0] == [0, 4, 8, 12]
+        assert res.results == ref.results
+        assert res.makespan == ref.makespan
+
+    def test_barrier_and_allreduce(self, transport):
+        def rank_fn(comm):
+            comm.barrier()
+            total = comm.allreduce(comm.rank + 1, op=lambda a, b: a + b)
+            comm.barrier()
+            return total
+
+        res = run_spmd(machine_for(transport), rank_fn, nranks=4)
+        ref = sim_reference(rank_fn, 4)
+        assert res.results == [10, 10, 10, 10]
+        assert res.makespan == ref.makespan
+
+
+class TestHandles:
+    def test_handle_round_trip_ships_id_not_rows(self, transport):
+        """A DistArray handle crosses the wire as a few-byte id; the
+        receiving rank resolves the same rows."""
+        from repro.data.plane import DataPlane
+        from repro.serial import serialize
+
+        plane = DataPlane()
+        data = np.arange(64.0).reshape(16, 4)
+        handle = plane.register(data, "block")
+        # The handle itself serializes small -- ids, not rows.
+        assert len(serialize(handle)) < data.nbytes / 4
+
+        def rank_fn(comm):
+            if comm.rank == 0:
+                comm.send(handle, 1, tag=7)
+                return None
+            got = comm.recv(0, tag=7)
+            return (got.array_id, got.array.tobytes())
+
+        res = run_spmd(machine_for(transport, nodes=2), rank_fn, nranks=2)
+        got_id, got_bytes = res.results[1]
+        assert got_id == handle.array_id
+        assert got_bytes == data.tobytes()
+
+
+class TestFullApp:
+    @pytest.mark.parametrize("app", ["mriq", "tpacf"])
+    def test_app_bit_identical_to_sim(self, transport, app):
+        """A whole driver run -- partitioning, data plane, collectives,
+        meters -- is bit-identical across backends."""
+        if transport == "sim":
+            pytest.skip("sim is the oracle")
+        spec = APPS[app]
+        problem = spec.make_problem(**spec.sandbox_params)
+        costs = costs_for(app, "triolet", problem)
+
+        def run(tr):
+            from repro.bench import reset_run_state
+
+            reset_run_state()
+            m = machine_for(tr, nodes=2)
+            return spec.runners["triolet"](problem, m, costs)
+
+        ref = run("sim")
+        got = run(transport)
+        assert got.ok and ref.ok
+        if isinstance(ref.value, dict):
+            assert set(ref.value) == set(got.value)
+            for k in ref.value:
+                assert np.asarray(got.value[k]).tobytes() == np.asarray(
+                    ref.value[k]
+                ).tobytes()
+        else:
+            assert np.asarray(got.value).tobytes() == np.asarray(
+                ref.value
+            ).tobytes()
+        # The virtual timeline and the merged driver state match too.
+        assert got.elapsed == ref.elapsed
+        assert got.detail["meter"] == ref.detail["meter"]
+        assert got.detail["data_plane"] == ref.detail["data_plane"]
+
+
+class TestErrors:
+    def test_rank_error_propagates(self, transport):
+        def rank_fn(comm):
+            if comm.rank == 1:
+                raise ValueError("rank 1 exploded")
+            comm.barrier()
+            return comm.rank
+
+        with pytest.raises(ValueError, match="exploded"):
+            run_spmd(machine_for(transport, nodes=2), rank_fn, nranks=2,
+                     real_timeout=20.0)

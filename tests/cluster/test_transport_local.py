@@ -1,0 +1,185 @@
+"""LocalTransport specifics: process isolation, shared-memory shipping,
+rank-local state merging, and feature gating.
+
+These tests are POSIX-only in practice (fork start method) and skip as a
+module where LocalTransport is unavailable.
+"""
+import numpy as np
+import pytest
+
+from repro.cluster import MachineSpec, TransportUnavailable, run_spmd
+from repro.cluster.faults import FaultPlan, RankCrash
+from repro.cluster.transport import (
+    LocalTransport,
+    _shm_read,
+    _shm_write,
+    available_transports,
+    rank_extras,
+)
+from repro.core import meter
+from repro.serial import copy_stats, register_function
+import repro.triolet as tri
+
+pytestmark = pytest.mark.transport
+
+if "local" not in available_transports(nranks=2):
+    pytest.skip("LocalTransport unavailable (no fork)", allow_module_level=True)
+
+
+def machine(nodes: int = 2) -> MachineSpec:
+    return MachineSpec(nodes=nodes, cores_per_node=1, transport="local")
+
+
+class TestProcessIsolation:
+    def test_ranks_cannot_observe_each_others_meter(self):
+        """Rank 0 tallies into a driver-heap meter; rank 1 -- in its own
+        forked address space -- must not see it, and the parent must not
+        see either mutation."""
+        shared = meter.CostMeter()
+
+        def rank_fn(comm):
+            if comm.rank == 0:
+                shared.visits += 7
+            comm.barrier()  # rank 0's write precedes rank 1's read
+            return shared.visits
+
+        res = run_spmd(machine(), rank_fn, nranks=2)
+        assert res.results[0] == 7  # own write visible to itself
+        assert res.results[1] == 0  # peer's write invisible
+        assert shared.visits == 0  # nothing leaks back to the driver
+
+    def test_installed_meter_is_rank_private(self):
+        """A meter installed inside one rank collects only that rank's
+        tallies (the satellite's meter-state isolation contract)."""
+
+        def rank_fn(comm):
+            with meter.metered() as m:
+                meter.tally_visits(10 * (comm.rank + 1))
+                comm.barrier()
+            return m.visits
+
+        res = run_spmd(machine(), rank_fn, nranks=2)
+        assert res.results == [10, 20]
+
+    def test_rank_extras_travel_back(self):
+        def rank_fn(comm):
+            ext = rank_extras()
+            assert ext is not None
+            ext["mark"] = comm.rank * 2 + 1
+            return None
+
+        res = run_spmd(machine(), rank_fn, nranks=2)
+        assert [e["mark"] for e in res.extras] == [1, 3]
+
+
+class TestSharedMemory:
+    def test_shm_segment_round_trip(self):
+        arr = np.arange(1024.0).reshape(32, 32)
+        ref = _shm_write(arr)
+        out = _shm_read(ref)
+        assert out.tobytes() == arr.tobytes()
+        assert out.dtype == arr.dtype and out.shape == arr.shape
+
+    def test_shm_write_compacts_noncontiguous(self):
+        arr = np.arange(64.0).reshape(8, 8).T
+        assert not arr.flags.c_contiguous
+        before = copy_stats()["noncontiguous_compacted"]
+        ref = _shm_write(arr)
+        assert copy_stats()["noncontiguous_compacted"] == before + 1
+        assert _shm_read(ref).tobytes() == np.ascontiguousarray(arr).tobytes()
+
+    def test_forced_shm_path_matches_queue_path(self):
+        """With the threshold forced to 1 byte every buffer send rides a
+        shared-memory segment; payloads must be unchanged."""
+        arr = np.linspace(0.0, 1.0, 257)
+
+        def rank_fn(comm):
+            if comm.rank == 0:
+                comm.Send(arr, 1)
+                return None
+            return comm.Recv(0).tobytes()
+
+        res = run_spmd(
+            machine(), rank_fn, nranks=2,
+            transport=LocalTransport(shm_min_bytes=1),
+        )
+        assert res.results[1] == arr.tobytes()
+
+
+class TestFeatureGates:
+    def test_fault_plans_are_sim_only(self):
+        plan = FaultPlan([RankCrash(rank=1, at=0.0)])
+
+        def rank_fn(comm):
+            return comm.rank
+
+        with pytest.raises(TransportUnavailable, match="sim-only"):
+            run_spmd(machine(), rank_fn, nranks=2, faults=plan)
+
+    def test_unpicklable_error_is_wrapped(self):
+        """An exception that cannot cross the process boundary arrives as
+        a RuntimeError carrying its type name and message."""
+
+        class Boom(Exception):  # local class: unpicklable in the parent
+            pass
+
+        def rank_fn(comm):
+            if comm.rank == 1:
+                raise Boom("socket on fire")
+            return comm.rank
+
+        with pytest.raises(RuntimeError, match="Boom: socket on fire"):
+            run_spmd(machine(), rank_fn, nranks=2, real_timeout=20.0)
+
+
+@register_function
+def _double(v):
+    return 2.0 * v
+
+
+class TestDriverStateMerging:
+    def test_second_section_ships_zero_input_bytes(self):
+        """The parent-side mirror of worker-store ops must keep resident
+        placement accurate across forks: the second compatible section
+        over the same handle ships no input rows."""
+        from repro.runtime import triolet_runtime
+        from repro.serial import closure
+
+        data = np.arange(512.0)
+        with triolet_runtime(machine()) as rt:
+            h = rt.distribute(data)
+            s1 = tri.sum(tri.map(closure(_double), tri.par(h)))
+            first = rt.last_section.data_plane
+            s2 = tri.sum(tri.map(closure(_double), tri.par(h)))
+            second = rt.last_section.data_plane
+        assert s1 == s2 == 2.0 * data.sum()
+        assert first["input_bytes"] > 0
+        assert second["input_bytes"] == 0
+        assert second["resident_hits"] > 0
+
+    def test_meter_and_makespan_match_sim(self):
+        """Section meters merged from rank extras equal the sim's direct
+        merge, and the virtual makespan is transport-invariant."""
+        from repro.runtime import triolet_runtime
+        from repro.serial import closure
+
+        data = np.arange(4096.0)
+
+        def run(transport):
+            m = MachineSpec(nodes=2, cores_per_node=1, transport=transport)
+            with triolet_runtime(m) as rt:
+                h = rt.distribute(data)
+                v = tri.sum(tri.map(closure(_double), tri.par(h)))
+            return v, rt.meter_total, rt.elapsed, rt.last_section.wall_seconds
+
+        from repro.bench import reset_run_state
+
+        reset_run_state()
+        v_sim, m_sim, t_sim, w_sim = run("sim")
+        reset_run_state()
+        v_loc, m_loc, t_loc, w_loc = run("local")
+        assert v_loc == v_sim
+        assert m_loc == m_sim
+        assert t_loc == t_sim
+        assert w_sim == 0.0  # sim sections never report wall time
+        assert w_loc > 0.0  # real transports always do

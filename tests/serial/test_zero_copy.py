@@ -2,7 +2,13 @@
 import numpy as np
 import pytest
 
-from repro.serial import copy_stats, deserialize, reset_copy_stats, serialize
+from repro.serial import (
+    copy_stats,
+    deserialize,
+    ensure_contiguous,
+    reset_copy_stats,
+    serialize,
+)
 from repro.serial.arrays import pack_array, pack_array_into, unpack_array
 
 
@@ -67,3 +73,59 @@ class TestZeroCopy:
     def test_serialize_counts_arrays(self):
         serialize({"a": np.arange(10.0), "b": (np.ones(3), 2)})
         assert copy_stats()["arrays"] == 2
+
+
+class TestContiguityGate:
+    """The buffer-view ship gate (Comm.Send, shared-memory segments):
+    contiguous data passes through untouched, anything else pays an
+    explicit, *counted* compaction -- never a silent fallback."""
+
+    def test_contiguous_passes_through_identically(self):
+        arr = np.arange(24.0).reshape(4, 6)
+        assert ensure_contiguous(arr) is arr
+        assert copy_stats()["noncontiguous_compacted"] == 0
+
+    def test_contiguous_row_slice_passes_through(self):
+        view = np.arange(50.0).reshape(10, 5)[2:7]
+        assert view.base is not None and view.flags.c_contiguous
+        assert ensure_contiguous(view) is view
+        assert copy_stats()["noncontiguous_compacted"] == 0
+
+    @pytest.mark.parametrize(
+        "make_view",
+        [
+            lambda a: a.T,  # transposed
+            lambda a: a[::2],  # strided rows
+            lambda a: a[:, 1:],  # strided columns
+            lambda a: np.asfortranarray(a),  # Fortran order
+        ],
+    )
+    def test_noncontiguous_views_are_compacted_and_counted(self, make_view):
+        base = np.arange(64.0).reshape(8, 8)
+        view = make_view(base)
+        assert not view.flags.c_contiguous
+        out = ensure_contiguous(view)
+        assert out.flags.c_contiguous
+        assert out.tobytes() == np.ascontiguousarray(view).tobytes()
+        stats = copy_stats()
+        assert stats["noncontiguous_compacted"] == 1
+        assert stats["compacted_bytes"] == out.nbytes
+
+    def test_comm_buffer_send_hits_the_gate(self):
+        """Comm.Send routes every buffer payload through the gate: a
+        strided view is compacted (and counted) before injection, and the
+        receiver sees the compacted bytes."""
+        from repro.cluster import MachineSpec, run_spmd
+
+        base = np.arange(36.0).reshape(6, 6)
+
+        def rank_fn(comm):
+            if comm.rank == 0:
+                comm.Send(base.T, 1)
+                return None
+            return comm.Recv(0).tobytes()
+
+        res = run_spmd(MachineSpec(nodes=2, cores_per_node=1), rank_fn,
+                       nranks=2)
+        assert res.results[1] == np.ascontiguousarray(base.T).tobytes()
+        assert copy_stats()["noncontiguous_compacted"] == 1
