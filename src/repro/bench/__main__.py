@@ -10,6 +10,8 @@ Options::
                                            # -> BENCH_apps.json
     python -m repro.bench --transport local  # transport scaling cell
                                            # -> BENCH_transport.json
+    python -m repro.bench --service        # resident job-service bench
+                                           # -> BENCH_service.json
 """
 from __future__ import annotations
 
@@ -84,7 +86,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--ranks",
         default="1,2,4",
-        help="with --transport: comma-separated rank counts",
+        help="with --transport / --service: comma-separated rank counts",
+    )
+    parser.add_argument(
+        "--service",
+        action="store_true",
+        help="run the resident job-service bench (mixed multi-tenant "
+        "app stream) and write BENCH_service.json",
     )
     parser.add_argument(
         "--recovery",
@@ -119,6 +127,23 @@ def main(argv: list[str] | None = None) -> int:
         names = tuple(t.strip() for t in args.transport.split(",") if t.strip())
         out = args.out or "BENCH_transport.json"
         payload = run_transport_bench(names, rank_counts=rank_counts)
+        write_json(payload, out)
+        print(render(payload))
+        print(f"wrote {out}")
+        return 0
+    if args.service:
+        from repro.bench.service import (
+            render,
+            run_service_bench,
+            write_json,
+        )
+
+        try:
+            rank_counts = tuple(int(n) for n in args.ranks.split(","))
+        except ValueError:
+            parser.error(f"bad --ranks value: {args.ranks!r}")
+        out = args.out or "BENCH_service.json"
+        payload = run_service_bench(rank_counts)
         write_json(payload, out)
         print(render(payload))
         print(f"wrote {out}")

@@ -1,0 +1,190 @@
+"""Benchmark of the resident job service: what sharing buys a stream.
+
+A mixed mriq/sgemm/tpacf/cutcp job stream from two tenants runs against
+one resident :class:`~repro.service.JobServer` at 1/2/4 ranks.  The
+interesting numbers are the *cross-job* ones, which a one-shot runtime
+cannot have at all:
+
+* ``plan_hits`` -- fusion-plan cache hits landed by repeat jobs (their
+  ``compiled`` is 0: every structure was compiled by the first wave);
+* ``zero_ship_rate`` -- fraction of repeat jobs that shipped zero input
+  bytes (their datasets were already resident, registration dedupe
+  mapped re-distributed arrays onto the resident handles);
+* throughput (wall jobs/sec) and p50/p99 job latency (virtual seconds,
+  submission to completion, so queueing under fair-share is included).
+
+Correctness is checked the same way as everywhere else in the bench
+suite: each app's served value must be bit-identical to a solo run on a
+fresh one-shot runtime sharing nothing.
+
+``python -m repro.bench --service`` runs this and writes
+``BENCH_service.json``.
+"""
+from __future__ import annotations
+
+import json
+import platform
+import time
+from typing import Any
+
+import numpy as np
+
+from repro.bench.calibrate import costs_for
+from repro.bench.harness import APPS, make_problem
+from repro.cluster.machine import PAPER_MACHINE
+from repro.service import (
+    JobServer,
+    cutcp_job,
+    mriq_job,
+    run_solo,
+    sgemm_job,
+    tpacf_job,
+)
+
+#: the mixed stream's apps, in submission order within each wave
+STREAM_APPS = ("mriq", "sgemm", "tpacf", "cutcp")
+RANK_COUNTS = (1, 2, 4)
+CORES_PER_NODE = 2
+#: waves per app: wave 0 is cold, waves 1+ are the repeat jobs
+WAVES = 3
+TENANTS = (("alpha", 1.0), ("beta", 2.0))
+
+
+def _bit_identical(a: Any, b: Any) -> bool:
+    if isinstance(a, dict):
+        return set(a) == set(b) and all(_bit_identical(a[k], b[k]) for k in a)
+    return np.asarray(a).tobytes() == np.asarray(b).tobytes()
+
+
+def _job_factories(problems: dict):
+    return {
+        "mriq": lambda: mriq_job(problems["mriq"]),
+        "sgemm": lambda: sgemm_job(problems["sgemm"]),
+        "tpacf": lambda: tpacf_job(problems["tpacf"]),
+        "cutcp": lambda: cutcp_job(problems["cutcp"]),
+    }
+
+
+def bench_ranks(nodes: int, problems: dict, app_costs: dict) -> dict:
+    """One rank-count cell: the full mixed stream on a fresh server."""
+    machine = PAPER_MACHINE.scaled(nodes=nodes,
+                                   cores_per_node=CORES_PER_NODE)
+    factories = _job_factories(problems)
+    srv = JobServer(machine)
+    for name, weight in TENANTS:
+        srv.add_tenant(name, weight=weight)
+
+    handles = []
+    for wave in range(WAVES):
+        for i, app in enumerate(STREAM_APPS):
+            tenant = TENANTS[(wave + i) % len(TENANTS)][0]
+            h = srv.submit(
+                factories[app](),
+                tenant=tenant,
+                name=f"{app}-w{wave}",
+                costs=app_costs[app],
+            )
+            handles.append((app, wave, h))
+
+    t0 = time.perf_counter()
+    srv.drain()
+    wall = time.perf_counter() - t0
+
+    # correctness: the served value of each app == a solo run's value
+    identical = True
+    for app in STREAM_APPS:
+        first = next(h for a, _, h in handles if a == app)
+        solo, _ = run_solo(factories[app](), machine, costs=app_costs[app])
+        identical = identical and _bit_identical(first.result(), solo)
+
+    latencies = np.array([h.latency for _, _, h in handles])
+    repeats = [h for _, wave, h in handles if wave > 0]
+    zero_ship = sum(
+        1 for h in repeats if h.metrics["plane"]["input_bytes"] == 0
+    )
+    plan_hits = sum(h.metrics["planner"]["hits"] for h in repeats)
+    recompiles = sum(h.metrics["planner"]["compiled"] for h in repeats)
+    cache_hits = sum(h.metrics["slice_cache_hits"] for h in repeats)
+    dedup_hits = sum(h.metrics["plane"]["dedup_hits"] for h in repeats)
+    resident_hits = sum(
+        h.metrics["plane"]["resident_hits"] for h in repeats
+    )
+    return {
+        "ranks": nodes,
+        "cores_per_node": CORES_PER_NODE,
+        "jobs": len(handles),
+        "wall_seconds": wall,
+        "jobs_per_second": len(handles) / wall if wall > 0 else float("inf"),
+        "latency_p50_virtual": float(np.percentile(latencies, 50)),
+        "latency_p99_virtual": float(np.percentile(latencies, 99)),
+        "virtual_seconds_total": srv.now,
+        "repeat_jobs": len(repeats),
+        "plan_hits": plan_hits,
+        "plan_recompiles": recompiles,
+        "slice_cache_hits": cache_hits,
+        "dedup_hits": dedup_hits,
+        "resident_hits": resident_hits,
+        "zero_ship_jobs": zero_ship,
+        "zero_ship_rate": zero_ship / len(repeats) if repeats else 0.0,
+        "bit_identical_to_solo": identical,
+        "tenants": srv.tenant_report(),
+    }
+
+
+def run_service_bench(rank_counts: tuple[int, ...] = RANK_COUNTS) -> dict:
+    problems = {app: make_problem(app) for app in STREAM_APPS}
+    app_costs = {
+        app: costs_for(app, "triolet", problems[app])
+        for app in STREAM_APPS
+    }
+    cells = [bench_ranks(n, problems, app_costs) for n in rank_counts]
+    return {
+        "bench": "service",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "stream": {
+            "apps": list(STREAM_APPS),
+            "waves": WAVES,
+            "tenants": [{"name": n, "weight": w} for n, w in TENANTS],
+            "params": {app: APPS[app].sandbox_params
+                       for app in STREAM_APPS},
+        },
+        "cells": cells,
+        "ok": all(
+            c["bit_identical_to_solo"]
+            and c["plan_hits"] > 0
+            and c["plan_recompiles"] == 0
+            and c["zero_ship_rate"] == 1.0
+            for c in cells
+        ),
+    }
+
+
+def render(payload: dict) -> str:
+    lines = [
+        "service bench -- mixed "
+        + "/".join(payload["stream"]["apps"])
+        + f" stream, {payload['stream']['waves']} waves, "
+        + f"{len(payload['stream']['tenants'])} tenants"
+    ]
+    lines.append(
+        f"{'ranks':>6} {'jobs/s':>8} {'p50(v)':>10} {'p99(v)':>10} "
+        f"{'plan hits':>10} {'zero-ship':>10} {'identical':>10}"
+    )
+    for c in payload["cells"]:
+        lines.append(
+            f"{c['ranks']:>6} {c['jobs_per_second']:>8.2f} "
+            f"{c['latency_p50_virtual']:>10.4f} "
+            f"{c['latency_p99_virtual']:>10.4f} "
+            f"{c['plan_hits']:>10} "
+            f"{c['zero_ship_rate']:>10.0%} "
+            f"{str(c['bit_identical_to_solo']):>10}"
+        )
+    lines.append(f"ok={payload['ok']}")
+    return "\n".join(lines)
+
+
+def write_json(payload: dict, path: str) -> None:
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=2, default=str)
+        f.write("\n")

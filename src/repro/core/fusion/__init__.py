@@ -1,12 +1,15 @@
 """Fusion observation tools (the analogue of the paper's §3.2 optimizer)."""
 from repro.core.fusion.planner import (
     NEGATIVE_CACHE_MAX,
+    PlannerState,
     PlannerStats,
+    current_state,
     negative_cache_size,
     plan_for,
     planner_stats,
     reset_planner,
     structural_key,
+    use_state,
     warm,
 )
 from repro.core.fusion.report import FusionReport, analyze, closure_depth
@@ -16,11 +19,14 @@ __all__ = [
     "analyze",
     "closure_depth",
     "NEGATIVE_CACHE_MAX",
+    "PlannerState",
     "PlannerStats",
+    "current_state",
     "negative_cache_size",
     "plan_for",
     "planner_stats",
     "reset_planner",
     "structural_key",
+    "use_state",
     "warm",
 ]

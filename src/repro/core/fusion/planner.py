@@ -11,11 +11,22 @@ recompiling.
 
 Unsupported pipelines are cached too (negative caching): deciding "use
 the scalar loop" costs one dict lookup on every later encounter.
+
+Cache + counters live in a :class:`PlannerState`.  One process-global
+default state preserves the historical behaviour (a one-shot run shares
+one cache); a resident job server installs its *own* state with
+:func:`use_state` so jobs from every tenant share the server's warmed
+plans while unrelated runs (solo oracles, tests) stay isolated without
+needing a global reset between jobs.  The active state is a plain module
+global, not a context variable, deliberately: simulated ranks run in
+worker threads, and the plans they consult must be the same plans the
+installing driver sees.
 """
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
+from contextlib import contextmanager
+from dataclasses import dataclass, field
 
 from repro.core.engine.plan import Plan, compile_iter
 from repro.core.iterators.iter_type import IdxFlat, IdxNest
@@ -42,9 +53,58 @@ class PlannerStats:
     negative_evictions: int = 0  # unsupported entries dropped by the LRU bound
 
 
-_cache: dict = {}
-_negative: OrderedDict = OrderedDict()  # structural key -> None, LRU-bounded
-_stats = PlannerStats()
+_STAT_FIELDS = ("hits", "misses", "compiled", "unsupported",
+                "negative_evictions")
+
+
+@dataclass
+class PlannerState:
+    """One plan cache plus its traffic counters.
+
+    Owns everything :func:`plan_for` touches, so whoever holds the state
+    object -- the process (default) or a resident
+    :class:`~repro.service.JobServer` -- owns plan-cache lifetime.
+    """
+
+    cache: dict = field(default_factory=dict)
+    #: structural key -> None, LRU-bounded negative cache
+    negative: OrderedDict = field(default_factory=OrderedDict)
+    stats: PlannerStats = field(default_factory=PlannerStats)
+
+    def reset(self) -> None:
+        self.cache.clear()
+        self.negative.clear()
+        self.stats = PlannerStats()
+
+    def snapshot(self) -> dict:
+        return {k: getattr(self.stats, k) for k in _STAT_FIELDS}
+
+
+#: The process-default state (one-shot runs, tests, legacy callers).
+_GLOBAL_STATE = PlannerState()
+_active: PlannerState = _GLOBAL_STATE
+
+
+def current_state() -> PlannerState:
+    """The state every planner function currently operates on."""
+    return _active
+
+
+@contextmanager
+def use_state(state: PlannerState):
+    """Install *state* as the active plan cache for the dynamic extent.
+
+    Reentrant (installing the already-active state is a no-op swap) and
+    visible from simulated rank threads, which is what lets a job server
+    serve its shared cache to every section a job runs.
+    """
+    global _active
+    prev = _active
+    _active = state
+    try:
+        yield state
+    finally:
+        _active = prev
 
 
 def _env_key(entry):
@@ -83,34 +143,35 @@ def plan_for(it) -> Plan | None:
     key = structural_key(it)
     if key is None:
         return None
+    st = _active
     try:
-        plan = _cache[key]
+        plan = st.cache[key]
     except KeyError:
         pass
     else:
-        _stats.hits += 1
+        st.stats.hits += 1
         _obs_count("planner.hits")
         return plan
-    if key in _negative:
-        _negative.move_to_end(key)
-        _stats.hits += 1
+    if key in st.negative:
+        st.negative.move_to_end(key)
+        st.stats.hits += 1
         _obs_count("planner.hits")
         return None
-    _stats.misses += 1
+    st.stats.misses += 1
     _obs_count("planner.misses")
     plan = compile_iter(it)
     if plan is None:
-        _stats.unsupported += 1
+        st.stats.unsupported += 1
         _obs_count("planner.unsupported")
-        _negative[key] = None
-        while len(_negative) > NEGATIVE_CACHE_MAX:
-            _negative.popitem(last=False)
-            _stats.negative_evictions += 1
+        st.negative[key] = None
+        while len(st.negative) > NEGATIVE_CACHE_MAX:
+            st.negative.popitem(last=False)
+            st.stats.negative_evictions += 1
             _obs_count("planner.negative_evictions")
     else:
-        _stats.compiled += 1
+        st.stats.compiled += 1
         _obs_count("planner.compiled")
-        _cache[key] = plan
+        st.cache[key] = plan
     return plan
 
 
@@ -125,55 +186,55 @@ def warm(it) -> Plan | None:
 
 
 def planner_stats() -> PlannerStats:
-    """A snapshot of the cache counters."""
+    """A snapshot of the active state's cache counters."""
+    s = _active.stats
     return PlannerStats(
-        hits=_stats.hits,
-        misses=_stats.misses,
-        compiled=_stats.compiled,
-        unsupported=_stats.unsupported,
-        negative_evictions=_stats.negative_evictions,
+        hits=s.hits,
+        misses=s.misses,
+        compiled=s.compiled,
+        unsupported=s.unsupported,
+        negative_evictions=s.negative_evictions,
     )
-
-
-_STAT_FIELDS = ("hits", "misses", "compiled", "unsupported",
-                "negative_evictions")
 
 
 def stats_snapshot() -> dict:
     """Plain-dict counter snapshot (for rank-local delta accounting on
     process-isolated transports)."""
-    return {k: getattr(_stats, k) for k in _STAT_FIELDS}
+    return _active.snapshot()
 
 
 def stats_delta(since: dict) -> dict:
     """Counter growth since a :func:`stats_snapshot`."""
-    return {k: getattr(_stats, k) - since[k] for k in _STAT_FIELDS}
+    return {k: getattr(_active.stats, k) - since[k] for k in _STAT_FIELDS}
 
 
 def merge_stats(delta: dict) -> None:
-    """Fold a rank's counter delta into the process-global stats.
+    """Fold a rank's counter delta into the active state's stats.
 
     Process-isolated transports run plan-cache consults in forked
     workers whose counters die with the worker; the driver carries the
     deltas back through ``rank_extras`` and merges them here so
     ``planner_stats()`` reports the same traffic on every backend.
     """
+    st = _active.stats
     for k in _STAT_FIELDS:
-        setattr(_stats, k, getattr(_stats, k) + delta.get(k, 0))
+        setattr(st, k, getattr(st, k) + delta.get(k, 0))
 
 
 def negative_cache_size() -> int:
     """Number of remembered unsupported structures (bounded by
     :data:`NEGATIVE_CACHE_MAX`)."""
-    return len(_negative)
+    return len(_active.negative)
 
 
 def reset_planner() -> None:
-    """Clear both caches and zero the counters (test/bench isolation)."""
-    _cache.clear()
-    _negative.clear()
-    _stats.hits = _stats.misses = _stats.compiled = 0
-    _stats.unsupported = _stats.negative_evictions = 0
+    """Clear the *active* state's caches and zero its counters.
+
+    Compatibility shim: one-shot runs and tests reset the process-global
+    default state exactly as before.  A resident server never calls
+    this -- it owns a private :class:`PlannerState` instead.
+    """
+    _active.reset()
 
 
 #: Per-run reset alias, mirroring :func:`repro.serial.reset`.

@@ -30,6 +30,7 @@ shipping operations:
 """
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -147,6 +148,15 @@ class DataPlane:
         self.invalidations = 0
         self.shrinks = 0
         self.lineage = LineageLog()
+        # Registration dedupe: (id(array), layout) -> aid for the exact
+        # ndarray object, (layout, shape, dtype, digest) -> aid for
+        # equal-content arrays.  Identity keys stay valid because
+        # ``self.handles`` strongly references every handle (and through
+        # it the registered array), so an id is never recycled while its
+        # entry lives.
+        self._dedup_ident: dict[tuple[int, str], int] = {}
+        self._dedup_content: dict[tuple, int] = {}
+        self.dedup_hits = 0
         self.totals = {k: 0 for k in _STAT_KEYS}
         self.totals["sections"] = 0
         self.totals["invalidated_entries"] = 0
@@ -162,16 +172,42 @@ class DataPlane:
         """
         if isinstance(array, DistArray):
             return array
+        if provenance is None:
+            # Dedupe master-copy datasets: distributing the same ndarray
+            # (or an equal-content one, e.g. a recomputed intermediate)
+            # twice must share one placement instead of double-shipping.
+            arr = np.asarray(array)
+            ident = (id(arr), layout)
+            aid = self._dedup_ident.get(ident)
+            ckey = None
+            if aid is None:
+                ckey = self._content_key(arr, layout)
+                aid = self._dedup_content.get(ckey)
+            if aid is not None:
+                existing = self.handles.get(aid)
+                if existing is not None:
+                    self.dedup_hits += 1
+                    return existing
+            handle = DistArray(arr, layout=layout)
+            self.handles[handle.array_id] = handle
+            self._dedup_ident[(id(handle.array), layout)] = handle.array_id
+            if ckey is None:
+                ckey = self._content_key(handle.array, layout)
+            self._dedup_content[ckey] = handle.array_id
+            self.lineage.record_source(handle.array_id)
+            return handle
         handle = DistArray(array, layout=layout)
         self.handles[handle.array_id] = handle
-        if provenance is not None:
-            section, plan, inputs = provenance
-            self.lineage.record_section(
-                section, plan, tuple(inputs), output_aid=handle.array_id
-            )
-        else:
-            self.lineage.record_source(handle.array_id)
+        section, plan, inputs = provenance
+        self.lineage.record_section(
+            section, plan, tuple(inputs), output_aid=handle.array_id
+        )
         return handle
+
+    @staticmethod
+    def _content_key(arr: np.ndarray, layout: str) -> tuple:
+        digest = hashlib.blake2b(arr.tobytes(), digest_size=16).hexdigest()
+        return (layout, arr.shape, arr.dtype.str, digest)
 
     def record_section(self, section: int, plan: str | None,
                        reqs: list[dict]) -> None:
@@ -451,6 +487,7 @@ class DataPlane:
     def stats_dict(self) -> dict:
         out = dict(self.totals)
         out["arrays"] = len(self.handles)
+        out["dedup_hits"] = self.dedup_hits
         out["invalidations"] = self.invalidations
         out["shrinks"] = self.shrinks
         out["rebalance_activations"] = self.rebalancer.activations

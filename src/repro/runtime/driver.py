@@ -28,7 +28,7 @@ Numerical results are always real; only elapsed time is virtual.
 from __future__ import annotations
 
 import contextvars
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass
 from typing import Any
 
@@ -211,6 +211,9 @@ class TrioletRuntime:
         plane: DataPlane | None = None,
         budget: FailureBudget | None = None,
         checkpoint: CheckpointConfig | None = None,
+        transport=None,
+        planner_state=None,
+        lost_ranks: int = 0,
     ):
         """``topology``: ``"two-level"`` (the paper's design: message
         passing across nodes, threads within) or ``"flat"`` (one rank per
@@ -225,16 +228,32 @@ class TrioletRuntime:
         :class:`~repro.runtime.recovery.FailureBudget` (deadline,
         job-wide re-executions, rank losses); ``checkpoint``: optional
         :class:`~repro.runtime.checkpoint.CheckpointConfig` persisting
-        section outputs into a simulated durable store."""
+        section outputs into a simulated durable store.
+
+        Server-owned construction (:mod:`repro.service`): ``transport``
+        reuses an already-resolved backend instead of resolving
+        ``machine.transport`` again; ``planner_state`` is a
+        :class:`~repro.core.fusion.planner.PlannerState` installed
+        around everything this runtime executes, so attached jobs hit a
+        resident server's warmed plan cache; ``lost_ranks`` seeds the
+        permanent-loss count, so a job attaching after an earlier job's
+        elastic shrink partitions over the survivors only."""
         if topology not in ("two-level", "flat"):
             raise ValueError(f"unknown topology: {topology!r}")
         if scheduler not in ("worksteal", "static"):
             raise ValueError(f"unknown scheduler: {scheduler!r}")
         self.machine = machine
         #: the backend executing this runtime's distributed sections
-        #: (resolved once from ``machine.transport``; see
-        #: :mod:`repro.cluster.transport`)
-        self.transport = resolve_transport(machine.transport)
+        #: (resolved once from ``machine.transport``, or shared from a
+        #: resident server; see :mod:`repro.cluster.transport`)
+        self.transport = (
+            transport
+            if transport is not None
+            else resolve_transport(machine.transport)
+        )
+        #: server-owned plan cache, installed around everything this
+        #: runtime executes (None: the process-global default cache)
+        self.planner_state = planner_state
         self.costs = costs if costs is not None else CostContext()
         self.alloc = alloc
         self.limits = limits
@@ -250,8 +269,9 @@ class TrioletRuntime:
         self.recovery_report = RecoveryReport(attempts=0)
         self.clock = VirtualClock()
         # Permanent losses persist across sections: the machine shrank,
-        # every later section partitions over the survivors only.
-        self.lost_ranks = 0
+        # every later section partitions over the survivors only.  A
+        # server seeds this with losses absorbed by earlier jobs.
+        self.lost_ranks = lost_ranks
         # Distributed-section sequence counter -- the checkpoint key.  It
         # counts program order, so a restarted (deterministic) job lines
         # its sections up with the stored blobs.
@@ -266,6 +286,14 @@ class TrioletRuntime:
         # sequential glue).  Nested regions shadow the installed meter, so
         # merging each region once counts every tally exactly once.
         self.meter_total = meter.CostMeter()
+
+    def _planner_scope(self):
+        """The plan-cache scope everything this runtime runs under:
+        the server-owned state when one was injected, otherwise a no-op
+        (the process-global default cache stays active)."""
+        if self.planner_state is None:
+            return nullcontext()
+        return planner.use_state(self.planner_state)
 
     def _merge_meter(self, m: meter.CostMeter) -> None:
         """Fold one metered region into the runtime total -- or, inside a
@@ -346,7 +374,9 @@ class TrioletRuntime:
 
     def run_sequential(self, fn, *args, label: str = "seq", **kwargs) -> Any:
         """Run plain code at the main rank, charging its metered time."""
-        with _obs_span("section", label, clock=self.clock) as osp:
+        with self._planner_scope(), _obs_span(
+            "section", label, clock=self.clock
+        ) as osp:
             with meter.metered() as m:
                 out = fn(*args, **kwargs)
             self._merge_meter(m)
@@ -391,6 +421,10 @@ class TrioletRuntime:
     # -- the Executor interface ----------------------------------------------
 
     def execute(self, it: Iter, spec: ConsumeSpec) -> Any:
+        with self._planner_scope():
+            return self._execute(it, spec)
+
+    def _execute(self, it: Iter, spec: ConsumeSpec) -> Any:
         nc = _node_ctx.get()
         if nc is not None:
             # Nested hint inside a node task: feed the node's work pool.
@@ -1216,6 +1250,8 @@ def triolet_runtime(
     plane: DataPlane | None = None,
     budget: FailureBudget | None = None,
     checkpoint: CheckpointConfig | None = None,
+    transport=None,
+    planner_state=None,
 ):
     """Install a :class:`TrioletRuntime` as the skeleton executor."""
     rt = TrioletRuntime(
@@ -1231,6 +1267,8 @@ def triolet_runtime(
         plane=plane,
         budget=budget,
         checkpoint=checkpoint,
+        transport=transport,
+        planner_state=planner_state,
     )
     with use_executor(rt), use_costs(rt.costs):
         yield rt

@@ -24,7 +24,13 @@ from repro.serial.serializer import (
     serializable,
     SerializationError,
 )
-from repro.serial.arrays import copy_stats, ensure_contiguous, reset_copy_stats
+from repro.serial.arrays import (
+    copy_stats,
+    ensure_contiguous,
+    new_copy_stats,
+    reset_copy_stats,
+    use_copy_stats,
+)
 from repro.serial.sizeof import transitive_size
 from repro.serial.closures import (
     Closure,
@@ -54,6 +60,8 @@ __all__ = [
     "SerializationError",
     "copy_stats",
     "ensure_contiguous",
+    "new_copy_stats",
+    "use_copy_stats",
     "reset_copy_stats",
     "reset",
     "transitive_size",

@@ -16,24 +16,51 @@ through :func:`array_payload_bytes` so the cost model sees it.
 from __future__ import annotations
 
 import struct
+from contextlib import contextmanager
 
 import numpy as np
 
 # Header layout: dtype-string length (H), ndim (B), then shape as q's.
 _HEADER_FMT = "<HB"
 
-_stats = {
-    "arrays": 0,  # arrays packed
-    "zero_copy_bytes": 0,  # payload bytes appended as buffer views
-    "compacted": 0,  # non-contiguous arrays that needed a copy
-    "compacted_bytes": 0,
-    # non-contiguous views compacted at the buffer-view *ship* gate
-    # (Comm.Send, shared-memory segments): gpaw's contiguity rule -- a
-    # buffer send requires contiguous data, so strided views pay an
-    # explicit compaction copy instead of silently degrading to a
-    # pickled/element-wise path.
-    "noncontiguous_compacted": 0,
-}
+
+def new_copy_stats() -> dict:
+    """A fresh, zeroed copy-counter dict (see :func:`use_copy_stats`)."""
+    return {
+        "arrays": 0,  # arrays packed
+        "zero_copy_bytes": 0,  # payload bytes appended as buffer views
+        "compacted": 0,  # non-contiguous arrays that needed a copy
+        "compacted_bytes": 0,
+        # non-contiguous views compacted at the buffer-view *ship* gate
+        # (Comm.Send, shared-memory segments): gpaw's contiguity rule -- a
+        # buffer send requires contiguous data, so strided views pay an
+        # explicit compaction copy instead of silently degrading to a
+        # pickled/element-wise path.
+        "noncontiguous_compacted": 0,
+    }
+
+
+#: The process-default counter set; a resident server scopes its own
+#: with :func:`use_copy_stats` instead of resetting this between jobs.
+_GLOBAL_STATS = new_copy_stats()
+_stats = _GLOBAL_STATS
+
+
+@contextmanager
+def use_copy_stats(stats: dict):
+    """Install *stats* as the active copy-counter sink.
+
+    A plain module-global swap (not a context variable) so counters
+    tallied from simulated rank threads land in the same dict the
+    installing driver reads.
+    """
+    global _stats
+    prev = _stats
+    _stats = stats
+    try:
+        yield stats
+    finally:
+        _stats = prev
 
 
 def copy_stats() -> dict:
@@ -42,6 +69,7 @@ def copy_stats() -> dict:
 
 
 def reset_copy_stats() -> None:
+    """Zero the *active* counter set (per-run compatibility shim)."""
     for k in _stats:
         _stats[k] = 0
 

@@ -1,0 +1,56 @@
+"""Multi-tenant resident job service (the Triolet runtime as a server).
+
+The paper's runtime is job-scoped: every run builds a cluster, compiles
+its fusion plans, and ships its inputs from scratch.  This package
+hoists all of that into *server lifetime*.  A :class:`JobServer` owns
+the simulated cluster (any transport backend), one fusion-plan cache,
+and one data-plane placement map; jobs *attach* to it -- submitted
+asynchronously, scheduled deficit-fair across tenants, metered and
+quota-checked per tenant -- and every job benefits from whatever plans
+and placements earlier jobs (any tenant's) already paid for.
+
+>>> from repro.service import JobServer
+>>> srv = JobServer(machine)
+>>> srv.add_tenant("ops", weight=2.0)
+>>> h = srv.submit(job_fn, tenant="ops")
+>>> h.result()        # runs the queue in fair-share order
+
+See ``docs/service.md`` for the full model.
+"""
+from repro.service.job import (
+    JobCancelled,
+    JobContext,
+    JobHandle,
+    JobRecord,
+    JobStatus,
+)
+from repro.service.scheduler import AdmissionError, FairShareScheduler
+from repro.service.server import JobServer
+from repro.service.tenant import Tenant, TenantQuota
+from repro.service.workloads import (
+    cutcp_job,
+    mriq_job,
+    register_mriq_dataset,
+    run_solo,
+    sgemm_job,
+    tpacf_job,
+)
+
+__all__ = [
+    "AdmissionError",
+    "FairShareScheduler",
+    "JobCancelled",
+    "JobContext",
+    "JobHandle",
+    "JobRecord",
+    "JobServer",
+    "JobStatus",
+    "Tenant",
+    "TenantQuota",
+    "cutcp_job",
+    "mriq_job",
+    "register_mriq_dataset",
+    "run_solo",
+    "sgemm_job",
+    "tpacf_job",
+]

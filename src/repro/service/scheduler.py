@@ -1,0 +1,81 @@
+"""Deficit fair-share scheduling across tenants.
+
+The server runs one job at a time on the shared simulated cluster (the
+cluster *is* the resource; jobs time-share its virtual timeline).  The
+scheduler's only decision is *whose* pending job runs next, and it is
+classic deficit fair sharing: pick the tenant with the smallest
+weighted consumed virtual time, breaking ties by tenant name so the
+order is a pure function of the ledgers -- reproducible across runs,
+seeds, and submission interleavings.  Within a tenant, jobs run in
+submission order (FIFO).
+
+Admission control is separate from fairness: a tenant may hold at most
+``max_pending`` undispatched jobs, so one tenant cannot grow the
+server's queue without bound while others wait.
+"""
+from __future__ import annotations
+
+from collections import deque
+
+from repro.service.job import JobRecord
+from repro.service.tenant import Tenant
+
+
+class AdmissionError(RuntimeError):
+    """Submission refused by admission control (queue bound exceeded)."""
+
+
+class FairShareScheduler:
+    """Per-tenant FIFO queues drained in deficit fair-share order."""
+
+    def __init__(self, max_pending: int | None = None):
+        #: per-tenant cap on queued (undispatched) jobs; None: unbounded
+        self.max_pending = max_pending
+        self._queues: dict[str, deque[JobRecord]] = {}
+
+    def pending(self, tenant: str | None = None) -> int:
+        if tenant is not None:
+            return len(self._queues.get(tenant, ()))
+        return sum(len(q) for q in self._queues.values())
+
+    def admit(self, record: JobRecord) -> None:
+        """Enqueue a job, enforcing the per-tenant queue bound."""
+        q = self._queues.setdefault(record.tenant, deque())
+        if self.max_pending is not None and len(q) >= self.max_pending:
+            raise AdmissionError(
+                f"tenant {record.tenant!r} already has {len(q)} pending "
+                f"jobs (max_pending={self.max_pending})"
+            )
+        q.append(record)
+
+    def withdraw(self, record: JobRecord) -> bool:
+        """Remove a still-queued job (cancellation). False if not queued."""
+        q = self._queues.get(record.tenant)
+        if q is None:
+            return False
+        try:
+            q.remove(record)
+        except ValueError:
+            return False
+        return True
+
+    def pick(self, tenants: dict[str, Tenant]) -> JobRecord | None:
+        """The next job to run, or ``None`` when every queue is empty.
+
+        Deterministic: among tenants with pending work, the one with
+        the least ``consumed / weight`` wins; ties break on name.  The
+        picked job is removed from its queue.
+        """
+        best: Tenant | None = None
+        for name, q in sorted(self._queues.items()):
+            if not q:
+                continue
+            t = tenants[name]
+            if best is None or (
+                (t.normalized_consumed, t.name)
+                < (best.normalized_consumed, best.name)
+            ):
+                best = t
+        if best is None:
+            return None
+        return self._queues[best.name].popleft()

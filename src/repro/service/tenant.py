@@ -1,0 +1,109 @@
+"""Tenants: who a resident server's capacity is divided among.
+
+A tenant carries a *weight* (its fair share of the server's virtual
+timeline) and an optional :class:`TenantQuota` (hard ceilings on what it
+may consume).  Usage is metered in the same units the rest of the
+system already accounts in -- CostMeter visits, data-plane shipped
+bytes, virtual compute seconds -- so quota enforcement needs no second
+bookkeeping system.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.runtime.recovery import BudgetExhausted
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Hard per-tenant ceilings; ``None`` means unlimited.
+
+    Quotas are checked *before* dispatch (would-exceed on job count)
+    and *after* each job (accumulated usage), mirroring how
+    :class:`~repro.runtime.recovery.FailureBudget` bounds a single job.
+    A tenant over any ceiling has further dispatches refused with
+    :class:`~repro.runtime.recovery.BudgetExhausted`.
+    """
+
+    max_visits: float | None = None
+    max_shipped_bytes: int | None = None
+    max_compute_seconds: float | None = None
+    max_jobs: int | None = None
+
+
+@dataclass
+class Tenant:
+    """One tenant's ledger on a :class:`~repro.service.JobServer`."""
+
+    name: str
+    weight: float = 1.0
+    quota: TenantQuota = field(default_factory=TenantQuota)
+    #: accumulated usage across every job this tenant ran
+    visits: float = 0.0
+    shipped_bytes: int = 0
+    compute_seconds: float = 0.0
+    jobs_run: int = 0
+    jobs_failed: int = 0
+    #: virtual seconds of server timeline consumed -- the quantity the
+    #: deficit scheduler equalizes (scaled by ``weight``)
+    consumed: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError(f"tenant weight must be positive: {self.weight}")
+
+    @property
+    def normalized_consumed(self) -> float:
+        """Weighted virtual usage: the scheduler's fairness coordinate."""
+        return self.consumed / self.weight
+
+    def charge(self, *, visits: float = 0.0, shipped_bytes: int = 0,
+               compute_seconds: float = 0.0, failed: bool = False) -> None:
+        """Fold one finished job's isolated metering into the ledger."""
+        self.visits += visits
+        self.shipped_bytes += shipped_bytes
+        self.compute_seconds += compute_seconds
+        self.consumed += compute_seconds
+        self.jobs_run += 1
+        if failed:
+            self.jobs_failed += 1
+
+    def exhausted(self) -> str | None:
+        """The first quota dimension this tenant is over, or ``None``."""
+        q = self.quota
+        if q.max_jobs is not None and self.jobs_run >= q.max_jobs:
+            return "jobs"
+        if q.max_visits is not None and self.visits >= q.max_visits:
+            return "visits"
+        if (q.max_shipped_bytes is not None
+                and self.shipped_bytes >= q.max_shipped_bytes):
+            return "shipped_bytes"
+        if (q.max_compute_seconds is not None
+                and self.compute_seconds >= q.max_compute_seconds):
+            return "compute_seconds"
+        return None
+
+    def check_dispatch(self) -> None:
+        """Refuse to run another job for an exhausted tenant."""
+        dim = self.exhausted()
+        if dim is not None:
+            raise BudgetExhausted(
+                f"tenant {self.name!r} exhausted its {dim} quota "
+                f"(visits={self.visits:.0f}, "
+                f"shipped_bytes={self.shipped_bytes}, "
+                f"compute_seconds={self.compute_seconds:.6f}, "
+                f"jobs={self.jobs_run})"
+            )
+
+    def report(self) -> dict:
+        return {
+            "name": self.name,
+            "weight": self.weight,
+            "visits": self.visits,
+            "shipped_bytes": self.shipped_bytes,
+            "compute_seconds": self.compute_seconds,
+            "jobs_run": self.jobs_run,
+            "jobs_failed": self.jobs_failed,
+            "consumed": self.consumed,
+            "exhausted": self.exhausted(),
+        }

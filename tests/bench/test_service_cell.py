@@ -1,0 +1,44 @@
+"""The resident-service cell of ``python -m repro.bench --service``."""
+import json
+
+import pytest
+
+from repro.bench.service import render, run_service_bench, write_json
+
+pytestmark = pytest.mark.service
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return run_service_bench(rank_counts=(2,))
+
+
+def test_cell_meets_the_service_contract(payload):
+    """The headline claims: repeat jobs hit the shared plan cache,
+    recompile nothing, ship zero input bytes, and every app's served
+    value is bit-identical to a solo run."""
+    (cell,) = payload["cells"]
+    assert cell["ranks"] == 2
+    assert cell["repeat_jobs"] > 0
+    assert cell["plan_hits"] > 0
+    assert cell["plan_recompiles"] == 0
+    assert cell["zero_ship_rate"] == 1.0
+    assert cell["bit_identical_to_solo"]
+    assert payload["ok"]
+
+
+def test_latency_and_throughput_are_reported(payload):
+    (cell,) = payload["cells"]
+    assert cell["jobs_per_second"] > 0
+    assert 0 < cell["latency_p50_virtual"] <= cell["latency_p99_virtual"]
+    assert cell["virtual_seconds_total"] > 0
+
+
+def test_payload_is_json_and_renders(payload, tmp_path):
+    out = tmp_path / "BENCH_service.json"
+    write_json(payload, str(out))
+    reread = json.loads(out.read_text())
+    assert reread["bench"] == "service"
+    assert reread["stream"]["apps"] == ["mriq", "sgemm", "tpacf", "cutcp"]
+    text = render(payload)
+    assert "jobs/s" in text and "ok=True" in text

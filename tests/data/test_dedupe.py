@@ -1,0 +1,73 @@
+"""Registration dedupe: ``distribute()`` of the same (or equal) array
+must resolve to the already-resident handle, not re-place it.
+
+Identity dedupe covers re-distributing the same ndarray object (the
+common pattern in a resident server: every job distributes its inputs);
+content dedupe covers arrays *rebuilt* with equal bytes (e.g. sgemm's
+per-job transposed matrix).  Distinct layouts never dedupe -- the same
+bytes sharded block-wise and replicated are different placements.
+"""
+import numpy as np
+import pytest
+
+from repro.data.plane import DataPlane
+
+pytestmark = pytest.mark.dataplane
+
+
+def test_identity_dedupe():
+    plane = DataPlane()
+    a = np.arange(12.0).reshape(3, 4)
+    h1 = plane.register(a)
+    h2 = plane.register(a)
+    assert h2 is h1
+    assert plane.dedup_hits == 1
+    assert len(plane.handles) == 1
+
+
+def test_content_dedupe():
+    plane = DataPlane()
+    a = np.arange(12.0).reshape(3, 4)
+    h1 = plane.register(a)
+    h2 = plane.register(a.copy())  # distinct object, equal bytes
+    assert h2 is h1
+    assert plane.dedup_hits == 1
+
+
+def test_different_content_is_not_deduped():
+    plane = DataPlane()
+    a = np.arange(12.0).reshape(3, 4)
+    b = a + 1.0
+    h1 = plane.register(a)
+    h2 = plane.register(b)
+    assert h2 is not h1
+    assert plane.dedup_hits == 0
+    assert len(plane.handles) == 2
+
+
+def test_layouts_do_not_dedupe_against_each_other():
+    plane = DataPlane()
+    a = np.arange(12.0).reshape(3, 4)
+    h1 = plane.register(a, layout="block")
+    h2 = plane.register(a, layout="replicated")
+    assert h2 is not h1
+    assert plane.dedup_hits == 0
+
+
+def test_derived_arrays_are_never_deduped():
+    """Provenance-tracked registrations (section outputs) are lineage
+    nodes; collapsing equal-content outputs would corrupt replay."""
+    plane = DataPlane()
+    a = np.arange(12.0).reshape(3, 4)
+    h1 = plane.register(a)
+    h2 = plane.register(a.copy(), provenance=(0, "map", (h1.array_id,)))
+    assert h2 is not h1
+    assert plane.dedup_hits == 0
+
+
+def test_dedupe_counter_in_stats():
+    plane = DataPlane()
+    a = np.arange(6.0)
+    plane.register(a)
+    plane.register(a)
+    assert plane.stats_dict()["dedup_hits"] == 1

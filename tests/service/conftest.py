@@ -1,0 +1,13 @@
+"""Service test hygiene: drop global DistArray handles around every test
+(same reasoning as tests/data/conftest.py -- a resident server registers
+handles whose registry entries would otherwise leak across tests)."""
+import pytest
+
+from repro.data.handle import drop_handles
+
+
+@pytest.fixture(autouse=True)
+def _fresh_handles():
+    drop_handles()
+    yield
+    drop_handles()

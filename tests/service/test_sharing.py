@@ -1,0 +1,123 @@
+"""Cross-job sharing micro-semantics: slice-cache hits and recovery
+across job boundaries.
+
+The slice-cache scenario engineers a *partial* overlap: job A's block
+partition leaves rank 1 holding the upper half of a dataset; job B's
+2-D column grid needs *all* of it, so the first B ships the missing half
+(a cache miss) and every later B is a pure cache hit -- zero bytes.
+"""
+import numpy as np
+import pytest
+
+from repro.apps.sgemm.triolet import _dot_elem
+from repro.bench.calibrate import costs_for
+from repro.bench.harness import make_problem
+from repro.cluster.faults import FaultPlan, RankLoss
+from repro.cluster.machine import PAPER_MACHINE
+from repro.serial import closure, register_function
+from repro.service import (
+    JobServer,
+    JobStatus,
+    mriq_job,
+    run_solo,
+    tpacf_job,
+)
+import repro.triolet as tri
+
+pytestmark = pytest.mark.service
+
+
+@register_function
+def _row_sum(r):
+    return float(np.sum(r))
+
+
+def _make_slice_jobs():
+    """Jobs A and B over a shared dataset ``d`` (see module docstring)."""
+    rng = np.random.default_rng(0)
+    h, k, w = 8, 6, 32  # h < w: the 2-rank outer-product grid splits columns
+    d = rng.standard_normal((h, k))
+    e = rng.standard_normal((w, k))
+
+    def job_a(ctx):
+        return tri.build(
+            tri.map(closure(_row_sum), tri.par(tri.rows(ctx.dataset("d"))))
+        )
+
+    def job_b(ctx):
+        eh = ctx.rt.distribute(e)
+        z = tri.outerproduct(tri.rows(ctx.dataset("d")), tri.rows(eh))
+        return np.asarray(
+            tri.build(tri.map(closure(_dot_elem, 1.0), tri.par(z)))
+        )
+
+    return d, job_a, job_b
+
+
+def test_cross_job_slice_cache_hits():
+    machine = PAPER_MACHINE.scaled(nodes=2, cores_per_node=1)
+    d, job_a, job_b = _make_slice_jobs()
+    srv = JobServer(machine)
+    srv.register_dataset("d", d)
+    ha = srv.submit(job_a, name="a")
+    hb1 = srv.submit(job_b, name="b1")
+    hb2 = srv.submit(job_b, name="b2")
+    srv.drain()
+    assert ha.status() is JobStatus.DONE
+    # first B: rank 1's grid column needs rows A never placed there
+    assert hb1.metrics["plane"]["cache_misses"] > 0
+    assert hb1.metrics["slice_cache_hits"] == 0
+    # repeat B: the missing slice is cached -- hit, zero bytes shipped
+    assert hb2.metrics["slice_cache_hits"] > 0
+    assert hb2.metrics["plane"]["input_bytes"] == 0
+    assert np.array_equal(hb1.result(), hb2.result())
+
+
+def test_rank_loss_mid_stream_queued_jobs_match_solo():
+    """A permanent rank loss during one job shrinks the machine for the
+    whole server; queued jobs complete on the survivors, bit-identical
+    to fault-free solo runs."""
+    machine = PAPER_MACHINE.scaled(nodes=4, cores_per_node=2)
+    pm = make_problem("mriq")
+    pt = make_problem("tpacf")
+    costs = costs_for("mriq", "triolet", pm)
+    srv = JobServer(machine, costs=costs)
+    h1 = srv.submit(mriq_job(pm), name="before")
+    h2 = srv.submit(
+        mriq_job(pm), name="lossy",
+        faults=FaultPlan([RankLoss(rank=3, at=1e-6)]),
+    )
+    h3 = srv.submit(tpacf_job(pt), name="queued-tpacf")
+    h4 = srv.submit(mriq_job(pm), name="queued-mriq")
+    srv.drain()
+
+    solo_m, _ = run_solo(mriq_job(pm), machine, costs=costs)
+    assert np.array_equal(h1.result(), solo_m)
+    assert np.array_equal(h2.result(), solo_m)  # recovered, same value
+    assert np.array_equal(h4.result(), solo_m)  # ran on survivors
+    solo_t, _ = run_solo(tpacf_job(pt), machine, costs=costs)
+    vt = h3.result()
+    assert all(np.array_equal(vt[k], solo_t[k]) for k in solo_t)
+
+    # the shrink outlives the job that absorbed it
+    assert srv.lost_ranks == 1
+    assert srv.live_ranks == 3
+    assert h2.metrics["recovery"].rank_losses == 1
+    # per-job isolation: the queued jobs' reports saw no new loss
+    assert h4.metrics["recovery"].rank_losses == 0
+
+
+def test_recovery_reports_stay_isolated_per_job():
+    machine = PAPER_MACHINE.scaled(nodes=2, cores_per_node=2)
+    pm = make_problem("mriq")
+    costs = costs_for("mriq", "triolet", pm)
+    srv = JobServer(machine, costs=costs)
+    lossy = srv.submit(
+        mriq_job(pm), name="lossy",
+        faults=FaultPlan([RankLoss(rank=1, at=1e-6)]),
+    )
+    clean = srv.submit(mriq_job(pm), name="clean")
+    srv.drain()
+    assert lossy.metrics["recovery"].rank_losses == 1
+    assert clean.metrics["recovery"].rank_losses == 0
+    assert clean.metrics["recovery"].reexecuted_chunks == 0
