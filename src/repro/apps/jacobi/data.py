@@ -1,0 +1,54 @@
+"""jacobi problem generator: a 1-D rod or 2-D plate with fixed edges."""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class JacobiProblem:
+    """An initial temperature field plus a sweep count.
+
+    ``init`` is ``(n,)`` for the rod or ``(n, width)`` for the plate;
+    boundary cells (the first/last ``radius`` rows, and for the plate the
+    first/last columns) hold their initial values -- Dirichlet conditions.
+    """
+
+    init: np.ndarray
+    iterations: int
+    radius: int = 1
+
+    @property
+    def n(self) -> int:
+        return len(self.init)
+
+    @property
+    def is_2d(self) -> bool:
+        return self.init.ndim == 2
+
+    @property
+    def row_nbytes(self) -> int:
+        return self.init.nbytes // self.n
+
+
+def make_problem(
+    n: int = 96,
+    width: int = 0,
+    iterations: int = 8,
+    seed: int = 0,
+) -> JacobiProblem:
+    """A seeded sandbox instance: hot top edge, cold bottom edge, noise
+    in between.  ``width=0`` makes the 1-D rod; ``width>=2`` the plate."""
+    if n < 3:
+        raise ValueError("need at least 3 rows (two boundaries + interior)")
+    if width == 1:
+        raise ValueError("width must be 0 (rod) or >= 2 (plate)")
+    if iterations < 0:
+        raise ValueError("iterations must be >= 0")
+    rng = np.random.default_rng(seed)
+    shape = (n,) if width == 0 else (n, width)
+    init = rng.uniform(0.0, 1.0, size=shape)
+    init[0] = 1.0
+    init[-1] = 0.0
+    return JacobiProblem(init=init, iterations=iterations)

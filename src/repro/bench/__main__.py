@@ -12,6 +12,8 @@ Options::
                                            # -> BENCH_transport.json
     python -m repro.bench --service        # resident job-service bench
                                            # -> BENCH_service.json
+    python -m repro.bench --views          # views/stencil halo bench
+                                           # -> BENCH_views.json
 """
 from __future__ import annotations
 
@@ -86,13 +88,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--ranks",
         default="1,2,4",
-        help="with --transport / --service: comma-separated rank counts",
+        help="with --transport / --service / --views: comma-separated "
+        "rank counts",
     )
     parser.add_argument(
         "--service",
         action="store_true",
         help="run the resident job-service bench (mixed multi-tenant "
         "app stream) and write BENCH_service.json",
+    )
+    parser.add_argument(
+        "--views",
+        action="store_true",
+        help="run the views/stencil bench (halo bytes vs. full re-ship, "
+        "slab-view slice-cache reuse) and write BENCH_views.json",
     )
     parser.add_argument(
         "--recovery",
@@ -144,6 +153,19 @@ def main(argv: list[str] | None = None) -> int:
             parser.error(f"bad --ranks value: {args.ranks!r}")
         out = args.out or "BENCH_service.json"
         payload = run_service_bench(rank_counts)
+        write_json(payload, out)
+        print(render(payload))
+        print(f"wrote {out}")
+        return 0
+    if args.views:
+        from repro.bench.views import render, run_views_bench, write_json
+
+        try:
+            rank_counts = tuple(int(n) for n in args.ranks.split(","))
+        except ValueError:
+            parser.error(f"bad --ranks value: {args.ranks!r}")
+        out = args.out or "BENCH_views.json"
+        payload = run_views_bench(rank_counts)
         write_json(payload, out)
         print(render(payload))
         print(f"wrote {out}")

@@ -13,7 +13,10 @@ placement *resident*:
   resident shards plus a byte-bounded LRU for partial-overlap slices;
 * :class:`~repro.data.plane.DataPlane` -- section-boundary placement
   planning, cost-feedback boundary migration
-  (:class:`~repro.data.rebalance.Rebalancer`), and crash invalidation.
+  (:class:`~repro.data.rebalance.Rebalancer`), and crash invalidation;
+* :mod:`repro.data.views` -- lazy composable views (slice / zip /
+  transpose / segmented) whose sources tell the planner exactly which
+  row intervals a pipeline touches.
 """
 from repro.data.handle import (
     DistArray,
@@ -28,6 +31,19 @@ from repro.data.lineage import LineageLog, LineageRecord, LostShard
 from repro.data.plane import DataPlane, SectionShipment, chunk_requirements
 from repro.data.rebalance import Rebalancer
 from repro.data.store import DEFAULT_CACHE_BYTES, RankStore, SliceCache
+from repro.data.views import (
+    SegmentedSource,
+    SegmentedView,
+    SliceView,
+    TransposeSource,
+    TransposeView,
+    View,
+    ZipView,
+    segmented_view,
+    slice_view,
+    transpose_view,
+    zip_view,
+)
 
 __all__ = [
     "DistArray",
@@ -47,4 +63,15 @@ __all__ = [
     "RankStore",
     "SliceCache",
     "DEFAULT_CACHE_BYTES",
+    "View",
+    "SliceView",
+    "ZipView",
+    "TransposeView",
+    "SegmentedView",
+    "TransposeSource",
+    "SegmentedSource",
+    "slice_view",
+    "zip_view",
+    "transpose_view",
+    "segmented_view",
 ]

@@ -43,6 +43,7 @@ from repro.core.sources import (
     WholeObjectSource,
 )
 from repro.data.handle import DistArray, HandleSource, bind_store, lookup_handle
+from repro.data.views import SegmentedSource, TransposeSource
 from repro.obs.spans import active as _obs_active
 from repro.data.lineage import LineageLog
 from repro.data.rebalance import Rebalancer
@@ -52,7 +53,7 @@ from repro.data.store import (
     SliceCache,
     aid_wire,
 )
-from repro.partition import block_bounds, missing_intervals
+from repro.partition import block_bounds, halo_intervals, missing_intervals
 from repro.serial.closures import Closure
 
 # A requirement is aid -> [lo, hi, replicated]; replicated means "the
@@ -68,7 +69,10 @@ class SectionShipment:
 
 
 def _req_add(reqs: dict, aid: int, lo: int, hi: int, replicated: bool) -> None:
-    if hi <= lo and not replicated:
+    if hi <= lo:
+        # Nothing to ship -- even replicated: planning an empty interval
+        # would emit an assemble-from-nothing op (sources over empty
+        # arrays read through the handle instead).
         return
     ent = reqs.get(aid)
     if ent is None:
@@ -93,6 +97,16 @@ def _walk_env(obj: Any, reqs: dict) -> None:
 def _walk_source(src: Any, reqs: dict) -> None:
     if isinstance(src, HandleSource):
         _req_add(reqs, src.array_id, src.lo, src.hi, replicated=False)
+    elif isinstance(src, TransposeSource):
+        # Every column intersects every row: the touched set genuinely is
+        # the whole row range on each rank (HDArray-style inference from
+        # the access pattern, not a conservative over-approximation).
+        handle = lookup_handle(src.array_id)
+        _req_add(reqs, src.array_id, 0, len(handle), replicated=True)
+    elif isinstance(src, SegmentedSource):
+        # A rank's segments cover exactly [offsets[0], offsets[-1]).
+        _req_add(reqs, src.array_id, src.offsets[0], src.offsets[-1],
+                 replicated=False)
     elif isinstance(src, TupleSource):
         for m in src.members:
             _walk_source(m, reqs)
@@ -120,7 +134,16 @@ _STAT_KEYS = (
     "input_bytes", "placements", "placed_bytes", "resident_hits",
     "cache_hits", "cache_misses", "cache_evictions", "migrated_bytes",
     "requests", "migrations", "lineage_replays", "replayed_bytes",
+    "halo_requests", "halo_hits", "halo_refreshes", "halo_bytes",
 )
+
+#: Halo traffic keeps its own conservation stream (checked by
+#: ``repro.testing.invariants``): ghost intervals are not chunk
+#: requirements, so they stay out of ``requests`` and the five-outcome
+#: sum, and their bytes stay out of ``input_bytes``:
+#:   halo_requests == halo_hits + halo_refreshes
+#: with halo_bytes <= 2 * radius * nranks * row_nbytes per section.
+_HALO_KEYS = ("halo_requests", "halo_hits", "halo_refreshes", "halo_bytes")
 
 # Conservation law (checked by repro.testing.invariants): every non-root
 # chunk requirement is served by exactly one of the five outcomes, so
@@ -302,6 +325,161 @@ class DataPlane:
             self.lineage.settle()
         return SectionShipment(ops=ops, stats=stats)
 
+    def plan_stencil(self, aid: int, bounds: list[tuple[int, int]],
+                     radius: int, *, migrated: bool = False,
+                     recovery: bool = False) -> SectionShipment:
+        """Plan one stencil iteration's shipping.
+
+        Each rank's block interior goes through the ordinary placement
+        path (:meth:`_plan_one`), so steady-state iterations are resident
+        hits shipping **zero** interior bytes, and post-crash attempts
+        re-materialize through the same invalidation/lineage machinery as
+        any other section.  The block's ghost intervals
+        (:func:`~repro.partition.halo.halo_intervals`) become
+        ghost-flagged slice-cache entries with their own conservation
+        stream: a ghost that is still fresh (not overwritten since the
+        last exchange; see :meth:`note_write`) is a ``halo_hit`` costing
+        nothing, a stale or absent one is a ``halo_refresh`` shipping
+        exactly its rows.  *migrated* routes post-shrink interiors
+        through hull migration; *recovery* tags the obs spans.
+        """
+        rec = _obs_active()
+        nranks = len(bounds)
+        handle = lookup_handle(aid)
+        n = len(handle)
+        row_nbytes = handle.row_nbytes()
+        stats = {k: 0 for k in _STAT_KEYS}
+        ops: list[list] = [[] for _ in range(nranks)]
+        pending = self.lineage.pending()
+        for dst in range(1, nranks):
+            self._ensure_rank(dst)
+            before = dict(stats) if rec is not None else None
+            lo, hi = bounds[dst]
+            stats["requests"] += 1
+            self._plan_one(dst, aid, lo, hi, False, nranks, migrated,
+                           pending, ops[dst], stats)
+            cache = self._caches[dst]
+            for glo, ghi in halo_intervals(lo, hi, radius, n):
+                stats["halo_requests"] += 1
+                if cache.contains(aid, glo, ghi):
+                    stats["halo_hits"] += 1
+                    continue
+                stats["halo_refreshes"] += 1
+                nbytes = (ghi - glo) * row_nbytes
+                for old in cache.put(aid, glo, ghi, nbytes, ghost=True):
+                    stats["cache_evictions"] += 1
+                    ops[dst].append(["evict", aid_wire(old[0]), old[1],
+                                     old[2]])
+                ops[dst].append(["cache", aid_wire(aid), glo, ghi,
+                                 [(glo, ghi, handle.array[glo:ghi])]])
+                stats["halo_bytes"] += nbytes
+            if rec is not None:
+                delta = {k: stats[k] - before[k] for k in _STAT_KEYS
+                         if stats[k] != before[k]}
+                halo_delta = {k: delta.pop(k) for k in _HALO_KEYS
+                              if k in delta}
+                if delta:
+                    if recovery:
+                        delta["recovery"] = True
+                    rec.instant("ship", f"ship->r{dst}", rank=dst,
+                                attrs=delta)
+                if halo_delta:
+                    if recovery:
+                        halo_delta["recovery"] = True
+                    rec.instant("halo", f"halo->r{dst}", rank=dst,
+                                attrs=halo_delta)
+        self.totals["sections"] += 1
+        for k in _STAT_KEYS:
+            self.totals[k] += stats[k]
+        if rec is not None:
+            for k in _STAT_KEYS:
+                if stats[k]:
+                    rec.count(f"plane.{k}", stats[k])
+        self.section_log.append(dict(stats))
+        if pending:
+            self.lineage.settle()
+        return SectionShipment(ops=ops, stats=stats)
+
+    def note_write(self, aid: int, lo: int, hi: int) -> int:
+        """An in-place write to rows ``[lo, hi)`` of *aid*: every cached
+        slice overlapping the written range now holds stale values and is
+        silently dropped (metadata and bytes) -- an invalidation, not a
+        capacity eviction, so no eviction is counted.  Ghost entries that
+        do not overlap (boundary rows a stencil never writes) stay fresh
+        and keep serving halo hits.  Returns how many entries dropped."""
+        if hi <= lo:
+            return 0
+        dropped = 0
+        for rank, cache in self._caches.items():
+            store = self._stores.get(rank)
+            for key in cache.keys():
+                kaid, klo, khi = key
+                if kaid == aid and klo < hi and khi > lo:
+                    cache.drop(key)
+                    if store is not None:
+                        store.drop_cached(key)
+                    dropped += 1
+        return dropped
+
+    def commit_stencil(self, aid: int, bounds: list[tuple[int, int]],
+                       pieces: list[tuple[int, int, Any]]) -> None:
+        """Commit one completed stencil iteration.
+
+        *pieces* is the per-rank ``(wlo, whi, rows)`` updates gathered at
+        the root.  The master copy absorbs every piece (so a crashed
+        *later* iteration re-materializes current values, and lineage
+        replay stays deterministic: the master only ever holds completed
+        iterations).  Each rank's own piece is mirrored into its store at
+        zero wire cost -- the rank computed those rows locally -- while
+        resetting its resident hull to exactly its block, so hull rows
+        another rank just overwrote can never be served stale.  Finally
+        every cached slice overlapping a written range is invalidated
+        (:meth:`note_write`), which is what makes the next iteration ship
+        only *dirty* halos.
+        """
+        handle = lookup_handle(aid)
+        nranks = len(bounds)
+        for wlo, whi, rows in pieces:
+            if whi > wlo:
+                handle.array[wlo:whi] = rows
+        for dst in range(1, nranks):
+            store = self._stores.get(dst)
+            if store is None:
+                continue
+            blo, bhi = bounds[dst]
+            wlo, whi, rows = pieces[dst]
+            ps = [(wlo, whi, np.asarray(rows))] if whi > wlo else []
+            if store.resident_bounds(aid) is None and not ps:
+                continue
+            store.apply([["resident", aid_wire(aid), blo, bhi, ps]])
+            self._placement[(dst, aid)] = (blo, bhi)
+        # Placements planned by earlier, wider sections reference ranks
+        # outside this partition; their rows just went stale with the
+        # master write, so forget them (they re-place on next use).
+        for (rank, kaid) in list(self._placement):
+            if kaid == aid and rank >= nranks:
+                del self._placement[(rank, kaid)]
+                store = self._stores.get(rank)
+                if store is not None:
+                    store.invalidate(aid)
+                cache = self._caches.get(rank)
+                if cache is not None:
+                    cache.invalidate(aid)
+        for wlo, whi, _rows in pieces:
+            self.note_write(aid, wlo, whi)
+
+    def ghost_map(self) -> dict[int, set[tuple[int, int, int]]]:
+        """Live ghost (halo) placements per rank, derived from the cache
+        metadata: ``rank -> {(aid, lo, hi), ...}``.  Read-only view for
+        invariant checkers (every ghost entry's bytes must exist in the
+        rank's store once the section's ops have been applied, and its
+        interval must sit inside the handle's bounds)."""
+        return {
+            rank: cache.ghost_keys()
+            for rank, cache in self._caches.items()
+            if cache.ghost_keys()
+        }
+
     def _plan_one(self, dst: int, aid: int, lo: int, hi: int,
                   replicated: bool, nranks: int, migrated: bool,
                   pending: set, out_ops: list, stats: dict) -> None:
@@ -448,7 +626,13 @@ class DataPlane:
                 dropped_entries += len(cache)
                 continue
             # Same reconciliation for cached slices: keep only entries
-            # whose bytes the store really holds.
+            # whose bytes the store really holds.  Ghost entries go
+            # unconditionally -- the shrink renumbers ranks and re-blocks
+            # the partition, so every halo interval is keyed to dead
+            # geometry -- and their surviving store bytes go with them, or
+            # a renumbered store could serve them stale.
+            for k in cache.ghost_keys():
+                store.drop_cached(k)
             dropped_entries += cache.keep_only(store.cached_keys())
             store.rank = remap(rank)
             new_stores[remap(rank)] = store

@@ -58,6 +58,12 @@ class SliceCache:
     def __init__(self, max_bytes: int = DEFAULT_CACHE_BYTES):
         self.max_bytes = max_bytes
         self._entries: OrderedDict[tuple[int, int, int], int] = OrderedDict()
+        # Ghost (halo) entries: stencil ghost intervals live in the same
+        # byte budget but outside the hit/miss accounting -- halo traffic
+        # has its own conservation law (halo_requests == halo_hits +
+        # halo_refreshes) and must not perturb the slice-cache delta
+        # check at section boundaries.
+        self._ghost: set[tuple[int, int, int]] = set()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -72,28 +78,48 @@ class SliceCache:
     def lookup(self, aid: int, lo: int, hi: int) -> tuple[int, int, int] | None:
         """A cached entry containing ``[lo, hi)`` of *aid*, or None.
 
-        A hit refreshes the entry's LRU position.
+        A hit refreshes the entry's LRU position.  Ghost entries are
+        invisible here: they are halo placements, not slice-cache state,
+        and must not turn a genuine miss into a hit behind the halo
+        accounting's back.
         """
         for key in self._entries:
             kaid, klo, khi = key
-            if kaid == aid and klo <= lo and hi <= khi:
+            if kaid == aid and klo <= lo and hi <= khi and key not in self._ghost:
                 self._entries.move_to_end(key)
                 self.hits += 1
                 return key
         self.misses += 1
         return None
 
+    def contains(self, aid: int, lo: int, hi: int) -> bool:
+        """Non-counting containment probe (ghost entries included).
+
+        The stencil planner asks "is this ghost interval still fresh?"
+        without charging a hit or a miss -- halo traffic has its own
+        counters.
+        """
+        return any(
+            kaid == aid and klo <= lo and hi <= khi
+            for kaid, klo, khi in self._entries
+        )
+
     def put(self, aid: int, lo: int, hi: int,
-            nbytes: int) -> list[tuple[int, int, int]]:
+            nbytes: int, ghost: bool = False) -> list[tuple[int, int, int]]:
         """Admit ``[lo, hi)`` and return the entries evicted to fit it.
 
         An entry larger than the whole budget is still admitted (the
         section needs the data regardless); it simply evicts everything
-        else and is the next to go.
+        else and is the next to go.  ``ghost=True`` flags the entry as a
+        halo placement (see :meth:`lookup`).
         """
         key = (aid, lo, hi)
         self._entries[key] = nbytes
         self._entries.move_to_end(key)
+        if ghost:
+            self._ghost.add(key)
+        else:
+            self._ghost.discard(key)
         evicted = []
         while self.bytes_used > self.max_bytes and len(self._entries) > 1:
             old, _ = self._entries.popitem(last=False)
@@ -101,26 +127,53 @@ class SliceCache:
                 self._entries[key] = nbytes
                 continue
             self.evictions += 1
+            self._ghost.discard(old)
             evicted.append(old)
         return evicted
+
+    def drop(self, key: tuple[int, int, int]) -> bool:
+        """Silently forget one entry (ghost invalidation on writes);
+        no eviction is counted -- the entry was not displaced by
+        capacity pressure but by the row contents changing."""
+        self._ghost.discard(key)
+        return self._entries.pop(key, None) is not None
+
+    def ghost_keys(self) -> set[tuple[int, int, int]]:
+        return set(self._ghost)
+
+    def keys(self) -> list[tuple[int, int, int]]:
+        """All entry keys, LRU order (write-invalidation scans)."""
+        return list(self._entries)
 
     def invalidate(self, aid: int | None = None) -> int:
         """Drop entries (all, or one array's); returns how many."""
         if aid is None:
             n = len(self._entries)
             self._entries.clear()
+            self._ghost.clear()
             return n
         victims = [k for k in self._entries if k[0] == aid]
         for k in victims:
             del self._entries[k]
+            self._ghost.discard(k)
         return len(victims)
 
     def keep_only(self, keys) -> int:
         """Drop every entry not in *keys* (post-crash reconciliation
-        against a store's actual contents); returns how many dropped."""
-        victims = [k for k in self._entries if k not in keys]
+        against a store's actual contents); returns how many dropped.
+
+        Ghost entries are dropped even when their bytes survived in the
+        store: a shrink renumbers ranks and re-blocks the partition, so
+        every ghost interval is keyed to dead geometry -- keeping one
+        would leave orphan halo metadata that the planner's ghost map no
+        longer tracks (and that a renumbered store could serve stale).
+        """
+        victims = [
+            k for k in self._entries if k not in keys or k in self._ghost
+        ]
         for k in victims:
             del self._entries[k]
+            self._ghost.discard(k)
         return len(victims)
 
 
@@ -190,6 +243,10 @@ class RankStore:
         for plo, phi, rows in pieces:
             buf[plo - lo:phi - lo] = rows
         return buf
+
+    def drop_cached(self, key: tuple[int, int, int]) -> bool:
+        """Forget one cached slice's bytes (ghost invalidation)."""
+        return self._cached.pop(key, None) is not None
 
     def invalidate(self, aid: int | None = None) -> None:
         if aid is None:

@@ -1,0 +1,513 @@
+"""Lazy, composable distributed views over :class:`DistArray` handles.
+
+In the style of "Distributed Ranges" (arxiv 2406.00158), a view is a
+cheap description of a traversal over already-placed data: it carries
+*which rows of which handles* the traversal touches, and the extraction
+logic to turn those rows into elements.  Nothing is copied at
+construction; when a view pipeline runs as a parallel section, the
+data plane's chunk-requirement walk reads the view's sources and ships
+only the intervals the pipeline actually reads.
+
+Four constructors, freely composable (a view accepts a handle, a plain
+ndarray, or another view as its base):
+
+* :func:`slice_view` -- a contiguous row window ``[lo, hi)``;
+* :func:`zip_view` -- lockstep traversal of several bases (extent is the
+  minimum, and only the first ``extent`` rows of each base are touched);
+* :func:`transpose_view` -- the columns of a 2-D base as elements; every
+  column reads every row, so the requirement is the whole row range
+  (HDArray-style inference: the access pattern *is* the placement);
+* :func:`segmented_view` -- variable-length row segments cut by an
+  offsets vector; the requirement is exactly ``[offsets[0],
+  offsets[-1])``.
+
+Views implement ``__triolet_idx__``, so ``tri.iterate``/``tri.par`` (and
+everything downstream: fusion, vectorization, distribution, recovery)
+treat them like any other indexable source.
+"""
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.domains import Seq
+from repro.core.encodings import indexer as _ix
+from repro.core.sources import DataSource
+from repro.data.handle import DistArray, current_store, lookup_handle
+from repro.serial import closure, register_function
+from repro.serial.serializer import (
+    _pack_varint,
+    _unpack_varint,
+    register_type,
+    serializable,
+)
+
+__all__ = [
+    "View",
+    "SliceView",
+    "ZipView",
+    "TransposeView",
+    "SegmentedView",
+    "slice_view",
+    "zip_view",
+    "transpose_view",
+    "segmented_view",
+    "TransposeSource",
+    "SegmentedSource",
+]
+
+
+# ---------------------------------------------------------------------------
+# Handle-backed sources for the two new access patterns.  Like
+# HandleSource, they ship as a fixed-width handle id plus varints -- the
+# referenced rows never travel with the iterator.
+
+
+@dataclass(frozen=True)
+class TransposeSource(DataSource):
+    """Columns ``[col_lo, col_hi)`` of a 2-D handle, rows all resident.
+
+    Outer positions select *columns*; every column intersects every row,
+    so the chunk-requirement walk asks for the full row range on every
+    rank (replicated requirement).  Column slicing is pure index
+    arithmetic on ``col_lo``.
+    """
+
+    array_id: int
+    col_lo: int
+    col_hi: int
+
+    def context(self):
+        handle = lookup_handle(self.array_id)
+        store = current_store()
+        n = len(handle)
+        if store is None or n == 0 or self.col_hi <= self.col_lo:
+            # A zero-row base ships nothing (the planner skips empty
+            # requirements), so read the handle's own (empty) rows.
+            return (handle.array, self.col_lo)
+        return (store.view(self.array_id, 0, n), self.col_lo)
+
+    def slice_outer(self, lo: int, hi: int) -> "TransposeSource":
+        w = self.col_hi - self.col_lo
+        if not (0 <= lo <= hi <= w):
+            raise ValueError(f"slice [{lo}, {hi}) out of bounds for {w} columns")
+        return TransposeSource(self.array_id, self.col_lo + lo, self.col_lo + hi)
+
+    def wire_size(self) -> int:
+        return 24
+
+
+@register_function
+def _extract_column(ctx, i):
+    arr, col_lo = ctx
+    return arr[:, col_lo + i]
+
+
+@register_function
+def _bulk_transpose(ctx, domain):
+    arr, col_lo = ctx
+    return np.ascontiguousarray(arr[:, col_lo:col_lo + domain.size].T)
+
+
+def _encode_transpose_source(obj: TransposeSource, out: bytearray) -> None:
+    out += struct.pack("<Q", obj.array_id)
+    _pack_varint(obj.col_lo, out)
+    _pack_varint(obj.col_hi, out)
+
+
+def _decode_transpose_source(buf: memoryview, offset: int):
+    (aid,) = struct.unpack_from("<Q", buf, offset)
+    offset += 8
+    lo, offset = _unpack_varint(buf, offset)
+    hi, offset = _unpack_varint(buf, offset)
+    return TransposeSource(aid, lo, hi), offset
+
+
+register_type(
+    "repro.TransposeSource", TransposeSource,
+    _encode_transpose_source, _decode_transpose_source,
+)
+
+
+@dataclass(frozen=True)
+class SegmentedSource(DataSource):
+    """Variable-length row segments of a handle, cut by *offsets*.
+
+    Element ``i`` is rows ``[offsets[i], offsets[i+1])``; the source
+    touches exactly ``[offsets[0], offsets[-1])`` of the handle, and
+    slicing the outer (segment) axis narrows the offsets vector -- so a
+    rank is shipped only the rows its segments cover.
+    """
+
+    array_id: int
+    offsets: tuple
+
+    def __post_init__(self):
+        if len(self.offsets) < 1:
+            raise ValueError("SegmentedSource needs at least one offset")
+        if any(b < a for a, b in zip(self.offsets, self.offsets[1:])):
+            raise ValueError(f"offsets must be non-decreasing: {self.offsets}")
+
+    def context(self):
+        handle = lookup_handle(self.array_id)
+        store = current_store()
+        lo, hi = self.offsets[0], self.offsets[-1]
+        if store is None or hi <= lo:
+            return (handle.array[lo:hi], self.offsets)
+        return (store.view(self.array_id, lo, hi), self.offsets)
+
+    def slice_outer(self, lo: int, hi: int) -> "SegmentedSource":
+        nseg = len(self.offsets) - 1
+        if not (0 <= lo <= hi <= nseg):
+            raise ValueError(f"slice [{lo}, {hi}) out of bounds for {nseg} segments")
+        return SegmentedSource(self.array_id, self.offsets[lo:hi + 1])
+
+    def wire_size(self) -> int:
+        return 16 + 4 * len(self.offsets)
+
+
+@register_function
+def _extract_segment(ctx, i):
+    arr, offs = ctx
+    base = offs[0]
+    return arr[offs[i] - base:offs[i + 1] - base]
+
+
+def _encode_segmented_source(obj: SegmentedSource, out: bytearray) -> None:
+    out += struct.pack("<Q", obj.array_id)
+    _pack_varint(len(obj.offsets), out)
+    for o in obj.offsets:
+        _pack_varint(o, out)
+
+
+def _decode_segmented_source(buf: memoryview, offset: int):
+    (aid,) = struct.unpack_from("<Q", buf, offset)
+    offset += 8
+    count, offset = _unpack_varint(buf, offset)
+    offs = []
+    for _ in range(count):
+        o, offset = _unpack_varint(buf, offset)
+        offs.append(o)
+    return SegmentedSource(aid, tuple(offs)), offset
+
+
+register_type(
+    "repro.SegmentedSource", SegmentedSource,
+    _encode_segmented_source, _decode_segmented_source,
+)
+
+
+# Plain-array fallbacks: views compose over raw ndarrays too (the
+# scalar/vectorized differential paths run the identical pipeline with
+# no plane underneath).
+
+
+@serializable
+@dataclass(frozen=True)
+class LocalSegmentedSource(DataSource):
+    """Segments of a plain ndarray (no handle, no plane)."""
+
+    arr: np.ndarray
+    offsets: tuple
+
+    def context(self):
+        return (self.arr, self.offsets)
+
+    def slice_outer(self, lo: int, hi: int) -> "LocalSegmentedSource":
+        nseg = len(self.offsets) - 1
+        if not (0 <= lo <= hi <= nseg):
+            raise ValueError(f"slice [{lo}, {hi}) out of bounds for {nseg} segments")
+        offs = self.offsets[lo:hi + 1]
+        base, top = (offs[0], offs[-1]) if offs else (0, 0)
+        return LocalSegmentedSource(
+            self.arr[base:top], tuple(o - base for o in offs)
+        )
+
+
+# ---------------------------------------------------------------------------
+# Interval algebra: which base rows does a view pipeline touch?
+
+
+def _merge(ivals: list) -> list:
+    live = sorted((int(lo), int(hi)) for lo, hi in ivals if hi > lo)
+    out: list[tuple[int, int]] = []
+    for lo, hi in live:
+        if out and lo <= out[-1][1]:
+            out[-1] = (out[-1][0], max(out[-1][1], hi))
+        else:
+            out.append((lo, hi))
+    return out
+
+
+def _merge_maps(maps: list[dict]) -> dict:
+    out: dict = {}
+    for m in maps:
+        for key, ivals in m.items():
+            out.setdefault(key, []).extend(ivals)
+    return {key: _merge(ivals) for key, ivals in out.items()}
+
+
+def _base_key(base):
+    """Interval-map key for a base: handle id, or ``("local", id)`` for a
+    plain ndarray (identity is enough -- the map is per-pipeline)."""
+    if isinstance(base, DistArray):
+        return base.array_id
+    return ("local", id(base))
+
+
+def base_extent(base) -> int:
+    if isinstance(base, View):
+        return len(base)
+    return len(base)
+
+
+# ---------------------------------------------------------------------------
+# The views themselves
+
+
+class View:
+    """Base class: a lazy traversal description over handles/arrays.
+
+    Subclasses provide ``__len__`` (outer extent), ``_idx()`` (the
+    backing indexer) and ``base_intervals()`` (the touched row intervals
+    per base, merged -- what the placement planner will ship, and what
+    the halo property suite flattens)."""
+
+    def __triolet_idx__(self) -> "_ix.Idx":
+        return self._idx()
+
+    def _idx(self) -> "_ix.Idx":
+        raise NotImplementedError
+
+    def base_intervals(self) -> dict:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+def _as_idx(base) -> "_ix.Idx":
+    if isinstance(base, View):
+        return base._idx()
+    if isinstance(base, DistArray):
+        return base.__triolet_idx__()
+    return _ix.array_indexer(np.asarray(base))
+
+
+def _as_intervals(base, lo: int | None = None, hi: int | None = None) -> dict:
+    """Touched intervals of *base*, optionally restricted to its outer
+    positions ``[lo, hi)``."""
+    if isinstance(base, View):
+        if lo is None:
+            return base.base_intervals()
+        return base._restricted_intervals(lo, hi)
+    n = len(base)
+    lo = 0 if lo is None else lo
+    hi = n if hi is None else hi
+    return {_base_key(base): _merge([(lo, hi)])}
+
+
+class SliceView(View):
+    """Rows ``[lo, hi)`` of the base, rebased to start at zero."""
+
+    def __init__(self, base, lo: int, hi: int):
+        n = base_extent(base)
+        if not (0 <= lo <= hi <= n):
+            raise ValueError(f"slice [{lo}, {hi}) out of bounds for extent {n}")
+        self.base = base
+        self.lo = lo
+        self.hi = hi
+
+    def __len__(self) -> int:
+        return self.hi - self.lo
+
+    def _idx(self) -> "_ix.Idx":
+        return _as_idx(self.base).slice(self.lo, self.hi)
+
+    def base_intervals(self) -> dict:
+        return _as_intervals(self.base, self.lo, self.hi)
+
+    def _restricted_intervals(self, lo: int, hi: int) -> dict:
+        return _as_intervals(self.base, self.lo + lo, self.lo + hi)
+
+    def __repr__(self) -> str:
+        return f"slice_view({self.base!r}, {self.lo}, {self.hi})"
+
+
+class ZipView(View):
+    """Lockstep traversal; extent is the shortest base's."""
+
+    def __init__(self, *bases):
+        if not bases:
+            raise ValueError("zip_view needs at least one base")
+        self.bases = bases
+
+    def __len__(self) -> int:
+        return min(base_extent(b) for b in self.bases)
+
+    def _idx(self) -> "_ix.Idx":
+        return _ix.zip_idx(*[_as_idx(b) for b in self.bases])
+
+    def base_intervals(self) -> dict:
+        n = len(self)
+        return _merge_maps([_as_intervals(b, 0, n) for b in self.bases])
+
+    def _restricted_intervals(self, lo: int, hi: int) -> dict:
+        return _merge_maps([_as_intervals(b, lo, hi) for b in self.bases])
+
+    def __repr__(self) -> str:
+        return f"zip_view{self.bases!r}"
+
+
+class TransposeView(View):
+    """Columns of a 2-D base as elements (whole-row requirement)."""
+
+    def __init__(self, base):
+        if isinstance(base, View):
+            raise TypeError(
+                "transpose_view composes over a 2-D handle or ndarray, "
+                "not another view (transpose a view's base instead)"
+            )
+        if getattr(base, "ndim", 0) != 2:
+            raise ValueError("transpose_view needs a 2-D base")
+        self.base = base
+
+    def __len__(self) -> int:
+        return int(self.base.shape[1])
+
+    def _idx(self) -> "_ix.Idx":
+        w = int(self.base.shape[1])
+        if isinstance(self.base, DistArray):
+            return _ix.Idx(
+                Seq(w),
+                closure(_extract_column),
+                TransposeSource(self.base.array_id, 0, w),
+                closure(_bulk_transpose),
+            )
+        arr = np.asarray(self.base)
+        return _ix.Idx(
+            Seq(w),
+            closure(_extract_column),
+            LocalTransposeSource(arr, 0, w),
+            closure(_bulk_transpose),
+        )
+
+    def base_intervals(self) -> dict:
+        n = int(self.base.shape[0])
+        return {_base_key(self.base): _merge([(0, n)])}
+
+    def _restricted_intervals(self, lo: int, hi: int) -> dict:
+        # Any non-empty column window still reads every row.
+        if hi <= lo:
+            return {}
+        return self.base_intervals()
+
+    def __repr__(self) -> str:
+        return f"transpose_view({self.base!r})"
+
+
+class SegmentedView(View):
+    """Variable-length row segments cut by a non-decreasing offsets
+    vector; element ``i`` is ``base[offsets[i]:offsets[i+1]]``."""
+
+    def __init__(self, base, offsets):
+        offs = tuple(int(o) for o in offsets)
+        if len(offs) < 1:
+            raise ValueError("segmented_view needs at least one offset")
+        n = base_extent(base)
+        if any(b < a for a, b in zip(offs, offs[1:])):
+            raise ValueError(f"offsets must be non-decreasing: {offs}")
+        if offs and not (0 <= offs[0] and offs[-1] <= n):
+            raise ValueError(
+                f"offsets {offs} escape base extent {n}"
+            )
+        if isinstance(base, View):
+            raise TypeError(
+                "segmented_view composes over a handle or ndarray, not "
+                "another view (segment the view's base instead)"
+            )
+        self.base = base
+        self.offsets = offs
+
+    def __len__(self) -> int:
+        return len(self.offsets) - 1
+
+    def _idx(self) -> "_ix.Idx":
+        nseg = len(self)
+        if isinstance(self.base, DistArray):
+            return _ix.Idx(
+                Seq(nseg),
+                closure(_extract_segment),
+                SegmentedSource(self.base.array_id, self.offsets),
+            )
+        arr = np.asarray(self.base)
+        lo, hi = self.offsets[0], self.offsets[-1]
+        return _ix.Idx(
+            Seq(nseg),
+            closure(_extract_segment),
+            LocalSegmentedSource(
+                arr[lo:hi], tuple(o - lo for o in self.offsets)
+            ),
+        )
+
+    def base_intervals(self) -> dict:
+        return self._restricted_intervals(0, len(self))
+
+    def _restricted_intervals(self, lo: int, hi: int) -> dict:
+        if hi <= lo:
+            return {}
+        return {
+            _base_key(self.base): _merge(
+                [(self.offsets[lo], self.offsets[hi])]
+            )
+        }
+
+    def __repr__(self) -> str:
+        return f"segmented_view({self.base!r}, {self.offsets!r})"
+
+
+@serializable
+@dataclass(frozen=True)
+class LocalTransposeSource(DataSource):
+    """Columns of a plain 2-D ndarray (no handle, no plane)."""
+
+    arr: np.ndarray
+    col_lo: int
+    col_hi: int
+
+    def context(self):
+        return (self.arr, self.col_lo)
+
+    def slice_outer(self, lo: int, hi: int) -> "LocalTransposeSource":
+        w = self.col_hi - self.col_lo
+        if not (0 <= lo <= hi <= w):
+            raise ValueError(f"slice [{lo}, {hi}) out of bounds for {w} columns")
+        return LocalTransposeSource(
+            self.arr, self.col_lo + lo, self.col_lo + hi
+        )
+
+
+# ---------------------------------------------------------------------------
+# Constructors (the public verbs)
+
+
+def slice_view(base, lo: int, hi: int) -> SliceView:
+    """Rows ``[lo, hi)`` of *base* (handle, ndarray, or view)."""
+    return SliceView(base, lo, hi)
+
+
+def zip_view(*bases) -> ZipView:
+    """Lockstep traversal of several bases; extent is the minimum."""
+    return ZipView(*bases)
+
+
+def transpose_view(base) -> TransposeView:
+    """The columns of a 2-D base as elements."""
+    return TransposeView(base)
+
+
+def segmented_view(base, offsets) -> SegmentedView:
+    """Variable-length row segments of *base* cut by *offsets*."""
+    return SegmentedView(base, offsets)

@@ -67,6 +67,7 @@ PLANE_KEYS = (
     "requests", "input_bytes", "placements", "placed_bytes",
     "resident_hits", "cache_hits", "cache_misses", "cache_evictions",
     "migrated_bytes", "migrations", "lineage_replays", "replayed_bytes",
+    "halo_requests", "halo_hits", "halo_refreshes", "halo_bytes",
 )
 
 #: Planner stat fields mirrored between ``PlannerStats`` and
@@ -136,6 +137,13 @@ def conservation_violations(rec, runtime) -> list[str]:
     _check(v, "recovery.reshipped_bytes", reg.get("recovery.reshipped_bytes"),
            runtime.recovery_report.reshipped_bytes,
            "recovery_report.reshipped_bytes")
+
+    # Halo spans vs plane halo bytes: ghost-cell traffic is tracked on
+    # its own span kind, and must reconcile exactly like interior bytes.
+    halo = rec.spans_of_kind("halo")
+    _check(v, "halo-span halo_bytes",
+           sum(s.attrs.get("halo_bytes", 0) for s in halo),
+           totals.get("halo_bytes", 0), "plane.totals")
 
     # Planner: live counters vs the global stats delta since capture.
     stats = planner_stats()

@@ -38,8 +38,11 @@ from repro.obs.registry import MetricsRegistry
 
 #: The span taxonomy (see docs/observability.md).  ``checkpoint`` spans
 #: are instants marking durable-store writes and restores.
-SPAN_KINDS = ("phase", "section", "plan", "ship", "kernel", "collective",
-              "checkpoint")
+#: ``halo`` spans are instants marking ghost-cell (stencil halo)
+#: exchanges, one per destination rank -- kept apart from ``ship`` so
+#: interior placement bytes and halo bytes stay separately auditable.
+SPAN_KINDS = ("phase", "section", "plan", "ship", "halo", "kernel",
+              "collective", "checkpoint")
 
 #: Lane number for main-rank/driver spans (exported as tid 0).
 DRIVER_LANE = -1

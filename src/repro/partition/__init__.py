@@ -12,6 +12,13 @@ from repro.partition.block import (
     weighted_bounds,
 )
 from repro.partition.block2d import grid_shape, block2d_bounds
+from repro.partition.halo import (
+    flatten_intervals,
+    halo_bytes_bound,
+    halo_intervals,
+    halo_rows,
+    section_halos,
+)
 
 __all__ = [
     "block_bounds",
@@ -20,4 +27,9 @@ __all__ = [
     "missing_intervals",
     "grid_shape",
     "block2d_bounds",
+    "halo_intervals",
+    "section_halos",
+    "flatten_intervals",
+    "halo_rows",
+    "halo_bytes_bound",
 ]

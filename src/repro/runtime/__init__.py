@@ -34,9 +34,11 @@ from repro.runtime.recovery import (
     BudgetExhausted,
     classify_failure,
 )
+from repro.runtime.stencil import run_stencil
 from repro.runtime.worksteal import work_stealing_makespan, static_for_makespan
 
 __all__ = [
+    "run_stencil",
     "RecoveryPolicy",
     "RecoveryReport",
     "DEFAULT_RECOVERY",

@@ -354,6 +354,24 @@ class TrioletRuntime:
         """
         return self.plane.register(array, layout)
 
+    def stencil(self, handle, radius: int, kernel, iterations: int = 1,
+                label: str = "stencil"):
+        """Run an iterative halo-exchange stencil over *handle*.
+
+        Each iteration is one distributed section whose block interiors
+        reuse the handle's resident placement (zero interior bytes from
+        iteration 2 on) and whose ghost rows ship as first-class halo
+        placements -- only the *dirty* ones after the first exchange.
+        See :mod:`repro.runtime.stencil` for the kernel contract and
+        recovery semantics.  Returns the handle; its master copy holds
+        the final state.
+        """
+        from repro.runtime.stencil import run_stencil
+
+        with self._planner_scope():
+            return run_stencil(self, handle, radius, kernel,
+                               iterations=iterations, label=label)
+
     def report(self) -> str:
         """Human-readable ledger of every section this runtime ran."""
         lines = [

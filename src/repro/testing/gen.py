@@ -1,7 +1,10 @@
 """Seed-driven pipeline generator + plain-Python oracle.
 
 A :class:`Program` is a small AST over the library's own algebra:
-sources (1-D arrays, 2-D row iteration, ``outerproduct``) composed with
+sources (1-D arrays, 2-D row iteration, ``outerproduct``, and the four
+distributed views -- ``slice_view``/``zip_view``/``transpose_view``/
+``segmented_view``, forced on ``case % 19 in (3, 4, 5, 6)`` with NumPy
+slicing as their oracle) composed with
 ``map``/``zip``/``filter``/``concatMap`` and finished by one consumer
 (``sum``/``min``/``max``/``count``/``fold``/``histogram``/``collect``/
 ``build``).  Generation tracks the same constructor transitions the
@@ -40,6 +43,12 @@ from repro.core.iterators.reductions import (
     tsum,
 )
 from repro.core.iterators.transforms import concat_map, iterate, tfilter, tmap, tzip
+from repro.data.views import (
+    segmented_view,
+    slice_view,
+    transpose_view,
+    zip_view,
+)
 from repro.testing import kernels as K
 
 # Constructor-shape labels (tracked, then asserted by tests/coverage).
@@ -60,7 +69,9 @@ class Node:
     constructor algebra for the iterator this node builds."""
 
     op: str  # array | rows | outer | zip | map | filter | concat
+    #        # | vslice | vzip | vtranspose | vseg (distributed views)
     arrays: tuple = ()
+    params: tuple = ()  # view parameters (slice bounds, segment offsets)
     fn: Any = None  # registered fn / closure (map, filter, concat)
     ref: Any = None  # plain-python form of fn
     label: str = ""
@@ -103,7 +114,94 @@ def _draw_len(rng: random.Random, case: int) -> int:
     return rng.choice(_LENS)
 
 
+def _view_source(rng: random.Random, data, case: int) -> Node:
+    """A forced distributed-view source (case residues 3/4/5/6 mod 19).
+
+    Views are lazy row windows over a base array: under ``--handles``
+    paths the planner must ship only the touched intervals, and the
+    oracle is plain NumPy slicing either way.  Composition is exercised
+    too -- half the slice cases stack a second ``slice_view`` on top.
+    """
+    kind = case % 19
+    if kind == 3:
+        n = max(_draw_len(rng, case), 2)
+        arr = _values(data, n)
+        lo = rng.randrange(0, n + 1)
+        hi = rng.randrange(lo, n + 1)
+        params = [(lo, hi)]
+        label = f"vslice[{lo}:{hi}]"
+        if rng.random() < 0.5:
+            m = hi - lo
+            lo2 = rng.randrange(0, m + 1)
+            hi2 = rng.randrange(lo2, m + 1)
+            params.append((lo2, hi2))
+            label = f"vslice[{lo2}:{hi2}]o{label}"
+        return Node(
+            op="vslice",
+            arrays=(arr,),
+            params=tuple(params),
+            label=f"{label}of[{n}]",
+            elem="num",
+            shape=IDXFLAT,
+            dom=("seq", params[-1][1] - params[-1][0]),
+        )
+    if kind == 4:
+        na, nb = _draw_len(rng, case), rng.choice(_LENS)
+        a, b = _values(data, na), _values(data, nb)
+        return Node(
+            op="vzip",
+            arrays=(a, b),
+            label=f"vzip[{na},{nb}]",
+            elem="pair",
+            shape=IDXFLAT,
+            dom=("seq", min(na, nb)),
+        )
+    if kind == 5:
+        h, w = _draw_len(rng, case) % 9, rng.choice([1, 2, 3, 5, 8])
+        A = _values(data, h * w).reshape(h, w)
+        return Node(
+            op="vtranspose",
+            arrays=(A,),
+            label=f"vtranspose[{h}x{w}]",
+            elem="row",
+            shape=IDXFLAT,
+            dom=("seq", w),
+        )
+    # kind == 6: variable-length segments.  Segments are ragged, so a
+    # row->num map is forced on top (build/collect over ragged rows is
+    # not a library shape).
+    n = _draw_len(rng, case)
+    arr = _values(data, n)
+    cuts = sorted(rng.randrange(0, n + 1) for _ in range(rng.randrange(4)))
+    offsets = tuple([0] + cuts + [n])
+    seg = Node(
+        op="vseg",
+        arrays=(arr,),
+        params=(offsets,),
+        label=f"vseg[{len(offsets) - 1}of{n}]",
+        elem="row",
+        shape=IDXFLAT,
+        dom=("seq", len(offsets) - 1),
+    )
+    fn, ref, label = K.draw_row_map(rng)
+    return Node(
+        op="map",
+        fn=fn,
+        ref=ref,
+        label=f"{seg.label}|map:{label}",
+        children=(seg,),
+        elem="num",
+        shape=IDXFLAT,
+        dom=seg.dom,
+    )
+
+
 def _source(rng: random.Random, data, case: int) -> Node:
+    if case % 19 in (3, 4, 5, 6):
+        # Forced view coverage (the stepper residues case % 17 in (7, 8)
+        # take precedence upstream, which still leaves every view kind
+        # multiple residues per 100-case sweep).
+        return _view_source(rng, data, case)
     roll = rng.random()
     if roll < 0.55:
         n = _draw_len(rng, case)
@@ -458,6 +556,22 @@ def _build_node(node: Node, dist):
         if dist is not None:
             u, v = dist(u), dist(v)
         return outerproduct(u, v)
+    if node.op == "vslice":
+        src = dist(node.arrays[0]) if dist is not None else node.arrays[0]
+        for lo, hi in node.params:
+            src = slice_view(src, lo, hi)
+        return iterate(src)
+    if node.op == "vzip":
+        a, b = node.arrays
+        if dist is not None:
+            a, b = dist(a), dist(b)
+        return iterate(zip_view(a, b))
+    if node.op == "vtranspose":
+        src = dist(node.arrays[0]) if dist is not None else node.arrays[0]
+        return iterate(transpose_view(src))
+    if node.op == "vseg":
+        src = dist(node.arrays[0]) if dist is not None else node.arrays[0]
+        return iterate(segmented_view(src, node.params[0]))
     if node.op == "zip":
         return tzip(
             _build_node(node.children[0], dist),
@@ -506,6 +620,20 @@ def _elements(node: Node) -> list:
     if node.op == "outer":
         u, v = node.arrays
         return [(float(a), float(b)) for a in u for b in v]
+    if node.op == "vslice":
+        arr = node.arrays[0]
+        for lo, hi in node.params:
+            arr = arr[lo:hi]
+        return [float(v) for v in arr]
+    if node.op == "vzip":
+        a, b = node.arrays
+        return [(float(x), float(y)) for x, y in zip(a, b)]
+    if node.op == "vtranspose":
+        A = node.arrays[0]
+        return [A[:, j] for j in range(A.shape[1])]
+    if node.op == "vseg":
+        arr, offs = node.arrays[0], node.params[0]
+        return [arr[offs[i]:offs[i + 1]] for i in range(len(offs) - 1)]
     if node.op == "zip":
         return list(
             zip(_elements(node.children[0]), _elements(node.children[1]))

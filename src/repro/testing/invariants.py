@@ -20,6 +20,13 @@ live:
 * **Placement liveness** -- after a crash re-partition, the placement
   map never references a rank outside the surviving set, and every
   resident hull stays inside its handle's bounds.
+* **Halo conservation** -- ghost traffic has its own law: per section
+  ``halo_requests == halo_hits + halo_refreshes``; stencil sections
+  additionally bound ``halo_bytes`` by the interval-arithmetic ceiling
+  ``2 * radius * ranks * row_nbytes``
+  (:func:`~repro.partition.halo.halo_bytes_bound`), and every live ghost
+  placement must cover an interval inside its handle's bounds with its
+  bytes actually present in the rank's store.
 
 Any violation raises :class:`InvariantViolation` (an ``AssertionError``
 subclass, so it fails pytest naturally).  Usage from any test::
@@ -34,6 +41,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 
+from repro.partition import halo_bytes_bound
 from repro.runtime import driver
 
 
@@ -68,6 +76,7 @@ class InvariantChecker:
         self._check_plane(payload)
         self._check_reshipped(payload)
         self._check_placement(payload)
+        self._check_halo(payload)
 
     # -- tiling -------------------------------------------------------------
 
@@ -164,6 +173,67 @@ class InvariantChecker:
                     )
         self._cache_seen[id(plane)] = cs
 
+    # -- halo conservation ----------------------------------------------------
+
+    def _check_halo(self, payload: dict) -> None:
+        record = payload["record"]
+        s = record.data_plane
+        if s is not None:
+            served = s.get("halo_hits", 0) + s.get("halo_refreshes", 0)
+            if s.get("halo_requests", 0) != served:
+                _fail(
+                    f"halo conservation broken: {s.get('halo_requests', 0)} "
+                    f"ghost requests but {served} served "
+                    f"({s.get('halo_hits', 0)} hits + "
+                    f"{s.get('halo_refreshes', 0)} refreshes)",
+                    payload,
+                )
+        halo = payload.get("halo")
+        if halo is None:
+            return
+        # Stencil sections: the section's ghost traffic can never exceed
+        # the interval-arithmetic ceiling (two clamped radius-row ghosts
+        # per destination rank).
+        bound = halo_bytes_bound(
+            halo["radius"], payload["nchunks"], halo["row_nbytes"]
+        )
+        if s is not None and s.get("halo_bytes", 0) > bound:
+            _fail(
+                f"halo bytes {s['halo_bytes']} exceed the "
+                f"2*radius*ranks*rowbytes ceiling {bound} "
+                f"(radius {halo['radius']}, {payload['nchunks']} ranks)",
+                payload,
+            )
+        # Ghost placement liveness: every ghost entry the planner tracks
+        # must sit inside its handle's bounds, on a live rank, with its
+        # bytes actually present in that rank's store (the section's ops
+        # have been applied by the time observers run).
+        plane = payload["runtime"].plane
+        live = payload.get("survivors", payload["nchunks"])
+        for rank, keys in plane.ghost_map().items():
+            if rank < 1 or (payload["attempts"] > 1 and rank >= live):
+                _fail(
+                    f"ghost placements on rank {rank} outside the live "
+                    f"set [1, {live})",
+                    payload,
+                )
+            stored = plane.worker_store(rank).cached_keys()
+            for key in keys:
+                kaid, lo, hi = key
+                handle = plane.handles.get(kaid)
+                if handle is not None and not (0 <= lo <= hi <= len(handle)):
+                    _fail(
+                        f"ghost interval [{lo}, {hi}) escapes handle "
+                        f"bounds [0, {len(handle)})",
+                        payload,
+                    )
+                if key not in stored:
+                    _fail(
+                        f"ghost placement {key} on rank {rank} has no "
+                        f"backing bytes in the rank store",
+                        payload,
+                    )
+
     # -- recovery accounting ------------------------------------------------
 
     def _check_reshipped(self, payload: dict) -> None:
@@ -243,6 +313,27 @@ def check_plane(plane) -> None:
             f"plane totals conservation broken: requests "
             f"{totals['requests']} != served {served}"
         )
+    halo_served = totals.get("halo_hits", 0) + totals.get("halo_refreshes", 0)
+    if totals.get("halo_requests", 0) != halo_served:
+        raise InvariantViolation(
+            f"halo totals conservation broken: halo_requests "
+            f"{totals.get('halo_requests', 0)} != served {halo_served}"
+        )
+    for rank, keys in plane.ghost_map().items():
+        stored = plane.worker_store(rank).cached_keys()
+        for key in keys:
+            kaid, lo, hi = key
+            handle = plane.handles.get(kaid)
+            if handle is not None and not (0 <= lo <= hi <= len(handle)):
+                raise InvariantViolation(
+                    f"ghost interval [{lo}, {hi}) escapes handle "
+                    f"[0, {len(handle)})"
+                )
+            if key not in stored:
+                raise InvariantViolation(
+                    f"ghost placement {key} on rank {rank} has no backing "
+                    f"bytes in the rank store"
+                )
 
 
 @contextmanager

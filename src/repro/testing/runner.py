@@ -473,6 +473,67 @@ def checkpoint_drill(seed: int) -> CaseResult:
     return out
 
 
+def stencil_drill(seed: int) -> CaseResult:
+    """Deterministic halo-exchange case: an 8-sweep radius-1 Jacobi on
+    4x2 losing rank 1 mid-run -- the shrunken job must stay bit-identical
+    to the sequential oracle, with zero interior bytes on clean sweeps
+    and ghost state that survives the invariant checker."""
+    out = CaseResult(
+        seed=seed,
+        case=-4,
+        desc=f"stencil drill (seed {seed}): jacobi[256] x8 on 4x2 "
+        f"with RankLoss(rank=1, section=3)",
+    )
+    rng = np.random.default_rng(seed)
+    init = rng.integers(0, 10, size=256).astype(np.float64)
+    machine = MachineSpec(nodes=4, cores_per_node=2)
+
+    def kern(xpad):
+        return 0.5 * (xpad[:-2] + xpad[2:])
+
+    expect = init.copy()
+    for _ in range(8):
+        nxt = expect.copy()
+        nxt[1:-1] = kern(expect)
+        expect = nxt
+
+    plan = FaultPlan(faults=(RankLoss(rank=1, at=1e-6, section=3),))
+    try:
+        with checking() as ck:
+            with triolet_runtime(machine, faults=plan, plane=DataPlane()) as rt:
+                h = rt.distribute(init.copy())
+                rt.stencil(h, radius=1, kernel=kern, iterations=8)
+                got = h.array.copy()
+            out.sections = ck.sections
+            out.crash_exercised = ck.crash_sections > 0
+            check_plane(rt.plane)
+    except InvariantViolation as exc:
+        out.failures.append(f"invariant violation: {exc}")
+        return out
+    if got.tobytes() != expect.tobytes():
+        out.failures.append("stencil drill not bit-identical after loss")
+    rep = rt.recovery_report
+    if rep.rank_losses != 1:
+        out.failures.append(
+            f"stencil drill absorbed {rep.rank_losses} losses (want 1)"
+        )
+    if rep.lineage_replays <= 0:
+        out.failures.append("stencil drill replayed nothing through lineage")
+    clean = [
+        s
+        for s in rt.sections
+        if s.kind == "stencil" and s.recovery is None
+    ]
+    if any(s.data_plane["input_bytes"] != 0 for s in clean[1:]):
+        out.failures.append(
+            "clean stencil sweep after the first re-shipped interior rows"
+        )
+    if all(s.data_plane["halo_refreshes"] == 0 for s in rt.sections
+           if s.kind == "stencil"):
+        out.failures.append("stencil drill never refreshed a ghost")
+    return out
+
+
 # -- suites ------------------------------------------------------------------
 
 
@@ -495,8 +556,10 @@ def run_suite(
     if only is None:
         # Guarantee the acceptance properties: every suite exercises
         # transient crash re-execution, permanent-loss lineage recovery,
-        # and restart-from-checkpoint, with the checker active.
-        for drill_fn in (crash_drill, loss_drill, checkpoint_drill):
+        # restart-from-checkpoint, and mid-run loss under the stencil's
+        # halo exchange, with the checker active.
+        for drill_fn in (crash_drill, loss_drill, checkpoint_drill,
+                         stencil_drill):
             drill = drill_fn(seed)
             suite.results.append(drill)
             if progress is not None:

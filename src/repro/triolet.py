@@ -78,6 +78,12 @@ from repro.core.iterators import treduce as reduce
 from repro.core.iterators import tsum as sum  # noqa: A001
 from repro.core.iterators import tzip as zip  # noqa: A001
 from repro.core.fusion import analyze
+from repro.data.views import (
+    segmented_view,
+    slice_view,
+    transpose_view,
+    zip_view,
+)
 from repro.cluster.faults import (
     DelaySpike,
     FaultPlan,
@@ -109,6 +115,11 @@ __all__ = [
     "zip",
     "filter",
     "concat_map",
+    # distributed views
+    "slice_view",
+    "zip_view",
+    "transpose_view",
+    "segmented_view",
     # consumers
     "sum",
     "min",

@@ -1,0 +1,91 @@
+"""The views bench cell: stencil halo bytes vs. full re-ship, and
+slice-cache reuse across shifting slab decompositions.
+
+Pins the cell's headline claims -- the same ones the CI guard enforces
+against ``BENCH_views.json``: bit identity at every rank count, zero
+interior bytes after the first sweep, steady halo traffic under 10% of
+the naive full re-ship, and a 100% hit rate on a repeated decomposition.
+"""
+import json
+
+import pytest
+
+from repro.bench.views import render, run_views_bench, write_json
+
+pytestmark = pytest.mark.views
+
+RANKS = (1, 2)  # the test keeps the matrix small; CI runs 1/2/4
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return run_views_bench(rank_counts=RANKS)
+
+
+class TestJacobiCells:
+    def test_bit_identical_at_every_rank_count(self, payload):
+        cells = payload["jacobi"]
+        assert [c["ranks"] for c in cells] == list(RANKS)
+        for c in cells:
+            assert c["bit_identical"]
+
+    def test_zero_interior_bytes_after_first_sweep(self, payload):
+        for c in payload["jacobi"]:
+            assert c["steady_interior_bytes"] == 0
+
+    def test_steady_halo_under_ten_percent_of_reship(self, payload):
+        """The CI guard's inequality, checked at the source."""
+        for c in payload["jacobi"]:
+            if c["ranks"] < 2:
+                continue  # single rank has no halo traffic
+            assert c["full_reship_bytes"] > 0
+            assert (
+                c["steady_halo_bytes"] < 0.10 * c["full_reship_bytes"]
+            ), c
+
+    def test_single_rank_ships_no_halo(self, payload):
+        (solo,) = [c for c in payload["jacobi"] if c["ranks"] == 1]
+        assert solo["steady_halo_bytes"] == 0
+        assert solo["halo_refreshes"] == 0
+
+
+class TestSweepCells:
+    def test_repeat_decomposition_is_free(self, payload):
+        s = payload["sweeps"]
+        assert s["correct"]
+        assert s["repeat_hit_rate"] == 1.0
+        assert s["repeat_input_bytes"] == 0
+
+    def test_offset_sweep_ships_less_than_base(self, payload):
+        base, offset, repeat = payload["sweeps"]["per_sweep"]
+        assert base["sweep"] == "base"
+        assert 0 < offset["input_bytes"] < base["input_bytes"]
+        assert repeat["placements"] == 0
+
+
+class TestRenderAndJson:
+    def test_render_mentions_the_claims(self, payload):
+        text = render(payload)
+        assert "Stencil halo exchange" in text
+        assert "Slab-view sweeps" in text
+        assert "repeat sweep hit rate: 100%" in text
+
+    def test_json_round_trips(self, payload, tmp_path):
+        out = tmp_path / "BENCH_views.json"
+        write_json(payload, str(out))
+        back = json.loads(out.read_text())
+        assert back["rank_counts"] == list(RANKS)
+        assert back["jacobi"][0]["bit_identical"] is True
+
+
+class TestCli:
+    def test_views_flag_writes_payload(self, tmp_path, capsys):
+        from repro.bench.__main__ import main
+
+        out = tmp_path / "cell.json"
+        main(["--views", "--ranks", "1", "--out", str(out)])
+        text = capsys.readouterr().out
+        assert "Stencil halo exchange" in text
+        payload = json.loads(out.read_text())
+        assert payload["rank_counts"] == [1]
+        assert payload["jacobi"][0]["bit_identical"]

@@ -90,6 +90,45 @@ class TestLineageReplay:
         ranks = {rank for (rank, _aid) in rt.plane.placement_map()}
         assert ranks == set(range(1, MACHINE.nodes - 1))  # renumbered
 
+    @pytest.mark.views
+    def test_shrink_drops_ghost_cache_entries(self):
+        """Regression: ``SliceCache.keep_only`` used to keep ghost (halo)
+        entries whose bytes survived in a surviving store, leaving orphan
+        halo metadata keyed to the pre-shrink geometry -- a renumbered
+        store could then serve a stale ghost row."""
+        from repro.data.store import SliceCache
+
+        # Unit level: a ghost entry dies in keep_only even when its key
+        # is still in the survivor set.
+        cache = SliceCache(1 << 20)
+        cache.put(7, 0, 2, 16)
+        cache.put(7, 30, 31, 8, ghost=True)
+        assert cache.keep_only({(7, 0, 2), (7, 30, 31)}) == 1
+        assert cache.ghost_keys() == set()
+        assert (7, 0, 2) in cache.keys()
+
+        # Plane level: after a stencil run populated real ghosts, a
+        # shrink must leave no ghost metadata and no orphan ghost bytes
+        # in any surviving store.  radius 2 over 2-row blocks leaves
+        # ghosts covering the never-written Dirichlet edge rows alive
+        # across commits (interior ghosts die with note_write).
+        with triolet_runtime(MACHINE) as rt:
+            h = rt.distribute(np.arange(8.0))
+            rt.stencil(h, radius=2,
+                       kernel=lambda x: 0.5 * (x[:-4] + x[4:]),
+                       iterations=2)
+            ghosts_before = rt.plane.ghost_map()
+        assert ghosts_before, "stencil run placed no ghosts to test with"
+        ghost_keys = set().union(*ghosts_before.values())
+        rt.plane.shrink([1])
+        assert rt.plane.ghost_map() == {}
+        for rank in rt.plane._stores:
+            stored = rt.plane.worker_store(rank).cached_keys()
+            assert not (stored & ghost_keys), (
+                f"rank {rank} kept orphan ghost bytes: {stored & ghost_keys}"
+            )
+        check_plane(rt.plane)
+
     def test_two_escalating_losses_still_identical(self):
         plan = FaultPlan(
             faults=(RankLoss(rank=1, at=1e-6, section=1),

@@ -1,0 +1,216 @@
+"""Distributed view pipelines: lazy composition, NumPy-differential
+values, and the placement guarantee -- the planner ships only the rows a
+view actually touches, never the whole backing array."""
+import numpy as np
+import pytest
+
+import repro.triolet as tri
+from repro.cluster import MachineSpec
+from repro.data.views import (
+    segmented_view,
+    slice_view,
+    transpose_view,
+    zip_view,
+)
+from repro.runtime import triolet_runtime
+from repro.testing.invariants import check_plane, checking
+from repro.testing.kernels import k_double, k_pair_sum, k_row_sum, k_square
+
+pytestmark = [pytest.mark.views, pytest.mark.dataplane]
+
+MACHINE = MachineSpec(nodes=4, cores_per_node=2)
+
+
+class TestLocalViews:
+    """Views over plain ndarrays -- no runtime, pure traversal."""
+
+    def test_slice_matches_numpy(self):
+        xs = np.arange(50.0)
+        got = tri.build(tri.map(k_double, tri.par(slice_view(xs, 10, 35))))
+        assert got.tobytes() == (2.0 * xs[10:35]).tobytes()
+
+    def test_slice_of_slice_rebases(self):
+        xs = np.arange(50.0)
+        v = slice_view(slice_view(xs, 10, 40), 5, 20)
+        got = tri.build(tri.par(v))
+        assert got.tobytes() == xs[15:30].tobytes()
+
+    def test_zip_truncates_to_shortest(self):
+        a, b = np.arange(10.0), np.arange(100.0, 106.0)
+        got = tri.build(tri.map(k_pair_sum, tri.par(zip_view(a, b))))
+        assert got.tobytes() == (a[:6] + b).tobytes()
+
+    def test_transpose_yields_columns(self):
+        A = np.arange(24.0).reshape(6, 4)
+        got = tri.build(tri.map(k_row_sum, tri.par(transpose_view(A))))
+        assert got.tobytes() == A.sum(axis=0).tobytes()
+
+    def test_segmented_yields_ragged_rows(self):
+        xs = np.arange(20.0)
+        offs = (0, 3, 3, 11, 20)
+        got = [
+            float(np.sum(seg))
+            for seg in tri.collect_list(tri.par(segmented_view(xs, offs)))
+        ]
+        want = [float(np.sum(xs[a:b])) for a, b in zip(offs, offs[1:])]
+        assert got == want
+
+    def test_validation(self):
+        xs = np.arange(10.0)
+        with pytest.raises(ValueError, match="out of bounds"):
+            slice_view(xs, 3, 11)
+        with pytest.raises(ValueError, match="non-decreasing"):
+            segmented_view(xs, (0, 5, 4, 10))
+        with pytest.raises(ValueError, match="escape"):
+            segmented_view(xs, (0, 99))
+        with pytest.raises(TypeError, match="not another view"):
+            transpose_view(slice_view(xs, 0, 5))
+
+
+class TestDistributedViews:
+    """The same pipelines over handles, bit-identical to the sequential
+    path and audited by the invariant checker."""
+
+    def test_slice_over_handle_matches_sequential(self):
+        xs = np.arange(4096.0)
+        seq = tri.sum(tri.map(k_square, tri.par(slice_view(xs, 100, 3100))))
+        with checking():
+            with triolet_runtime(MACHINE) as rt:
+                h = rt.distribute(xs)
+                par = tri.sum(
+                    tri.map(k_square, tri.par(slice_view(h, 100, 3100)))
+                )
+        assert par == seq  # bit-identical scalar
+        check_plane(rt.plane)
+
+    def test_chunk_requirements_are_view_restricted(self):
+        """The slice-extraction core of the tentpole: a chunk of a sliced
+        handle requires exactly its rebased base interval -- never the
+        whole array, never a replicated requirement."""
+        from types import SimpleNamespace
+
+        from repro.data.plane import chunk_requirements
+
+        xs = np.arange(8192.0)
+        with triolet_runtime(MACHINE) as rt:
+            h = rt.distribute(xs)
+            ix = slice_view(h, 1000, 1500).__triolet_idx__()
+            # The driver carves the 500-row view extent, not the array.
+            chunk = SimpleNamespace(idx=ix.slice(125, 250))
+            reqs = chunk_requirements(chunk)
+        assert reqs == {h.array_id: [1125, 1250, False]}
+
+    def test_first_touch_ships_less_than_replication(self):
+        """First use unions each requirement with the rank's layout shard
+        (prefetch policy, so a later block partition lands resident), but
+        the plan stays a partition-style placement -- replicating the
+        array to every worker would ship ``(nranks - 1) * nbytes``."""
+        xs = np.arange(8192.0)
+        replicated = (MACHINE.nodes - 1) * xs.nbytes
+        with triolet_runtime(MACHINE) as rt:
+            h = rt.distribute(xs)
+            tri.sum(tri.map(k_double, tri.par(slice_view(h, 1000, 1500))))
+        assert 0 < rt.plane.totals["input_bytes"] < replicated
+        assert rt.plane.totals["placements"] == MACHINE.nodes - 1
+        check_plane(rt.plane)
+
+    def test_later_disjoint_slice_ships_only_its_rows(self):
+        """Steady state: once hulls exist, a new narrow slice outside
+        them travels through the slice cache at its own width, not a
+        re-placement of the shard."""
+        xs = np.arange(8192.0)
+        with triolet_runtime(MACHINE) as rt:
+            h = rt.distribute(xs)
+            tri.sum(tri.map(k_double, tri.par(slice_view(h, 1000, 1500))))
+            before = rt.plane.totals["input_bytes"]
+            tri.sum(tri.map(k_double, tri.par(slice_view(h, 5000, 5100))))
+            delta = rt.plane.totals["input_bytes"] - before
+        assert 0 < delta <= 100 * h.row_nbytes()
+        assert rt.plane.totals["cache_misses"] > 0
+        check_plane(rt.plane)
+
+    def test_repeat_view_section_is_fully_resident(self):
+        xs = np.arange(4096.0)
+        with triolet_runtime(MACHINE) as rt:
+            h = rt.distribute(xs)
+            first = tri.sum(tri.par(slice_view(h, 256, 2304)))
+            shipped = rt.plane.totals["input_bytes"]
+            second = tri.sum(tri.par(slice_view(h, 256, 2304)))
+        assert first == second
+        assert rt.plane.totals["input_bytes"] == shipped  # zero re-ship
+        assert rt.plane.totals["resident_hits"] > 0
+
+    def test_zip_of_two_handles(self):
+        a = np.arange(2000.0)
+        b = np.arange(500.0, 2000.0)
+        seq = tri.sum(tri.map(k_pair_sum, tri.par(zip_view(a, b))))
+        with checking():
+            with triolet_runtime(MACHINE) as rt:
+                ha, hb = rt.distribute(a), rt.distribute(b)
+                par = tri.sum(tri.map(k_pair_sum, tri.par(zip_view(ha, hb))))
+        assert par == seq
+        # The longer base's *requirement* stops at the zip truncation
+        # point (the hull may still round up to the layout shard).
+        ivs = zip_view(ha, hb).base_intervals()[ha.array_id]
+        assert ivs == [(0, len(b))]
+        check_plane(rt.plane)
+
+    def test_transpose_over_handle(self):
+        A = np.arange(600.0).reshape(100, 6)
+        with triolet_runtime(MACHINE) as rt:
+            h = rt.distribute(A)
+            got = tri.build(tri.map(k_row_sum, tri.par(transpose_view(h))))
+        assert got.tobytes() == A.sum(axis=0).tobytes()
+        check_plane(rt.plane)
+
+    def test_segmented_over_handle(self):
+        xs = np.arange(300.0)
+        offs = tuple(range(0, 301, 25))
+        with triolet_runtime(MACHINE) as rt:
+            h = rt.distribute(xs)
+            got = tri.build(
+                tri.map(k_row_sum, tri.par(segmented_view(h, offs)))
+            )
+        want = np.array(
+            [float(np.sum(xs[a:b])) for a, b in zip(offs, offs[1:])]
+        )
+        assert got.tobytes() == want.tobytes()
+        check_plane(rt.plane)
+
+    def test_segmented_requires_only_rows_inside_the_offsets(self):
+        """Offsets that start late and stop early restrict the
+        requirement to ``[offsets[0], offsets[-1])``."""
+        from types import SimpleNamespace
+
+        from repro.data.plane import chunk_requirements
+
+        xs = np.arange(1000.0)
+        offs = (400, 500, 600)
+        with triolet_runtime(MACHINE) as rt:
+            h = rt.distribute(xs)
+            got = tri.sum(
+                tri.map(k_row_sum, tri.par(segmented_view(h, offs)))
+            )
+            ix = segmented_view(h, offs).__triolet_idx__()
+            reqs = chunk_requirements(SimpleNamespace(idx=ix))
+        assert got == float(np.sum(xs[400:600]))
+        assert reqs == {h.array_id: [400, 600, False]}
+        check_plane(rt.plane)
+
+
+class TestBaseIntervals:
+    def test_zip_merges_shared_base(self):
+        xs = np.arange(40.0)
+        v = zip_view(slice_view(xs, 0, 20), slice_view(xs, 15, 35))
+        per_base = v.base_intervals()
+        assert len(per_base) == 1
+        (merged,) = per_base.values()
+        # Both legs are 20 long, so the zip is 20 long and the touched
+        # rows merge into one interval across the overlap.
+        assert merged == [(0, 35)]
+
+    def test_disjoint_slices_stay_disjoint(self):
+        xs = np.arange(40.0)
+        v = zip_view(slice_view(xs, 0, 5), slice_view(xs, 30, 35))
+        (merged,) = v.base_intervals().values()
+        assert merged == [(0, 5), (30, 35)]

@@ -1,0 +1,219 @@
+"""Hypothesis properties for halo (ghost-cell) interval arithmetic.
+
+The stencil planner, the invariant checker, and the bench guard all lean
+on ``repro.partition.halo`` agreeing with itself.  Everything here is
+checked against a brute-force row-set oracle: a ghost row is a row
+within ``radius`` of the flattened slice set but not inside it.
+"""
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.data.views import slice_view, zip_view
+from repro.partition import block_bounds
+from repro.partition.halo import (
+    flatten_intervals,
+    halo_bytes_bound,
+    halo_intervals,
+    halo_rows,
+    section_halos,
+)
+
+pytestmark = pytest.mark.views
+
+extents = st.integers(0, 64)
+radii = st.integers(0, 8)
+
+
+def _interval(extent):
+    return st.tuples(
+        st.integers(0, extent), st.integers(0, extent)
+    )
+
+
+def _intervals(extent, max_size=6):
+    return st.lists(_interval(extent), max_size=max_size)
+
+
+def _rows(intervals):
+    return {i for lo, hi in intervals for i in range(lo, hi)}
+
+
+def _brute_ghosts(intervals, radius, extent):
+    """Independent oracle: every row within ``radius`` of an occupied
+    row, clamped to the array, minus the occupied rows themselves."""
+    inside = _rows(intervals)
+    near = {
+        j
+        for i in inside
+        for j in range(max(0, i - radius), min(extent, i + radius + 1))
+    }
+    return near - inside
+
+
+@st.composite
+def _set_with_geometry(draw):
+    extent = draw(st.integers(0, 64))
+    radius = draw(radii)
+    ivs = draw(_intervals(extent))
+    return ivs, radius, extent
+
+
+class TestHaloRowsOracle:
+    @given(_set_with_geometry())
+    def test_matches_brute_force_row_set(self, case):
+        ivs, radius, extent = case
+        out = halo_rows(ivs, radius, extent)
+        assert _rows(out) == _brute_ghosts(ivs, radius, extent)
+
+    @given(_set_with_geometry())
+    def test_output_is_canonical(self, case):
+        """Sorted, non-empty, pairwise disjoint and non-adjacent, and
+        clamped to ``[0, extent)``."""
+        ivs, radius, extent = case
+        out = halo_rows(ivs, radius, extent)
+        for lo, hi in out:
+            assert 0 <= lo < hi <= extent
+        for (_, ahi), (blo, _) in zip(out, out[1:]):
+            assert blo > ahi
+
+    @given(_set_with_geometry())
+    def test_ghosts_disjoint_from_the_set(self, case):
+        ivs, radius, extent = case
+        assert not (_rows(halo_rows(ivs, radius, extent)) & _rows(ivs))
+
+    @given(st.integers(0, 64), radii, extents)
+    def test_single_block_special_case(self, lo, radius, extent):
+        """``halo_intervals`` is ``halo_rows`` on a one-interval set."""
+        hi = min(extent, lo + 7)
+        lo = min(lo, extent)
+        assert halo_rows([(lo, hi)], radius, extent) == halo_intervals(
+            lo, hi, radius, extent
+        )
+
+
+class TestHaloIntervals:
+    @given(st.integers(0, 64), st.integers(0, 64), radii, extents)
+    def test_empty_block_gets_no_halo(self, lo, hi, radius, extent):
+        if hi > lo:
+            hi = lo  # force the empty case
+        assert halo_intervals(lo, hi, radius, extent) == []
+
+    @given(st.integers(0, 64), st.integers(1, 64), extents)
+    def test_radius_zero_gets_no_halo(self, lo, width, extent):
+        assert halo_intervals(lo, lo + width, 0, extent) == []
+
+    @given(st.integers(0, 16), st.integers(1, 4), st.integers(4, 16))
+    def test_radius_beyond_block_width_just_clamps(self, lo, width, radius):
+        """radius >= block width is not special: the ghosts clamp to the
+        array like any other case and never exceed ``radius`` per side."""
+        extent = 32
+        hi = min(extent, lo + width)
+        lo = min(lo, hi)
+        out = halo_intervals(lo, hi, radius, extent)
+        assert len(out) <= 2
+        for glo, ghi in out:
+            assert 0 <= glo < ghi <= extent
+            assert ghi - glo <= radius
+        assert sum(ghi - glo for glo, ghi in out) <= 2 * radius
+
+    @given(st.integers(1, 32), radii)
+    def test_edge_blocks_clamp_to_the_array(self, width, radius):
+        extent = 64
+        at_left = halo_intervals(0, width, radius, extent)
+        assert all(glo >= width for glo, _ in at_left)  # no left ghost
+        at_right = halo_intervals(extent - width, extent, radius, extent)
+        assert all(ghi <= extent - width for _, ghi in at_right)
+
+    @given(st.integers(-8, -1))
+    def test_negative_radius_raises(self, radius):
+        with pytest.raises(ValueError):
+            halo_intervals(0, 4, radius, 8)
+
+
+class TestFlatten:
+    @given(_intervals(64))
+    def test_idempotent_and_row_preserving(self, ivs):
+        flat = flatten_intervals(ivs)
+        assert flatten_intervals(flat) == flat
+        assert _rows(flat) == _rows(ivs)
+
+    @given(_intervals(64))
+    def test_canonical_form(self, ivs):
+        flat = flatten_intervals(ivs)
+        for lo, hi in flat:
+            assert lo < hi
+        for (_, ahi), (blo, _) in zip(flat, flat[1:]):
+            assert blo > ahi
+
+    @given(_set_with_geometry())
+    def test_ghosts_invariant_under_flattening(self, case):
+        """The ISSUE property: the ghost set of a composed slice set
+        equals the ghost set of its flattened form."""
+        ivs, radius, extent = case
+        assert halo_rows(ivs, radius, extent) == halo_rows(
+            flatten_intervals(ivs), radius, extent
+        )
+
+
+class TestComposedViews:
+    @given(
+        st.lists(st.tuples(st.integers(0, 48), st.integers(0, 48)),
+                 min_size=1, max_size=4),
+        radii,
+    )
+    def test_view_pipeline_ghosts_match_flattened_slices(self, cuts, radius):
+        """Ghosts computed from a composed view pipeline's merged base
+        intervals equal ghosts computed from the raw per-view slice
+        list -- composition adds nothing the flattened set lacks."""
+        extent = 48
+        arr = np.arange(float(extent))
+        raw = []
+        views = []
+        for lo, hi in cuts:
+            lo, hi = min(lo, hi), max(lo, hi)
+            raw.append((lo, hi))
+            views.append(slice_view(arr, lo, hi))
+        zv = zip_view(*views) if len(views) > 1 else views[0]
+        per_base = zv.base_intervals()
+        assert len(per_base) <= 1  # single shared base
+        merged = next(iter(per_base.values()), [])
+        # zip truncates every base to the shortest view's extent.
+        n = len(zv)
+        truncated = [(lo, min(hi, lo + n)) for lo, hi in raw]
+        assert flatten_intervals(merged) == flatten_intervals(truncated)
+        assert halo_rows(merged, radius, extent) == halo_rows(
+            truncated, radius, extent
+        )
+
+    @given(st.integers(2, 48), st.data())
+    def test_nested_slices_rebase_to_absolute_rows(self, n, data):
+        arr = np.arange(float(n))
+        lo1 = data.draw(st.integers(0, n - 1))
+        hi1 = data.draw(st.integers(lo1, n))
+        v = slice_view(arr, lo1, hi1)
+        lo2 = data.draw(st.integers(0, hi1 - lo1))
+        hi2 = data.draw(st.integers(lo2, hi1 - lo1))
+        vv = slice_view(v, lo2, hi2)
+        merged = next(iter(vv.base_intervals().values()), [])
+        expect = [(lo1 + lo2, lo1 + hi2)] if hi2 > lo2 else []
+        assert merged == flatten_intervals(expect)
+
+
+class TestSectionBounds:
+    @given(st.integers(0, 4096), st.integers(1, 16), radii,
+           st.sampled_from([1, 8, 80]))
+    def test_partition_ghosts_fit_under_the_bytes_bound(
+        self, n, nranks, radius, row_nbytes
+    ):
+        """The checker's hard ceiling dominates every real partition:
+        summing actual ghost rows over a block partition never exceeds
+        ``halo_bytes_bound``."""
+        bounds = block_bounds(n, nranks)
+        halos = section_halos(bounds, radius, n)
+        total = sum(
+            (hi - lo) * row_nbytes for per in halos for lo, hi in per
+        )
+        assert total <= halo_bytes_bound(radius, nranks, row_nbytes)
+        for (blo, bhi), per in zip(bounds, halos):
+            assert _rows(per) == _brute_ghosts([(blo, bhi)], radius, n)

@@ -184,3 +184,110 @@ class TestRejectsCorruptedSections:
         plane._placement[(1, h.array_id)] = (0, 99)
         with pytest.raises(InvariantViolation, match="escapes handle"):
             check_plane(plane)
+
+
+def _halo_stats(**over):
+    stats = dict(
+        requests=0, resident_hits=0, placements=0, migrations=0,
+        cache_hits=0, cache_misses=0, input_bytes=0, placed_bytes=0,
+        halo_requests=0, halo_hits=0, halo_refreshes=0, halo_bytes=0,
+    )
+    stats.update(over)
+    return stats
+
+
+@pytest.mark.views
+class TestRejectsCorruptedHalos:
+    """Seeded violations of the halo rules -- each law must actually fire."""
+
+    def test_stencil_sections_pass_the_checker(self):
+        from repro.cluster import FaultPlan, RankLoss
+
+        init = (np.arange(128.0) % 10).copy()
+        plan = FaultPlan(faults=(RankLoss(rank=1, at=1e-6, section=2),))
+        with checking() as ck:
+            with triolet_runtime(
+                MachineSpec(nodes=4, cores_per_node=2), faults=plan
+            ) as rt:
+                h = rt.distribute(init)
+                rt.stencil(
+                    h, radius=1,
+                    kernel=lambda x: 0.5 * (x[:-2] + x[2:]),
+                    iterations=4,
+                )
+        assert ck.sections == 4
+        assert ck.crash_sections == 1
+        check_plane(rt.plane)
+
+    def test_halo_conservation_broken_rejected(self):
+        stats = _halo_stats(halo_requests=2, halo_hits=1)
+        payload = _payload(
+            ship=object(),
+            record=SimpleNamespace(
+                partition="1d x2 halo r1", data_plane=stats, recovery=None
+            ),
+        )
+        with pytest.raises(InvariantViolation, match="halo conservation"):
+            InvariantChecker()(payload)
+
+    def test_halo_bytes_over_ceiling_rejected(self):
+        # bound = 2 * radius * nchunks * row_nbytes = 2*1*2*8 = 32 bytes.
+        stats = _halo_stats(
+            halo_requests=1, halo_refreshes=1, halo_bytes=1000
+        )
+        payload = _payload(
+            ship=object(),
+            record=SimpleNamespace(
+                partition="1d x2 halo r1", data_plane=stats, recovery=None
+            ),
+            halo={"aid": 0, "radius": 1, "row_nbytes": 8},
+        )
+        with pytest.raises(InvariantViolation, match="ceiling"):
+            InvariantChecker()(payload)
+
+    def test_ghost_on_dead_rank_rejected(self):
+        plane = DataPlane()
+        h = plane.register(np.arange(10.0))
+        plane._ensure_rank(3)
+        plane._caches[3].put(h.array_id, 4, 5, 8, ghost=True)
+        rt = SimpleNamespace(
+            plane=plane,
+            recovery_report=SimpleNamespace(reshipped_bytes=0),
+        )
+        # Only chunk ranks [0, 2) survived this crash section.
+        payload = _payload(
+            runtime=rt,
+            attempts=2,
+            ship=object(),
+            record=SimpleNamespace(
+                partition="1d x2 halo r1",
+                data_plane=_halo_stats(),
+                recovery=SimpleNamespace(reexecuted_chunks=1),
+            ),
+            halo={"aid": h.array_id, "radius": 1, "row_nbytes": 8},
+        )
+        with pytest.raises(InvariantViolation, match="outside the live"):
+            InvariantChecker()(payload)
+
+    def test_ghost_without_backing_bytes_rejected(self):
+        plane = DataPlane()
+        h = plane.register(np.arange(10.0))
+        plane._ensure_rank(1)
+        plane._caches[1].put(h.array_id, 0, 2, 16, ghost=True)
+        with pytest.raises(InvariantViolation, match="no backing bytes"):
+            check_plane(plane)
+
+    def test_ghost_escaping_handle_rejected(self):
+        plane = DataPlane()
+        h = plane.register(np.arange(10.0))
+        plane._ensure_rank(1)
+        plane._caches[1].put(h.array_id, 8, 99, 728, ghost=True)
+        with pytest.raises(InvariantViolation, match="escapes handle"):
+            check_plane(plane)
+
+    def test_halo_totals_conservation_rejected(self):
+        plane = DataPlane()
+        plane.totals["halo_requests"] = 3
+        plane.totals["halo_hits"] = 1
+        with pytest.raises(InvariantViolation, match="halo totals"):
+            check_plane(plane)
