@@ -1,0 +1,22 @@
+"""spMV: sparse matrix-vector products over indexed streams.
+
+Not one of the paper's four benchmarks -- it is the first customer of
+the indexed-stream merge algebra (:mod:`repro.core.iterators.indexed`):
+CSR rows stream as flattened segmented ``(row, col, value)`` entries,
+and a sparse operand joins the matrix columns with ``tri.intersect``.
+It therefore lives outside the benchmark harness's app registry and
+carries its own runners.
+"""
+from repro.apps.spmv.data import SpmvProblem, make_problem
+from repro.apps.spmv.ref import solve_ref, solve_ref_sparse
+from repro.apps.spmv.triolet import run_triolet
+from repro.apps.spmv.eden import run_eden
+
+__all__ = [
+    "SpmvProblem",
+    "make_problem",
+    "solve_ref",
+    "solve_ref_sparse",
+    "run_triolet",
+    "run_eden",
+]

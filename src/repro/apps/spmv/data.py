@@ -1,0 +1,125 @@
+"""spMV problem generator: seeded CSR matrices with dyadic values.
+
+The sandbox instance is a CSR matrix with a seeded random sparsity
+pattern (variable row lengths, including empty rows), one dense operand
+vector, and one *sparse* operand given as a sorted ``(keys, vals)``
+index set -- the indexed-stream form the Triolet variant intersects
+against the matrix columns.
+
+Every numeric entry is **dyadic**: an integer in ``[-1024, 1024]``
+scaled by ``2**-10``.  Products are then integer multiples of ``2**-20``
+with numerators far below ``2**53``, so every partial sum a framework
+can form -- per-row, per-chunk, per-rank -- is exact in float64.
+Bit-identity of spMV results across scalar, vectorized, distributed and
+faulted execution therefore holds by arithmetic, not by luck: float
+addition is associative on this value set.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: paper-scale instance: 2^20 rows at ~48 nonzeros per row
+NOMINAL_NROWS = 1 << 20
+NOMINAL_ROW_NNZ = 48
+
+
+@dataclass(frozen=True)
+class SpmvProblem:
+    indptr: np.ndarray  # int64, length nrows + 1
+    indices: np.ndarray  # int64, length nnz; strictly increasing per row
+    values: np.ndarray  # float64 (dyadic), length nnz
+    x: np.ndarray  # dense operand, length ncols
+    xkeys: np.ndarray  # sparse operand: sorted distinct column ids
+    xvals: np.ndarray  # sparse operand values (dyadic)
+    ncols: int
+    nominal_nrows: int = NOMINAL_NROWS
+    nominal_row_nnz: int = NOMINAL_ROW_NNZ
+
+    @property
+    def nrows(self) -> int:
+        return len(self.indptr) - 1
+
+    @property
+    def nnz(self) -> int:
+        return len(self.indices)
+
+    @property
+    def row_ids(self) -> np.ndarray:
+        """Row id of every CSR entry (the flattened segmented stream)."""
+        return np.repeat(
+            np.arange(self.nrows, dtype=np.int64), np.diff(self.indptr)
+        )
+
+    @property
+    def visits(self) -> int:
+        """Sandbox work: one visit per stored matrix entry."""
+        return self.nnz
+
+    @property
+    def nominal_visits(self) -> int:
+        return self.nominal_nrows * self.nominal_row_nnz
+
+    @property
+    def compute_scale(self) -> float:
+        return self.nominal_visits / max(1, self.visits)
+
+    @property
+    def wire_scale(self) -> float:
+        sandbox = 24 * self.nnz + 8 * (self.ncols + 2 * self.nrows)
+        nominal = 24 * self.nominal_visits + 8 * (3 * self.nominal_nrows)
+        return nominal / sandbox
+
+
+def _dyadic(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Exact dyadic rationals: k * 2^-10 with integer |k| <= 1024."""
+    return rng.integers(-1024, 1025, n).astype(np.float64) * 2.0**-10
+
+
+def make_problem(
+    nrows: int = 256,
+    ncols: int = 256,
+    row_nnz: int = 12,
+    xfrac: float = 0.25,
+    seed: int = 0,
+) -> SpmvProblem:
+    """A seeded sandbox CSR instance.
+
+    Row lengths are uniform in ``[0, 2 * row_nnz]`` (empty rows
+    included, to exercise the zero-contribution edge); columns are drawn
+    without replacement, so each row's column ids form a strictly
+    increasing index set.  ``xfrac`` of the columns carry the sparse
+    operand.
+    """
+    if nrows < 1 or ncols < 1 or row_nnz < 1:
+        raise ValueError("nrows, ncols and row_nnz must be positive")
+    rng = np.random.default_rng(seed)
+    counts = rng.integers(0, min(2 * row_nnz, ncols) + 1, nrows)
+    cols = [
+        np.sort(rng.choice(ncols, size=int(k), replace=False))
+        for k in counts
+    ]
+    indptr = np.zeros(nrows + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    indices = (
+        np.concatenate(cols).astype(np.int64)
+        if indptr[-1]
+        else np.empty(0, dtype=np.int64)
+    )
+    values = _dyadic(rng, int(indptr[-1]))
+    x = _dyadic(rng, ncols)
+    nkeys = max(1, int(round(ncols * xfrac)))
+    xkeys = np.sort(rng.choice(ncols, size=nkeys, replace=False)).astype(
+        np.int64
+    )
+    xvals = _dyadic(rng, nkeys)
+    return SpmvProblem(
+        indptr=indptr,
+        indices=indices,
+        values=values,
+        x=x,
+        xkeys=xkeys,
+        xvals=xvals,
+        ncols=ncols,
+    )

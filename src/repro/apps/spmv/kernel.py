@@ -1,0 +1,68 @@
+"""spMV kernels shared by the frameworks.
+
+The computation is one float multiply per stored entry plus a
+scatter-add into the output row -- ``y[row] += a * x[col]`` -- and every
+framework here performs exactly those operations.  Because the problem
+generator emits dyadic values (see :mod:`repro.apps.spmv.data`), the
+scatter order and partial-sum grouping cannot change the result bits,
+so per-row loops, chunked ``np.add.at`` scatters, and cross-rank
+histogram merges all agree exactly.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import meter
+from repro.core.engine.merge_kernels import member_positions
+
+
+def csr_rows_matvec(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    values: np.ndarray,
+    x: np.ndarray,
+    lo: int,
+    hi: int,
+) -> np.ndarray:
+    """``y[lo:hi]`` of ``A @ x`` for a CSR row block (vectorized).
+
+    Tallies one visit per stored entry of the block, matching the
+    entry-granular streams the Triolet variant folds.
+    """
+    base, stop = int(indptr[lo]), int(indptr[hi])
+    prods = values[base:stop] * x[indices[base:stop]]
+    rows = np.repeat(
+        np.arange(hi - lo, dtype=np.int64), np.diff(indptr[lo : hi + 1])
+    )
+    y = np.zeros(hi - lo)
+    np.add.at(y, rows, prods)
+    meter.tally_visits(stop - base)
+    return y
+
+
+def csr_rows_matvec_sparse(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    values: np.ndarray,
+    xkeys: np.ndarray,
+    xvals: np.ndarray,
+    lo: int,
+    hi: int,
+) -> np.ndarray:
+    """``y[lo:hi]`` of ``A @ x_sparse``: only entries whose column is in
+    the sparse operand's index set contribute.
+
+    Tallies one visit per *surviving* entry -- the probe itself is
+    position arithmetic, like the indexed-stream merges it mirrors.
+    """
+    base, stop = int(indptr[lo]), int(indptr[hi])
+    cols = indices[base:stop]
+    pos, hit = member_positions(xkeys, cols)
+    prods = values[base:stop][hit] * xvals[pos[hit]]
+    rows = np.repeat(
+        np.arange(hi - lo, dtype=np.int64), np.diff(indptr[lo : hi + 1])
+    )[hit]
+    y = np.zeros(hi - lo)
+    np.add.at(y, rows, prods)
+    meter.tally_visits(int(hit.sum()))
+    return y

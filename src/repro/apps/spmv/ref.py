@@ -1,0 +1,29 @@
+"""Sequential reference for spMV (the "sequential C" numerics)."""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.spmv.data import SpmvProblem
+from repro.apps.spmv.kernel import csr_rows_matvec, csr_rows_matvec_sparse
+
+_CHUNK = 512  # rows per block: bounds the gathered temporaries
+
+
+def solve_ref(p: SpmvProblem) -> np.ndarray:
+    """``A @ x`` row block by row block; tallies ``nnz`` visits."""
+    y = np.empty(p.nrows)
+    for lo in range(0, p.nrows, _CHUNK):
+        hi = min(lo + _CHUNK, p.nrows)
+        y[lo:hi] = csr_rows_matvec(p.indptr, p.indices, p.values, p.x, lo, hi)
+    return y
+
+
+def solve_ref_sparse(p: SpmvProblem) -> np.ndarray:
+    """``A @ x_sparse``: the per-block column-membership probe."""
+    y = np.empty(p.nrows)
+    for lo in range(0, p.nrows, _CHUNK):
+        hi = min(lo + _CHUNK, p.nrows)
+        y[lo:hi] = csr_rows_matvec_sparse(
+            p.indptr, p.indices, p.values, p.xkeys, p.xvals, lo, hi
+        )
+    return y

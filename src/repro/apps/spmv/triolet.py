@@ -1,0 +1,148 @@
+"""spMV in Triolet: CSR as indexed streams, sparse operands by merge.
+
+Dense operand
+    The matrix is the flattened segmented stream of its rows -- one
+    ``(row, col, value)`` element per stored entry, zipped off three
+    sharded handles -- and ``A @ x`` is a *weighted histogram* over the
+    row ids: each entry scatters ``value * x[col]`` into bin ``row``.
+    The per-entry kernel is ELEMENTWISE (one fancy-indexed multiply per
+    chunk), so the whole pipeline compiles and each rank ships only its
+    own entry span plus the replicated operand.
+
+Sparse operand
+    The matrix entries become a dense :func:`tri.indexed` stream keyed
+    by entry position; the sparse operand's occurrences -- the entries
+    whose column id is in its index set, found with the same galloping
+    probe the merge combinators use -- form a second indexed stream on
+    the same key space.  ``tri.intersect`` joins them, and the values
+    stay lazy gathers over the sharded handles, so a rank whose key
+    window touches few surviving entries ships only those base spans.
+"""
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.common import AppRun
+from repro.apps.spmv.data import SpmvProblem
+from repro.cluster.faults import FaultPlan
+from repro.cluster.limits import RuntimeLimits, UNLIMITED
+from repro.cluster.machine import MachineSpec
+from repro.core.engine import ELEMENTWISE, register_bulk
+from repro.core.engine.merge_kernels import member_positions
+from repro.obs.spans import active as _obs_active, obs_span as _obs_span
+from repro.runtime import (
+    BOEHM_GC,
+    DEFAULT_RECOVERY,
+    AllocatorModel,
+    CheckpointConfig,
+    CostContext,
+    FailureBudget,
+    RecoveryPolicy,
+    triolet_runtime,
+)
+from repro.serial import closure, register_function
+import repro.triolet as tri
+
+
+@register_function
+def _entry_contrib(x, rcv):
+    """One stored entry's weighted-histogram contribution."""
+    r, c, v = rcv
+    return (int(r), v * x[c])
+
+
+def _entry_contrib_bulk(x, rcv):
+    rs, cs, vs = rcv
+    return (rs, vs * x[cs])
+
+
+register_bulk(_entry_contrib, _entry_contrib_bulk, kind=ELEMENTWISE)
+
+
+@register_function
+def _hit_contrib(kv):
+    """A surviving (matrix entry, sparse-operand value) intersection."""
+    _k, ((r, v), xv) = kv
+    return (int(r), v * xv)
+
+
+def _hit_contrib_bulk(kv):
+    _ks, ((rs, vs), xvs) = kv
+    return (rs, vs * xvs)
+
+
+register_bulk(_hit_contrib, _hit_contrib_bulk, kind=ELEMENTWISE)
+
+
+def dense_matvec(nrows: int, rows, cols, vals, x) -> np.ndarray:
+    """``A @ x`` as a weighted histogram over the entry stream."""
+    entries = tri.zip(tri.iterate(rows), tri.iterate(cols), tri.iterate(vals))
+    contrib = tri.map(closure(_entry_contrib, x), tri.par(entries))
+    return tri.histogram(nrows, contrib)
+
+
+def sparse_matvec(nrows: int, rows, vals, cols_np, xkeys, xvals) -> np.ndarray:
+    """``A @ x_sparse`` as a stream intersection.
+
+    ``cols_np``/``xkeys``/``xvals`` are driver-side arrays (position
+    arithmetic happens at construction, like every merge combinator);
+    ``rows``/``vals`` are the sharded handles the lazy gathers slice.
+    """
+    pos, hit = member_positions(xkeys, cols_np)
+    keep = np.flatnonzero(hit).astype(np.int64)
+    entries = tri.indexed(tri.par(tri.zip(tri.iterate(rows), tri.iterate(vals))))
+    occurrences = tri.indexed_pairs(keep, xvals[pos[hit]])
+    joined = tri.intersect(entries, occurrences)
+    return tri.histogram(nrows, tri.map(closure(_hit_contrib), joined))
+
+
+def run_triolet(
+    p: SpmvProblem,
+    machine: MachineSpec,
+    costs: CostContext,
+    alloc: AllocatorModel = BOEHM_GC,
+    limits: RuntimeLimits = UNLIMITED,
+    faults: FaultPlan | None = None,
+    recovery: RecoveryPolicy | None = DEFAULT_RECOVERY,
+    budget: FailureBudget | None = None,
+    checkpoint: CheckpointConfig | None = None,
+) -> AppRun:
+    with triolet_runtime(
+        machine,
+        costs=costs,
+        alloc=alloc,
+        limits=limits,
+        faults=faults,
+        recovery=recovery,
+        budget=budget,
+        checkpoint=checkpoint,
+    ) as rt:
+        # One placement of the entry arrays serves both operands; the
+        # dense vector is replicated, the sparse one rides the stream
+        # construction as position-gathered context.
+        rows = rt.distribute(p.row_ids)
+        cols = rt.distribute(p.indices)
+        vals = rt.distribute(p.values)
+        x = rt.distribute(p.x, layout="replicated")
+        with _obs_span("phase", "dense"):
+            y = dense_matvec(p.nrows, rows, cols, vals, x)
+        with _obs_span("phase", "sparse"):
+            ys = sparse_matvec(
+                p.nrows, rows, vals, p.indices, p.xkeys, p.xvals
+            )
+    detail = {
+        "gc_time": rt.total_gc_time(),
+        "meter": rt.meter_total,
+        "data_plane": rt.plane.stats_dict(),
+    }
+    if _obs_active() is not None:
+        detail["obs"] = _obs_active().detail_snapshot()
+    if faults is not None or rt.recovery_report.rejected_messages:
+        detail["recovery"] = rt.recovery_report
+    return AppRun(
+        framework="triolet",
+        value={"y": y, "ys": ys},
+        elapsed=rt.elapsed,
+        bytes_shipped=rt.total_bytes_shipped(),
+        detail=detail,
+    )

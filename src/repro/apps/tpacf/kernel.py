@@ -89,6 +89,57 @@ def cross_pairs_bins_bulk(
     return vals, lengths
 
 
+def cross_set_bins(nbins: int, other: np.ndarray, rand: np.ndarray) -> np.ndarray:
+    """All pair bins of one random set against *other*, concatenated.
+
+    The set-granular scalar form: calls ``row_bins`` per row, so its
+    float operations and meter tallies are exactly the per-row loop's.
+    """
+    if len(rand) == 0:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(
+        [row_bins(nbins, rand[j], other) for j in range(len(rand))]
+    )
+
+
+def cross_set_bins_batch(
+    nbins: int, other: np.ndarray, stack: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Segmented batch form of :func:`cross_set_bins` over a stack of
+    sets: one segment (and one length) per set.  Bit- and meter-identical
+    to ``len(stack)`` scalar calls."""
+    vals, lengths = [], []
+    for rand in stack:
+        v, seg = cross_pairs_bins_bulk(nbins, other, rand)
+        vals.append(v)
+        lengths.append(int(seg.sum()))
+    joined = np.concatenate(vals) if vals else np.empty(0, dtype=np.int64)
+    return joined, np.asarray(lengths, dtype=np.int64)
+
+
+def self_set_bins(nbins: int, rand: np.ndarray) -> np.ndarray:
+    """All unique-pair bins of one set (rows i vs i+1:), concatenated."""
+    if len(rand) == 0:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(
+        [row_bins(nbins, rand[i], rand[i + 1 :]) for i in range(len(rand))]
+    )
+
+
+def self_set_bins_batch(
+    nbins: int, stack: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Segmented batch form of :func:`self_set_bins` over a stack of sets."""
+    vals, lengths = [], []
+    for rand in stack:
+        i_arr = np.arange(len(rand))
+        v, seg = self_pairs_bins_bulk(nbins, rand, i_arr, rand)
+        vals.append(v)
+        lengths.append(int(seg.sum()))
+    joined = np.concatenate(vals) if vals else np.empty(0, dtype=np.int64)
+    return joined, np.asarray(lengths, dtype=np.int64)
+
+
 def correlate_cross(
     nbins: int, a: np.ndarray, b: np.ndarray
 ) -> np.ndarray:

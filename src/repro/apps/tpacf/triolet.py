@@ -33,8 +33,12 @@ from repro.apps.common import AppRun
 from repro.apps.tpacf.data import TpacfProblem
 from repro.apps.tpacf.kernel import (
     cross_pairs_bins_bulk,
+    cross_set_bins,
+    cross_set_bins_batch,
     row_bins,
     self_pairs_bins_bulk,
+    self_set_bins,
+    self_set_bins_batch,
 )
 from repro.core.engine import SEGMENTED, register_bulk
 from repro.cluster.faults import FaultPlan
@@ -87,6 +91,33 @@ register_bulk(_self_pairs_row, _self_pairs_rows_bulk, kind=SEGMENTED)
 register_bulk(_cross_pairs_row, _cross_pairs_rows_bulk, kind=SEGMENTED)
 
 
+@register_function
+def _cross_set_bins(nbins, other, sv):
+    """All pair bins of one (set index, random set) stream element."""
+    _s, rand = sv
+    return cross_set_bins(nbins, other, rand)
+
+
+@register_function
+def _self_set_bins(nbins, sv):
+    _s, rand = sv
+    return self_set_bins(nbins, rand)
+
+
+def _cross_set_bins_bulk(nbins, other, sv):
+    _s_arr, stack = sv
+    return cross_set_bins_batch(nbins, other, stack)
+
+
+def _self_set_bins_bulk(nbins, sv):
+    _s_arr, stack = sv
+    return self_set_bins_batch(nbins, stack)
+
+
+register_bulk(_cross_set_bins, _cross_set_bins_bulk, kind=SEGMENTED)
+register_bulk(_self_set_bins, _self_set_bins_bulk, kind=SEGMENTED)
+
+
 def correlation(size: int, pair_bins_iter) -> np.ndarray:
     """Fig. 6 lines 1-4: histogram the scored pairs."""
     return tri.histogram(size, pair_bins_iter)
@@ -116,9 +147,39 @@ def _corr1_cross(nbins, obs, rand):
 
 
 def random_sets_correlation(size: int, corr1, rands: np.ndarray) -> np.ndarray:
-    """Fig. 6 lines 6-11: parallel reduction of per-set histograms."""
+    """Fig. 6 lines 6-11: parallel reduction of per-set histograms.
+
+    The legacy per-set-histogram form: ``corr1`` runs a whole nested
+    pipeline per set, which the vectorizing engine cannot compile (the
+    plan cache records it ``unsupported`` and falls back to the scalar
+    loop).  :func:`cross_sets_correlation` / :func:`self_sets_correlation`
+    below are the fusible rewrite the runner uses.
+    """
     hists = tri.map(corr1, tri.par(rands))
     return tri.sum(hists, zero=np.zeros(size))
+
+
+def cross_sets_correlation(size: int, obs, rands) -> np.ndarray:
+    """DR as one segmented indexed stream: histogram over per-set bins.
+
+    ``tri.indexed(rands)`` streams ``(set index, set)`` pairs off the
+    sharded handle; the SEGMENTED kernel emits every pair bin of a set
+    as one segment, and the histogram consumer scatters whole chunks.
+    One flat pipeline, so the engine compiles it (``unsupported == 0``)
+    and every rank still ships only its own row span.
+    """
+    sets = tri.indexed(rands)
+    return correlation(
+        size, tri.map(closure(_cross_set_bins, size, obs), tri.par(sets))
+    )
+
+
+def self_sets_correlation(size: int, rands) -> np.ndarray:
+    """RR as one segmented indexed stream (triangular pairs per set)."""
+    sets = tri.indexed(rands)
+    return correlation(
+        size, tri.map(closure(_self_set_bins, size), tri.par(sets))
+    )
 
 
 def run_triolet(
@@ -160,16 +221,13 @@ def run_triolet(
                     tri.par(indexed_obs),
                 ),
             )
-        # DR: each random set against the observed set.
+        # DR: each random set against the observed set, as one segmented
+        # indexed stream over the sharded sets (fully engine-compiled).
         with _obs_span("phase", "dr"):
-            dr = random_sets_correlation(
-                p.nbins, closure(_corr1_cross, p.nbins, obs), rands
-            )
+            dr = cross_sets_correlation(p.nbins, obs, rands)
         # RR: each random set against itself.
         with _obs_span("phase", "rr"):
-            rr = random_sets_correlation(
-                p.nbins, closure(_corr1_self, p.nbins), rands
-            )
+            rr = self_sets_correlation(p.nbins, rands)
     detail = {
         "gc_time": rt.total_gc_time(),
         "meter": rt.meter_total,

@@ -14,6 +14,8 @@ Options::
                                            # -> BENCH_service.json
     python -m repro.bench --views          # views/stencil halo bench
                                            # -> BENCH_views.json
+    python -m repro.bench --sparse         # indexed/sparse stream bench
+                                           # -> BENCH_sparse.json
 """
 from __future__ import annotations
 
@@ -88,8 +90,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--ranks",
         default="1,2,4",
-        help="with --transport / --service / --views: comma-separated "
-        "rank counts",
+        help="with --transport / --service / --views / --sparse: "
+        "comma-separated rank counts",
     )
     parser.add_argument(
         "--service",
@@ -102,6 +104,12 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="run the views/stencil bench (halo bytes vs. full re-ship, "
         "slab-view slice-cache reuse) and write BENCH_views.json",
+    )
+    parser.add_argument(
+        "--sparse",
+        action="store_true",
+        help="run the indexed/sparse-stream bench (spMV + fused tpacf, "
+        "vectorized vs scalar fallback) and write BENCH_sparse.json",
     )
     parser.add_argument(
         "--recovery",
@@ -166,6 +174,19 @@ def main(argv: list[str] | None = None) -> int:
             parser.error(f"bad --ranks value: {args.ranks!r}")
         out = args.out or "BENCH_views.json"
         payload = run_views_bench(rank_counts)
+        write_json(payload, out)
+        print(render(payload))
+        print(f"wrote {out}")
+        return 0
+    if args.sparse:
+        from repro.bench.sparse import render, run_sparse_bench, write_json
+
+        try:
+            rank_counts = tuple(int(n) for n in args.ranks.split(","))
+        except ValueError:
+            parser.error(f"bad --ranks value: {args.ranks!r}")
+        out = args.out or "BENCH_sparse.json"
+        payload = run_sparse_bench(rank_counts)
         write_json(payload, out)
         print(render(payload))
         print(f"wrote {out}")

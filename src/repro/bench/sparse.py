@@ -1,0 +1,166 @@
+"""The sparse bench cell: indexed-stream spMV and the fused tpacf.
+
+One JSON payload (``BENCH_sparse.json``), two experiments, each at
+1/2/4 ranks and each run twice -- once with the vectorizing engine on
+and once forced to the scalar fallback -- so the cell reports real
+wall-clock speedups of the compiled bulk pipelines over per-element
+closure evaluation:
+
+* **spmv** -- ``A @ x`` (dense operand, weighted-histogram stream) and
+  ``A @ x_sparse`` (``tri.intersect`` against the sparse operand's
+  index set).  The problem's dyadic values make float addition exact,
+  so the cell asserts *bit*-identity of every path -- scalar,
+  vectorized, distributed, and a rank-crash faulted run -- against the
+  sequential reference.
+* **tpacf** -- the paper app whose DR/RR phases were rewritten as
+  segmented indexed streams; the cell pins the planner contract
+  (``unsupported == 0``) and dd/dr/rr bit-identity between the scalar
+  and vectorized runs.
+"""
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+
+from repro.apps import spmv, tpacf
+from repro.cluster.faults import FaultPlan, RankCrash
+from repro.cluster.machine import PAPER_MACHINE
+from repro.core.engine import execute as _engine
+from repro.core.fusion import planner_stats, reset_planner
+from repro.runtime.costs import CostContext
+
+__all__ = ["run_sparse_bench", "render", "write_json"]
+
+RANK_COUNTS = (1, 2, 4)
+CORES_PER_NODE = 2
+
+SPMV_NROWS = 2048
+SPMV_ROW_NNZ = 24
+TPACF_M = 32
+TPACF_NR = 4
+TPACF_NBINS = 12
+
+
+def _timed(fn, vectorize: bool):
+    """Run *fn* under the given engine mode; returns (run, wall, stats)."""
+    reset_planner()
+    with _engine.use_vectorization(vectorize):
+        t0 = time.perf_counter()
+        run = fn()
+        wall = time.perf_counter() - t0
+    return run, wall, planner_stats()
+
+
+def _spmv_cell(p, y_ref, ys_ref, ranks: int) -> dict:
+    machine = PAPER_MACHINE.scaled(nodes=ranks, cores_per_node=CORES_PER_NODE)
+
+    def go(**kw):
+        return spmv.run_triolet(p, machine, CostContext(), **kw)
+
+    vec, vec_wall, stats = _timed(go, True)
+    sca, sca_wall, _ = _timed(go, False)
+    ident = {
+        "vectorized": bool(
+            np.array_equal(vec.value["y"], y_ref)
+            and np.array_equal(vec.value["ys"], ys_ref)
+        ),
+        "scalar": bool(
+            np.array_equal(sca.value["y"], y_ref)
+            and np.array_equal(sca.value["ys"], ys_ref)
+        ),
+    }
+    if ranks > 1:  # a lone rank's crash has no survivor to recover on
+        faulted, _, _ = _timed(
+            lambda: go(faults=FaultPlan(faults=(RankCrash(rank=1, at=1e-6),))),
+            True,
+        )
+        ident["faulted"] = bool(
+            np.array_equal(faulted.value["y"], y_ref)
+            and np.array_equal(faulted.value["ys"], ys_ref)
+        )
+    return {
+        "ranks": ranks,
+        "nrows": p.nrows,
+        "nnz": p.nnz,
+        "bit_identical": ident,
+        "vectorized_wall_s": vec_wall,
+        "scalar_wall_s": sca_wall,
+        "speedup": sca_wall / vec_wall if vec_wall else float("inf"),
+        "bytes_shipped": vec.bytes_shipped,
+        "bytes_shipped_scalar": sca.bytes_shipped,
+        "unsupported": stats.unsupported,
+        "compiled": stats.compiled,
+    }
+
+
+def _tpacf_cell(p, ranks: int) -> dict:
+    machine = PAPER_MACHINE.scaled(nodes=ranks, cores_per_node=CORES_PER_NODE)
+
+    def go():
+        return tpacf.run_triolet(p, machine, CostContext())
+
+    vec, vec_wall, stats = _timed(go, True)
+    sca, sca_wall, _ = _timed(go, False)
+    same = all(
+        np.array_equal(vec.value[k], sca.value[k]) for k in ("dd", "dr", "rr")
+    )
+    return {
+        "ranks": ranks,
+        "bit_identical": bool(same),
+        "vectorized_wall_s": vec_wall,
+        "scalar_wall_s": sca_wall,
+        "speedup": sca_wall / vec_wall if vec_wall else float("inf"),
+        "bytes_shipped": vec.bytes_shipped,
+        "unsupported": stats.unsupported,
+        "compiled": stats.compiled,
+    }
+
+
+def run_sparse_bench(rank_counts: tuple[int, ...] = RANK_COUNTS) -> dict:
+    """The full sparse dataset (the ``BENCH_sparse.json`` payload)."""
+    ps = spmv.make_problem(
+        nrows=SPMV_NROWS, ncols=SPMV_NROWS, row_nnz=SPMV_ROW_NNZ, seed=1
+    )
+    y_ref, ys_ref = spmv.solve_ref(ps), spmv.solve_ref_sparse(ps)
+    pt = tpacf.make_problem(
+        m=TPACF_M, nr=TPACF_NR, nbins=TPACF_NBINS, seed=3
+    )
+    return {
+        "benchmark": "indexed/sparse stream fusion",
+        "rank_counts": list(rank_counts),
+        "spmv": [_spmv_cell(ps, y_ref, ys_ref, r) for r in rank_counts],
+        "tpacf": [_tpacf_cell(pt, r) for r in rank_counts],
+    }
+
+
+def write_json(payload: dict, path: str) -> None:
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=2)
+        f.write("\n")
+
+
+def _row(c: dict, ident: str) -> str:
+    return (
+        f"{c['ranks']:>6}{ident:>7}{c['vectorized_wall_s']:>10.3f}"
+        f"{c['scalar_wall_s']:>10.3f}{c['speedup']:>9.1f}x"
+        f"{c['bytes_shipped']:>12,}{c['unsupported']:>7}"
+    )
+
+
+def render(payload: dict) -> str:
+    header = (
+        f"{'ranks':>6}{'ident':>7}{'vec s':>10}{'scalar s':>10}"
+        f"{'speedup':>10}{'bytes':>12}{'unsup':>7}"
+    )
+    lines = ["spMV over indexed streams (dense + sparse operand)", header]
+    for c in payload["spmv"]:
+        ident = "bit" if all(c["bit_identical"].values()) else "NO"
+        lines.append(_row(c, ident))
+    lines.append("")
+    lines.append("tpacf with segmented indexed DR/RR")
+    lines.append(header)
+    for c in payload["tpacf"]:
+        lines.append(_row(c, "bit" if c["bit_identical"] else "NO"))
+    return "\n".join(lines)

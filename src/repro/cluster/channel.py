@@ -31,13 +31,25 @@ class Envelope:
 
 
 class ChannelTable:
-    """All channels of one SPMD run, plus the run's abort flag."""
+    """All channels of one SPMD run, plus the run's abort flag.
+
+    Failure semantics are deterministic: a surviving rank is never killed
+    asynchronously.  After a peer fails (``fail`` sets the abort flag),
+    every other rank keeps executing its own -- fully deterministic --
+    instruction stream, and only aborts when it blocks on a message that
+    provably can never arrive: the sender's thread has terminated
+    (``mark_done``) and the channel is empty.  Whether a rank applied its
+    shipping ops, advanced its virtual clock past its own scheduled
+    fault, or posted its partials therefore depends only on the program
+    and the fault plan, never on wall-clock thread scheduling.
+    """
 
     def __init__(self) -> None:
         self._channels: dict[tuple[int, int, int], queue.SimpleQueue] = {}
         self._lock = threading.Lock()
         self.abort = threading.Event()
         self.abort_reason: BaseException | None = None
+        self._done: set[int] = set()
 
     def channel(self, src: int, dst: int, tag: int) -> queue.SimpleQueue:
         key = (src, dst, tag)
@@ -48,20 +60,55 @@ class ChannelTable:
         return ch
 
     def post(self, src: int, dst: int, tag: int, env: Envelope) -> None:
-        if self.abort.is_set():
-            raise_abort(self)
+        # Posting never aborts: a send into a queue is always safe, and
+        # cancelling senders here would make their progress (and any
+        # scheduled fault they have yet to reach) depend on how quickly
+        # another thread's failure was observed.
         self.channel(src, dst, tag).put(env)
+
+    def mark_done(self, rank: int) -> None:
+        """Record that *rank*'s thread has terminated (normally or not).
+
+        Must be called after the rank's last possible ``post``: receivers
+        treat done + empty channel as "this message can never arrive".
+        """
+        with self._lock:
+            self._done.add(rank)
+
+    def rank_done(self, rank: int) -> bool:
+        with self._lock:
+            return rank in self._done
 
     def take(
         self, src: int, dst: int, tag: int, real_timeout: float
     ) -> Envelope:
-        """Blocking receive with abort polling and a real-time deadline."""
+        """Blocking receive with a real-time deadline.
+
+        Always drains an available message before considering failure:
+        a sender's posts all happen before it is marked done, so the
+        check order (message, then done-and-empty) is race-free.
+        """
         ch = self.channel(src, dst, tag)
         waited = 0.0
         poll = 0.05
         while True:
-            if self.abort.is_set():
-                raise_abort(self)
+            try:
+                return ch.get_nowait()
+            except queue.Empty:
+                pass
+            if self.rank_done(src):
+                # Re-check after observing done: every post by src is
+                # visible by now, so empty means "never arriving".
+                try:
+                    return ch.get_nowait()
+                except queue.Empty:
+                    if self.abort.is_set():
+                        raise_abort(self)
+                    raise SimDeadlockError(
+                        f"rank {dst} waits for a message from rank {src} "
+                        f"tag {tag}, but rank {src} already finished "
+                        f"without sending it; deadlock?"
+                    )
             try:
                 return ch.get(timeout=poll)
             except queue.Empty:

@@ -177,6 +177,10 @@ class SimTransport(Transport):
                 with errors_lock:
                     errors.append((rank, exc))
                 ctx.channels.fail(exc)
+            finally:
+                # After the last possible post: receivers blocked on this
+                # rank now abort deterministically (see ChannelTable).
+                ctx.channels.mark_done(rank)
 
         t0 = time.perf_counter()
         if nranks == 1:

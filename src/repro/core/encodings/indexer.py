@@ -28,6 +28,7 @@ from repro.core.domains import Dim2, Domain, Seq
 from repro.core.sources import (
     ArraySource,
     DataSource,
+    GatherSource,
     IndexOffsetSource,
     OuterProductSource,
     RangeSource,
@@ -163,6 +164,12 @@ def _extract_outer(gu, gv, ctx, yx):
     return (gu(ctx[0], y), gv(ctx[1], x))
 
 
+@register_function
+def _extract_gather(g, ctx, i):
+    pos, base_ctx = ctx
+    return g(base_ctx, int(pos[i]))
+
+
 # ---------------------------------------------------------------------------
 # Constructors
 
@@ -215,6 +222,23 @@ def map_idx(f: Callable | Closure, idx: Idx, f_bulk: Callable | Closure | None =
     if f_bulk is not None and idx.bulk is not None:
         new_bulk = closure(_bulk_map, as_closure(f_bulk), idx.bulk)
     return Idx(idx.domain, new_extract, idx.source, new_bulk)
+
+
+def gather_idx(base: Idx, pos: np.ndarray) -> Idx:
+    """``gatherIdx``: read *base* at explicit sorted positions.
+
+    The result is a ``Seq(len(pos))`` indexer whose element *i* is
+    ``base[pos[i]]``; slicing it ships only the base span the position
+    window touches (:class:`~repro.core.sources.GatherSource`).  Fusion
+    is by composition, same as ``map_idx``: maps applied to *base* ride
+    inside the gathered extractor.
+    """
+    pos = np.ascontiguousarray(pos, dtype=np.int64)
+    return Idx(
+        Seq(len(pos)),
+        closure(_extract_gather, base.extract),
+        GatherSource(pos, base.source),
+    )
 
 
 def zip_idx(*idxs: Idx) -> Idx:

@@ -74,6 +74,7 @@ _ID_INDEX = _cid(_ix._extract_index)
 _ID_MAP = _cid(_ix._extract_map)
 _ID_ZIP = _cid(_ix._extract_zip)
 _ID_OUTER = _cid(_ix._extract_outer)
+_ID_GATHER = _cid(_ix._extract_gather)
 _ID_MAP_INNER = _cid(_tr._map_inner)
 _ID_FILTER_UNIT = _cid(_tr._filter_unit)
 _ID_CONCAT_ELEM = _cid(_tr._concat_elem)
@@ -154,6 +155,15 @@ class _MapNode:
     def eval(self, ctx, cl, pos):
         f_cl, g_cl = cl.env[0], cl.env[1]
         return self.bulk.fn(*resolve_env(f_cl.env), self.child.eval(ctx, g_cl, pos))
+
+
+@dataclass(frozen=True)
+class _GatherNode:
+    child: Any
+
+    def eval(self, ctx, cl, pos):
+        pos_arr, base_ctx = ctx
+        return self.child.eval(base_ctx, cl.env[0], pos_arr[pos])
 
 
 @dataclass(frozen=True)
@@ -365,6 +375,12 @@ def _compile_extract(cl: Closure):
         if bf is None:
             raise Unsupported(f"no bulk form registered for {f.code_id}")
         return _MapNode(bf, child), bf.kind == SEGMENTED
+    if cid == _ID_GATHER:
+        # Gathered positions are a plain fancy index, so the child chain
+        # evaluates position *arrays* instead of slices; segmentation
+        # status passes through unchanged.
+        child, seg = _compile_extract(cl.env[0])
+        return _GatherNode(child), seg
     if cid == _ID_ZIP:
         children = []
         for g in cl.env[0]:

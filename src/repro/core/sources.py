@@ -138,6 +138,44 @@ class ArraySource(DataSource):
 
 @serializable
 @dataclass(frozen=True)
+class GatherSource(DataSource):
+    """A base source read at explicit sorted positions (a lazy gather).
+
+    ``pos`` holds strictly increasing ``int64`` positions into ``base``'s
+    outer axis; element *i* of the gathered source is ``base[pos[i]]``.
+    This is how merged indexed streams (``intersect``/``union_merge``)
+    defer value movement: the merge computes positions eagerly, the data
+    follows lazily through the ordinary extract/slice machinery.
+
+    Slicing is where "ship only touched index ranges" happens: because
+    ``pos`` is sorted, outer positions ``[lo, hi)`` touch exactly the
+    base span ``[pos[lo], pos[hi-1] + 1)``, so ``slice_outer`` rebases
+    the position window and slices the base to that span alone.
+    """
+
+    pos: np.ndarray
+    base: DataSource
+
+    def context(self) -> tuple:
+        return (self.pos, self.base.context())
+
+    def slice_outer(self, lo: int, hi: int) -> "GatherSource":
+        if not (0 <= lo <= hi <= len(self.pos)):
+            raise IndexError(
+                f"slice [{lo}, {hi}) out of range for gather of {len(self.pos)}"
+            )
+        p = self.pos[lo:hi]
+        if len(p) == 0:
+            return GatherSource(p, self.base.slice_outer(0, 0))
+        blo, bhi = int(p[0]), int(p[-1]) + 1
+        return GatherSource(p - blo, self.base.slice_outer(blo, bhi))
+
+    def wire_size(self) -> int:
+        return 16 + self.pos.size * self.pos.dtype.itemsize + self.base.wire_size()
+
+
+@serializable
+@dataclass(frozen=True)
 class TupleSource(DataSource):
     """Several sources traversed in lockstep (the source of a ``zip``)."""
 

@@ -37,6 +37,7 @@ from typing import Any
 import numpy as np
 
 from repro.core.sources import (
+    GatherSource,
     OuterProductSource,
     ReplicatedSource,
     TupleSource,
@@ -107,6 +108,12 @@ def _walk_source(src: Any, reqs: dict) -> None:
         # A rank's segments cover exactly [offsets[0], offsets[-1]).
         _req_add(reqs, src.array_id, src.offsets[0], src.offsets[-1],
                  replicated=False)
+    elif isinstance(src, GatherSource):
+        # The chunk was sliced before requirements are gathered, and
+        # slicing a gather narrows its base to exactly the span the
+        # position window touches -- so recursing is already the tight
+        # "ship only touched index ranges" requirement.
+        _walk_source(src.base, reqs)
     elif isinstance(src, TupleSource):
         for m in src.members:
             _walk_source(m, reqs)

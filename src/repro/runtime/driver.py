@@ -463,19 +463,20 @@ class TrioletRuntime:
 
     @staticmethod
     def _reslice(it: Iter, lo: int, hi: int) -> Iter:
-        """A hint-free sub-iterator over outer positions [lo, hi)."""
-        if isinstance(it, IdxFlat):
-            return IdxFlat(it.idx.slice(lo, hi))
-        if isinstance(it, IdxNest):
-            return IdxNest(it.idx.slice(lo, hi))
+        """A hint-free sub-iterator over outer positions [lo, hi).
+
+        Constructs ``type(it)`` rather than the base constructor so
+        refined iterators (``IndexedIter``) keep their structural plan
+        key: every rank's slice must *hit* the plan the driver warmed.
+        """
+        if isinstance(it, (IdxFlat, IdxNest)):
+            return type(it)(it.idx.slice(lo, hi))
         raise TypeError(f"cannot slice {type(it).__name__}")
 
     @staticmethod
     def _reslice_block(it: Iter, rows, cols) -> Iter:
-        if isinstance(it, IdxFlat):
-            return IdxFlat(it.idx.slice_block(rows, cols))
-        if isinstance(it, IdxNest):
-            return IdxNest(it.idx.slice_block(rows, cols))
+        if isinstance(it, (IdxFlat, IdxNest)):
+            return type(it)(it.idx.slice_block(rows, cols))
         raise TypeError(f"cannot slice {type(it).__name__}")
 
     def _can_block_2d(self, it: Iter) -> bool:

@@ -25,11 +25,10 @@ from repro.apps.cutcp.triolet import _contrib
 from repro.apps.mriq.triolet import _pixel_q
 from repro.apps.sgemm.triolet import _dot_elem, _transpose_elem
 from repro.apps.tpacf.triolet import (
-    _corr1_cross,
-    _corr1_self,
     _self_pairs_row,
     correlation,
-    random_sets_correlation,
+    cross_sets_correlation,
+    self_sets_correlation,
 )
 from repro.cluster.machine import MachineSpec
 from repro.core.fusion import planner
@@ -117,12 +116,8 @@ def tpacf_job(p):
                 tri.par(indexed_obs),
             ),
         )
-        dr = random_sets_correlation(
-            p.nbins, closure(_corr1_cross, p.nbins, obs), rands
-        )
-        rr = random_sets_correlation(
-            p.nbins, closure(_corr1_self, p.nbins), rands
-        )
+        dr = cross_sets_correlation(p.nbins, obs, rands)
+        rr = self_sets_correlation(p.nbins, rands)
         return {"dd": dd, "dr": dr, "rr": rr}
 
     return job

@@ -42,6 +42,14 @@ from repro.core.iterators.reductions import (
     treduce,
     tsum,
 )
+from repro.core.iterators.indexed import (
+    indexed,
+    indexed_pairs,
+    intersect,
+    lookup,
+    map_values,
+    union_merge,
+)
 from repro.core.iterators.transforms import concat_map, iterate, tfilter, tmap, tzip
 from repro.data.views import (
     segmented_view,
@@ -351,9 +359,206 @@ def _forced_stepper(rng: random.Random, data, case: int, nest: bool):
     return node, labels
 
 
+# -- indexed streams (case residues 9/10/11/12 mod 23) -----------------------
+
+
+def _key_set(
+    rng: random.Random, lo: int = 0, hi: int = 36, maxlen: int = 9
+) -> np.ndarray:
+    n = rng.randrange(0, maxlen)
+    return np.array(sorted(rng.sample(range(lo, hi), n)), dtype=np.int64)
+
+
+def _merge_key_sets(rng: random.Random, case: int):
+    """Operand index sets forced through the merge edge cases on
+    ``case % 7``: empty streams, disjoint sets, identical sets (residue
+    4 additionally duplicates source keys -- see ``_ipairs_node``)."""
+    scen = case % 7
+    if scen == 0:
+        return np.empty(0, dtype=np.int64), _key_set(rng), "a-empty"
+    if scen == 1:
+        return _key_set(rng), np.empty(0, dtype=np.int64), "b-empty"
+    if scen == 2:
+        ka = _key_set(rng, 0, 18, 7) * 2
+        kb = _key_set(rng, 0, 18, 7) * 2 + 1
+        return ka, kb, "disjoint"
+    if scen == 3:
+        ka = _key_set(rng)
+        return ka, ka.copy(), "identical"
+    return _key_set(rng), _key_set(rng), "overlap"
+
+
+def _ipairs_node(rng: random.Random, data, keys: np.ndarray, dup: bool) -> Node:
+    """An ``indexed_pairs`` source; ``dup`` repeats keys in place so the
+    constructor's last-occurrence-wins canonicalization is exercised
+    against the oracle's dict semantics."""
+    if dup and len(keys):
+        reps = np.array([rng.choice([1, 1, 2, 3]) for _ in keys])
+        keys = np.repeat(keys, reps)
+    vals = _values(data, len(keys))
+    label = f"ipairs[{len(keys)}{'+dup' if dup else ''}]"
+    return Node(
+        op="ipairs",
+        arrays=(keys, vals),
+        label=label,
+        elem="pair",
+        shape=IDXFLAT,
+        dom=("seq", len(np.unique(keys))),
+    )
+
+
+def _indexed_program(rng: random.Random, data, case: int):
+    """A merge-combinator pipeline (``case % 23 in (9, 10, 11, 12)``).
+
+    9 -> ``intersect`` with a drawn combine kernel; 10 -> ``union_merge``
+    (default ``+`` half the time); 11 -> ``lookup`` probed with the
+    second key set; 12 -> intersect-under-concatMap (the merged stream
+    feeding a segmented expander nest).  Elements are ``(key, value)``
+    pairs, so the existing pair kernels and consumers apply unchanged.
+    """
+    kind = case % 23
+    dup = case % 7 == 4
+    ka, kb, scen = _merge_key_sets(rng, case)
+    a = _ipairs_node(rng, data, ka, dup)
+    b = _ipairs_node(rng, data, kb, dup)
+    if kind != 11 and scen == "overlap" and not dup and rng.random() < 0.3:
+        n = _draw_len(rng, case)
+        b = Node(
+            op="idense",
+            arrays=(_values(data, n),),
+            label=f"idense[{n}]",
+            elem="pair",
+            shape=IDXFLAT,
+            dom=("seq", n),
+        )
+    labels = [f"{a.label}&{b.label}({scen})"]
+
+    if kind == 11:
+        # b's (possibly duplicated) keys become the probe set, so the
+        # probe-side ``np.unique`` canonicalization is exercised too.
+        probes = b.arrays[0]
+        node = Node(
+            op="lookup",
+            children=(a,),
+            params=(probes,),
+            label=f"lookup[{len(probes)}]",
+            elem="pair",
+            shape=IDXFLAT,
+        )
+    elif kind == 10:
+        if rng.random() < 0.5:
+            fn, ref, lbl = K.draw_pair_map(rng)
+        else:
+            fn, ref, lbl = None, (lambda p: p[0] + p[1]), "add"
+        node = Node(
+            op="union",
+            fn=fn,
+            ref=ref,
+            children=(a, b),
+            label=f"union:{lbl}",
+            elem="pair",
+            shape=IDXFLAT,
+        )
+    else:  # 9 and 12 both start from an intersection
+        fn, ref, lbl = K.draw_pair_map(rng)
+        node = Node(
+            op="intersect",
+            fn=fn,
+            ref=ref,
+            children=(a, b),
+            label=f"intersect:{lbl}",
+            elem="pair",
+            shape=IDXFLAT,
+        )
+    node.dom = ("seq", len(_elements(node)))
+    labels.append(node.label)
+
+    if kind == 12:
+        fn, ref, lbl = K.draw_pair_map(rng)
+        node = Node(
+            op="map",
+            fn=fn,
+            ref=ref,
+            label=f"map:{lbl}",
+            children=(node,),
+            elem="num",
+            shape=IDXFLAT,
+            dom=node.dom,
+        )
+        labels.append(node.label)
+        fn, ref, lbl = K.draw_expander(rng)
+        node = Node(
+            op="concat",
+            fn=fn,
+            ref=ref,
+            label=f"concat:{lbl}",
+            children=(node,),
+            elem="num",
+            shape=IDXNEST,
+            dom=node.dom,
+        )
+        labels.append(node.label)
+        return node, labels
+
+    if rng.random() < 0.4:
+        fn, ref, lbl = K.draw_num_map(rng)
+        node = Node(
+            op="mapv",
+            fn=fn,
+            ref=ref,
+            label=f"mapv:{lbl}",
+            children=(node,),
+            elem="pair",
+            shape=IDXFLAT,
+            dom=node.dom,
+        )
+        labels.append(node.label)
+    if rng.random() < 0.6:
+        fn, ref, lbl = K.draw_pair_map(rng)
+        node = Node(
+            op="map",
+            fn=fn,
+            ref=ref,
+            label=f"map:{lbl}",
+            children=(node,),
+            elem="num",
+            shape=IDXFLAT,
+            dom=node.dom,
+        )
+        labels.append(node.label)
+    return node, labels
+
+
 def generate_program(seed: int, case: int) -> Program:
     rng = random.Random(seed * 1_000_003 + case)
     data = np.random.default_rng([seed, case])
+
+    if case % 23 in (9, 10, 11, 12) and case % 17 not in (7, 8):
+        # Forced indexed-stream coverage (steppers keep precedence; the
+        # view residues lose a few cases but keep several per sweep).
+        node, labels = _indexed_program(rng, data, case)
+        consumer, cargs = _draw_consumer(rng, node)
+        if consumer == "hist":
+            fn, ref, label = K.bin_kernel(cargs[0])
+            node = Node(
+                op="map",
+                fn=fn,
+                ref=ref,
+                label=f"map:{label}",
+                children=(node,),
+                elem="num",
+                shape=node.shape,
+                dom=node.dom,
+            )
+            labels.append(node.label)
+        return Program(
+            seed=seed,
+            case=case,
+            root=node,
+            consumer=consumer,
+            cargs=cargs,
+            pipeline=labels,
+        )
 
     if case % 17 in (7, 8):
         node, labels = _forced_stepper(rng, data, case, nest=case % 17 == 7)
@@ -577,7 +782,32 @@ def _build_node(node: Node, dist):
             _build_node(node.children[0], dist),
             _build_node(node.children[1], dist),
         )
+    if node.op == "ipairs":
+        # Keys stay driver-side (merges materialize them eagerly anyway);
+        # only the value array rides the data plane.
+        keys, vals = node.arrays
+        src = dist(vals) if dist is not None else vals
+        return indexed_pairs(keys, src)
+    if node.op == "idense":
+        src = dist(node.arrays[0]) if dist is not None else node.arrays[0]
+        return indexed(src)
+    if node.op == "intersect":
+        return intersect(
+            _build_node(node.children[0], dist),
+            _build_node(node.children[1], dist),
+            combine=node.fn,
+        )
+    if node.op == "union":
+        return union_merge(
+            _build_node(node.children[0], dist),
+            _build_node(node.children[1], dist),
+            combine=node.fn,
+        )
     child = _build_node(node.children[0], dist)
+    if node.op == "lookup":
+        return lookup(child, node.params[0])
+    if node.op == "mapv":
+        return map_values(node.fn, child)
     if node.op == "map":
         return tmap(node.fn, child)
     if node.op == "filter":
@@ -638,7 +868,37 @@ def _elements(node: Node) -> list:
         return list(
             zip(_elements(node.children[0]), _elements(node.children[1]))
         )
+    if node.op == "ipairs":
+        keys, vals = node.arrays
+        d = {}
+        for k, v in zip(keys, vals):  # last-occurrence wins
+            d[int(k)] = float(v)
+        return [(k, d[k]) for k in sorted(d)]
+    if node.op == "idense":
+        return [(i, float(v)) for i, v in enumerate(node.arrays[0])]
+    if node.op == "intersect":
+        da = dict(_elements(node.children[0]))
+        db = dict(_elements(node.children[1]))
+        return [
+            (k, node.ref((da[k], db[k]))) for k in sorted(da.keys() & db.keys())
+        ]
+    if node.op == "union":
+        da = dict(_elements(node.children[0]))
+        db = dict(_elements(node.children[1]))
+        out = []
+        for k in sorted(da.keys() | db.keys()):
+            if k in da and k in db:
+                out.append((k, node.ref((da[k], db[k]))))
+            else:
+                out.append((k, da[k] if k in da else db[k]))
+        return out
+    if node.op == "lookup":
+        d = dict(_elements(node.children[0]))
+        probes = sorted({int(k) for k in node.params[0]})
+        return [(k, d[k]) for k in probes if k in d]
     xs = _elements(node.children[0])
+    if node.op == "mapv":
+        return [(k, node.ref(v)) for k, v in xs]
     if node.op == "map":
         return [node.ref(x) for x in xs]
     if node.op == "filter":

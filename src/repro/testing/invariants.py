@@ -41,6 +41,9 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 
+import numpy as np
+
+from repro.core.iterators.indexed import IndexedIter
 from repro.partition import halo_bytes_bound
 from repro.runtime import driver
 
@@ -73,6 +76,7 @@ class InvariantChecker:
         if payload["attempts"] > 1:
             self.crash_sections += 1
         self._check_tiling(payload)
+        self._check_indexed(payload)
         self._check_plane(payload)
         self._check_reshipped(payload)
         self._check_placement(payload)
@@ -118,6 +122,50 @@ class InvariantChecker:
             _fail(
                 f"{axis} intervals cover [0, {prev}) but the domain "
                 f"extent is {extent}",
+                payload,
+            )
+
+    # -- indexed-stream assembly --------------------------------------------
+
+    def _check_indexed(self, payload: dict) -> None:
+        """Indexed partitions conserve ``(index, value)`` pairs.
+
+        When the sectioned iterator is an :class:`IndexedIter`, re-slice
+        it at the section's own partition bounds: every rank slice must
+        hold exactly ``hi - lo`` pairs, and the concatenation of the
+        slices' key sets must reproduce the unsliced key set -- strictly
+        increasing, no pair lost, duplicated, or reordered.  (This is the
+        law a non-monotone gather position array breaks.)
+        """
+        it = payload["iterator"]
+        if not isinstance(it, IndexedIter):
+            return
+        if payload["partition"].startswith("2d"):
+            return
+        full = it.key_array()
+        if len(full) > 1 and not bool(np.all(full[1:] > full[:-1])):
+            _fail(
+                "indexed stream's key set is not strictly increasing",
+                payload,
+            )
+        pieces = []
+        for lo, hi in payload["bounds"]:
+            ks = type(it)(it.idx.slice(lo, hi)).key_array()
+            if len(ks) != hi - lo:
+                _fail(
+                    f"indexed rank slice [{lo}, {hi}) assembles {len(ks)} "
+                    f"(index, value) pairs, not {hi - lo}",
+                    payload,
+                )
+            pieces.append(ks)
+        assembled = (
+            np.concatenate(pieces) if pieces else np.empty(0, dtype=np.int64)
+        )
+        if not np.array_equal(assembled, full):
+            _fail(
+                "indexed partition assembly does not conserve pairs: rank "
+                f"slices assemble {assembled.tolist()} but the stream's "
+                f"key set is {full.tolist()}",
                 payload,
             )
 

@@ -46,11 +46,19 @@ from repro.core.hints import localpar, par, seq
 from repro.core.iterators import (
     IdxFlat,
     IdxNest,
+    IndexedIter,
     Iter,
     ParHint,
     StepFlat,
     StepNest,
     all_match,
+    as_indexed,
+    indexed,
+    indexed_pairs,
+    intersect,
+    lookup,
+    map_values,
+    union_merge,
     any_match,
     append,
     argmax,
@@ -115,6 +123,15 @@ __all__ = [
     "zip",
     "filter",
     "concat_map",
+    # indexed streams
+    "indexed",
+    "indexed_pairs",
+    "as_indexed",
+    "intersect",
+    "union_merge",
+    "lookup",
+    "map_values",
+    "IndexedIter",
     # distributed views
     "slice_view",
     "zip_view",

@@ -1,0 +1,80 @@
+"""Seeded tpacf regression for the indexed-stream DR/RR rewrite.
+
+The DR/RR phases run as segmented indexed bulk pipelines; this pins the
+two contracts the rewrite must keep forever:
+
+* the vectorizing planner compiles *everything* -- ``unsupported == 0``,
+  no silent scalar fallback -- and
+* dd/dr/rr are bit-identical to a golden capture
+  (``golden_tpacf_seed3.npz``: m=24, nr=4, nbins=8, seed=3 on the
+  2x4 paper machine), across the scalar, vectorized, and distributed
+  paths.
+
+If an engine change breaks either, this fails before the bench does.
+"""
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.apps.tpacf import make_problem, run_triolet, solve_ref
+from repro.bench.calibrate import costs_for
+from repro.cluster.machine import PAPER_MACHINE
+from repro.core.engine.execute import use_vectorization
+from repro.core.fusion import planner_stats, reset_planner
+
+pytestmark = pytest.mark.sparse
+
+MACHINE = PAPER_MACHINE.scaled(nodes=2, cores_per_node=4)
+GOLDEN = Path(__file__).with_name("golden_tpacf_seed3.npz")
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return make_problem(m=24, nr=4, nbins=8, seed=3)
+
+
+@pytest.fixture(scope="module")
+def golden():
+    z = np.load(GOLDEN)
+    return {k: z[k] for k in ("dd", "dr", "rr")}
+
+
+@pytest.fixture(scope="module")
+def costs(problem):
+    return costs_for("tpacf", "triolet", problem)
+
+
+class TestGoldenHistograms:
+    def test_reference_matches_golden(self, problem, golden):
+        ref = solve_ref(problem)
+        for k in ("dd", "dr", "rr"):
+            np.testing.assert_array_equal(ref[k], golden[k])
+
+    def test_vectorized_run_is_bit_identical_to_golden(
+        self, problem, golden, costs
+    ):
+        reset_planner()
+        with use_vectorization(True):
+            run = run_triolet(problem, MACHINE, costs)
+        for k in ("dd", "dr", "rr"):
+            np.testing.assert_array_equal(run.value[k], golden[k])
+
+    def test_scalar_fallback_is_bit_identical_to_golden(
+        self, problem, golden, costs
+    ):
+        with use_vectorization(False):
+            run = run_triolet(problem, MACHINE, costs)
+        for k in ("dd", "dr", "rr"):
+            np.testing.assert_array_equal(run.value[k], golden[k])
+
+
+class TestPlannerContract:
+    def test_nothing_unsupported(self, problem, costs):
+        """The segmented indexed pipelines must fully engine-compile."""
+        reset_planner()
+        with use_vectorization(True):
+            run_triolet(problem, MACHINE, costs)
+        stats = planner_stats()
+        assert stats.unsupported == 0, stats
+        assert stats.compiled >= 1, stats

@@ -1,0 +1,88 @@
+"""The sparse bench cell: indexed-stream spMV and the fused tpacf.
+
+Pins the cell's headline claims -- the same ones the CI guard enforces
+against ``BENCH_sparse.json``: bit identity of every execution path
+(the dyadic problem values make float addition exact, so this is an
+equality the arithmetic owes us, not a tolerance), a real wall-clock
+win for the compiled bulk pipelines over the scalar fallback, and the
+planner contract ``unsupported == 0``.
+"""
+import json
+
+import pytest
+
+from repro.bench.sparse import render, run_sparse_bench, write_json
+
+pytestmark = pytest.mark.sparse
+
+RANKS = (1, 2)  # the test keeps the run short; CI runs 1/2/4
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return run_sparse_bench(rank_counts=RANKS)
+
+
+class TestSpmvCells:
+    def test_every_path_bit_identical(self, payload):
+        cells = payload["spmv"]
+        assert [c["ranks"] for c in cells] == list(RANKS)
+        for c in cells:
+            assert c["bit_identical"]["vectorized"], c
+            assert c["bit_identical"]["scalar"], c
+            if c["ranks"] > 1:
+                assert c["bit_identical"]["faulted"], c
+
+    def test_single_node_speedup_at_least_3x(self, payload):
+        """The ISSUE's acceptance bar: vectorized >= 3x scalar fallback."""
+        (solo,) = [c for c in payload["spmv"] if c["ranks"] == 1]
+        assert solo["speedup"] >= 3.0, solo
+
+    def test_nothing_unsupported(self, payload):
+        for c in payload["spmv"]:
+            assert c["unsupported"] == 0
+            assert c["compiled"] >= 1
+
+    def test_single_rank_ships_no_bytes(self, payload):
+        (solo,) = [c for c in payload["spmv"] if c["ranks"] == 1]
+        assert solo["bytes_shipped"] == 0
+
+    def test_scalar_and_vectorized_ship_equal_bytes(self, payload):
+        for c in payload["spmv"]:
+            assert c["bytes_shipped"] == c["bytes_shipped_scalar"]
+
+
+class TestTpacfCells:
+    def test_bit_identical_and_compiled(self, payload):
+        for c in payload["tpacf"]:
+            assert c["bit_identical"], c
+            assert c["unsupported"] == 0
+            assert c["compiled"] >= 1
+
+
+class TestRenderAndJson:
+    def test_render_mentions_the_claims(self, payload):
+        text = render(payload)
+        assert "spMV over indexed streams" in text
+        assert "tpacf with segmented indexed DR/RR" in text
+        assert "bit" in text
+
+    def test_json_round_trips(self, payload, tmp_path):
+        out = tmp_path / "BENCH_sparse.json"
+        write_json(payload, str(out))
+        back = json.loads(out.read_text())
+        assert back["rank_counts"] == list(RANKS)
+        assert back["spmv"][0]["bit_identical"]["vectorized"] is True
+
+
+class TestCli:
+    def test_sparse_flag_writes_payload(self, tmp_path, capsys):
+        from repro.bench.__main__ import main
+
+        out = tmp_path / "cell.json"
+        main(["--sparse", "--ranks", "1", "--out", str(out)])
+        text = capsys.readouterr().out
+        assert "spMV over indexed streams" in text
+        payload = json.loads(out.read_text())
+        assert payload["rank_counts"] == [1]
+        assert payload["spmv"][0]["bit_identical"]["scalar"]

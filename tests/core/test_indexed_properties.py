@@ -1,0 +1,169 @@
+"""Property-based tests (hypothesis) for the indexed-stream merge algebra.
+
+The reference model is the obvious one: an indexed stream *is* a
+``dict`` from ``int64`` key to value (``IndexedIter.to_dict``), built
+with last-occurrence-wins semantics.  Against that model:
+
+* ``indexed_pairs`` agrees with ``dict(zip(keys, values))`` for any
+  sorted key multiset -- duplicates, gaps, empty and singleton sets;
+* ``intersect``/``union_merge`` with an exact commutative combiner are
+  commutative and associative up to stream order (keys always come out
+  sorted, so "up to order" means plain dict equality);
+* the empty stream is the identity of ``union_merge`` and the
+  annihilator of ``intersect``;
+* ``lookup`` is dict comprehension over the probe set;
+* merging two sparse histograms with ``union_merge`` equals dense
+  histogram addition (the group-by/histogram-merge customer).
+
+Values are small integers stored as float64, so every combiner below is
+exact and the dict comparisons are equalities, not tolerances.
+"""
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.iterators.indexed import (
+    indexed,
+    indexed_pairs,
+    intersect,
+    lookup,
+    map_values,
+    union_merge,
+)
+from repro.core.iterators.indexed import _pair_add
+from repro.testing import kernels as K
+
+pytestmark = pytest.mark.sparse
+
+# A stream spec: (sorted int64 keys -- duplicates allowed, float64 values).
+pair_lists = st.lists(
+    st.tuples(st.integers(0, 40), st.integers(0, 9)), max_size=12
+)
+
+
+def _stream_arrays(pairs):
+    pairs = sorted(pairs, key=lambda kv: kv[0])
+    keys = np.array([k for k, _ in pairs], dtype=np.int64)
+    vals = np.array([v for _, v in pairs], dtype=np.float64)
+    return keys, vals
+
+
+streams = pair_lists.map(_stream_arrays)
+
+
+def _make(spec):
+    keys, vals = spec
+    return indexed_pairs(keys, vals)
+
+
+def _model(spec) -> dict:
+    keys, vals = spec
+    return {int(k): float(v) for k, v in zip(keys, vals)}
+
+
+EMPTY = (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64))
+
+
+class TestDictAgreement:
+    @given(streams)
+    def test_indexed_pairs_is_dict_update(self, spec):
+        assert _make(spec).to_dict() == _model(spec)
+
+    @given(st.lists(st.integers(0, 9), max_size=10))
+    def test_indexed_is_enumerate(self, vals):
+        arr = np.asarray(vals, dtype=np.float64)
+        assert indexed(arr).to_dict() == dict(enumerate(arr))
+
+    @given(streams)
+    def test_keys_come_out_strictly_increasing(self, spec):
+        ks = _make(spec).key_array()
+        assert np.all(ks[1:] > ks[:-1])
+
+    @given(streams, st.lists(st.integers(0, 40), max_size=8))
+    def test_lookup_is_dict_comprehension(self, spec, probes):
+        d = _model(spec)
+        want = {k: d[k] for k in set(probes) if k in d}
+        assert lookup(_make(spec), np.asarray(probes, dtype=np.int64)
+                      ).to_dict() == want
+
+    @given(streams)
+    def test_map_values_maps_the_dict_values(self, spec):
+        got = map_values(K.k_double, _make(spec)).to_dict()
+        assert got == {k: 2.0 * v for k, v in _model(spec).items()}
+
+
+class TestMergeLaws:
+    @given(streams, streams)
+    def test_intersect_reference(self, sa, sb):
+        da, db = _model(sa), _model(sb)
+        want = {k: da[k] + db[k] for k in da.keys() & db.keys()}
+        assert intersect(_make(sa), _make(sb), _pair_add).to_dict() == want
+
+    @given(streams, streams)
+    def test_union_reference(self, sa, sb):
+        da, db = _model(sa), _model(sb)
+        want = {
+            k: da.get(k, 0.0) + db.get(k, 0.0) for k in da.keys() | db.keys()
+        }
+        assert union_merge(_make(sa), _make(sb)).to_dict() == want
+
+    @given(streams, streams)
+    def test_commutative_up_to_order(self, sa, sb):
+        a, b = _make(sa), _make(sb)
+        assert (
+            intersect(a, b, _pair_add).to_dict()
+            == intersect(b, a, _pair_add).to_dict()
+        )
+        assert union_merge(a, b).to_dict() == union_merge(b, a).to_dict()
+
+    @given(streams, streams, streams)
+    @settings(max_examples=60)
+    def test_associative(self, sa, sb, sc):
+        a, b, c = _make(sa), _make(sb), _make(sc)
+        assert (
+            intersect(intersect(a, b, _pair_add), c, _pair_add).to_dict()
+            == intersect(a, intersect(b, c, _pair_add), _pair_add).to_dict()
+        )
+        assert (
+            union_merge(union_merge(a, b), c).to_dict()
+            == union_merge(a, union_merge(b, c)).to_dict()
+        )
+
+    @given(streams)
+    def test_empty_is_union_identity_and_intersect_annihilator(self, spec):
+        a, e = _make(spec), _make(EMPTY)
+        assert union_merge(a, e).to_dict() == _model(spec)
+        assert union_merge(e, a).to_dict() == _model(spec)
+        assert intersect(a, e).to_dict() == {}
+        assert intersect(e, a).to_dict() == {}
+
+    @given(streams)
+    def test_intersect_with_self_pairs_values(self, spec):
+        a = _make(spec)
+        got = intersect(a, a).to_dict()
+        assert got == {k: (v, v) for k, v in _model(spec).items()}
+
+
+class TestHistogramMergeAsUnion:
+    """Group-by/histogram merge is stream union: two partial histograms
+    keyed by bin, merged with ``+``, equal the dense histogram sum."""
+
+    @given(
+        st.lists(st.integers(0, 15), max_size=40),
+        st.lists(st.integers(0, 15), max_size=40),
+    )
+    def test_sparse_union_equals_dense_addition(self, xs, ys):
+        dense = (
+            np.bincount(np.asarray(xs, dtype=np.int64), minlength=16)
+            + np.bincount(np.asarray(ys, dtype=np.int64), minlength=16)
+        ).astype(np.float64)
+
+        def sparse_hist(zs):
+            binned = np.asarray(zs, dtype=np.int64)
+            bins, counts = np.unique(binned, return_counts=True)
+            return indexed_pairs(bins, counts.astype(np.float64))
+
+        merged = union_merge(sparse_hist(xs), sparse_hist(ys)).to_dict()
+        assert merged == {
+            int(b): dense[b] for b in np.flatnonzero(dense)
+        }

@@ -101,12 +101,13 @@ class TestReexecution:
         assert [i.rank for i in infos] == [1]
 
     def test_reexecution_budget_exhausted_propagates(self):
-        # every attempt crashes another rank: budget of 1 is not enough
+        # every attempt crashes the current rank 1 (a different physical
+        # rank after each re-partition): budget of 1 is not enough
         plan = FaultPlan(
             faults=(
                 RankCrash(rank=1, at=1e-6),
-                RankCrash(rank=2, at=1e-6),
-                RankCrash(rank=3, at=1e-6),
+                RankCrash(rank=1, at=1e-6),
+                RankCrash(rank=1, at=1e-6),
             )
         )
         policy = RecoveryPolicy(max_reexecutions=1)
@@ -357,6 +358,30 @@ class TestElasticShrink:
             rt.sections[1].recovery.attempts <= 1
         assert rt.sections[0].nodes == rt.sections[1].nodes == \
             MACHINE.nodes - 1
+
+    def test_concurrent_losses_absorb_in_one_attempt_deterministically(self):
+        # Two losses due within the same attempt: the survivors must keep
+        # executing their own instruction streams after the first failure
+        # (draining posted messages, applying shipping ops), so the
+        # second loss always fires alongside the first and the recovery
+        # accounting is a pure function of the plan -- never of how fast
+        # the abort flag propagated between rank threads.
+        runs = []
+        for _ in range(3):
+            plan = FaultPlan(
+                faults=(RankLoss(rank=1, at=1e-6),
+                        RankLoss(rank=2, at=1e-6))
+            )
+            with triolet_runtime(MACHINE, faults=plan) as rt:
+                out = squares_sum()
+            rep = rt.recovery_report
+            runs.append((out, rep.rank_losses, rep.attempts,
+                         rep.reshipped_bytes, rt.elapsed))
+        assert len(set(runs)) == 1
+        out, losses, attempts, _, _ = runs[0]
+        assert out == pytest.approx(EXPECTED)
+        assert losses == 2
+        assert attempts == 2  # one failed attempt absorbed both losses
 
     def test_loss_without_recovery_raises_permanent_fault(self):
         with triolet_runtime(MACHINE, faults=self._loss(),

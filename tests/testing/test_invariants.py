@@ -186,6 +186,79 @@ class TestRejectsCorruptedSections:
             check_plane(plane)
 
 
+@pytest.mark.sparse
+class TestIndexedAssembly:
+    """The indexed-partition conservation law: rank slices of an
+    ``IndexedIter`` must reassemble its ``(index, value)`` pairs exactly.
+    Seeded violations -- duplicate keys, a non-monotone key gather, and a
+    pair-dropping slice -- must each be rejected."""
+
+    @staticmethod
+    def _stream():
+        from repro.core.iterators.indexed import indexed_pairs
+
+        keys = np.arange(0, 20, 2, dtype=np.int64)
+        vals = np.arange(10, dtype=np.float64)
+        return indexed_pairs(keys, vals)
+
+    def test_real_indexed_sections_pass(self):
+        with checking() as ck:
+            with triolet_runtime(MachineSpec(nodes=3, cores_per_node=2)):
+                tri.build(tri.par(self._stream()))
+        assert ck.sections == 1
+
+    def test_duplicate_keys_rejected(self):
+        from repro.core.encodings.indexer import array_indexer, zip_idx
+        from repro.core.iterators.indexed import IndexedIter
+
+        # Constructed behind indexed_pairs' back: the canonicalization
+        # that would dedup [3, 3, 7] never ran.
+        bad = IndexedIter(
+            zip_idx(
+                array_indexer(np.array([3, 3, 7], dtype=np.int64)),
+                array_indexer(np.array([1.0, 2.0, 3.0])),
+            )
+        )
+        payload = _payload(iterator=bad, bounds=[(0, 2), (2, 3)])
+        with pytest.raises(InvariantViolation, match="strictly increasing"):
+            InvariantChecker()(payload)
+
+    def test_nonmonotone_key_gather_rejected(self):
+        from repro.core.encodings.indexer import (
+            array_indexer,
+            gather_idx,
+            zip_idx,
+        )
+        from repro.core.iterators.indexed import IndexedIter
+
+        # A gather with out-of-order positions reads keys [9, 3]: the
+        # stream's own ordering contract is broken before any slicing.
+        key = gather_idx(
+            array_indexer(np.array([3, 9], dtype=np.int64)),
+            np.array([1, 0], dtype=np.int64),
+        )
+        bad = IndexedIter(zip_idx(key, array_indexer(np.array([1.0, 2.0]))))
+        payload = _payload(iterator=bad, bounds=[(0, 1), (1, 2)])
+        with pytest.raises(InvariantViolation, match="strictly increasing"):
+            InvariantChecker()(payload)
+
+    def test_pair_dropping_slice_rejected(self):
+        from repro.core.encodings.indexer import Idx
+        from repro.core.iterators.indexed import IndexedIter
+
+        class _LossyIdx(Idx):
+            """Drops the last pair of every slice window."""
+
+            def slice(self, lo, hi):
+                return super().slice(lo, max(lo, hi - 1))
+
+        good = self._stream().idx
+        bad = IndexedIter(_LossyIdx(good.domain, good.extract, good.source))
+        payload = _payload(iterator=bad, bounds=[(0, 5), (5, 10)])
+        with pytest.raises(InvariantViolation, match="pairs, not"):
+            InvariantChecker()(payload)
+
+
 def _halo_stats(**over):
     stats = dict(
         requests=0, resident_hits=0, placements=0, migrations=0,
